@@ -1,0 +1,94 @@
+// Google-benchmark microbenchmarks for the simulator fidelity levels
+// (feeds the speed axis of Fig. 1 with statistically robust numbers).
+#include <benchmark/benchmark.h>
+
+#include "board/board.h"
+#include "mcc/compiler.h"
+#include "sim/iss.h"
+
+namespace {
+
+const nfp::asmkit::Program& loop_program() {
+  static const nfp::asmkit::Program program = nfp::mcc::Compiler().compile({R"(
+int main() {
+  unsigned acc = 1;
+  int data[64];
+  for (int i = 0; i < 64; i++) data[i] = i * 3;
+  for (int i = 0; i < 40000; i++) {
+    acc = acc * 1664525u + 1013904223u;
+    acc ^= (unsigned)data[i & 63];
+    data[i & 63] = (int)(acc >> 16);
+  }
+  return (int)(acc & 0xFF);
+}
+)"});
+  return program;
+}
+
+template <typename Sim>
+void run_sim(benchmark::State& state, Sim&& make) {
+  std::uint64_t insns = 0;
+  for (auto _ : state) {
+    auto sim = make();
+    sim.load(loop_program());
+    const auto result = sim.run(1'000'000'000ull);
+    if (!result.halted) state.SkipWithError("did not halt");
+    insns += result.instret;
+  }
+  state.counters["MIPS"] = benchmark::Counter(
+      static_cast<double>(insns) * 1e-6, benchmark::Counter::kIsRate);
+  state.SetItemsProcessed(static_cast<std::int64_t>(insns));
+}
+
+void BM_FunctionalSim(benchmark::State& state) {
+  run_sim(state, [] { return nfp::sim::FunctionalSim(); });
+}
+BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
+
+void BM_IssWithCounters(benchmark::State& state) {
+  run_sim(state, [] { return nfp::sim::Iss(); });
+}
+BENCHMARK(BM_IssWithCounters)->Unit(benchmark::kMillisecond);
+
+void BM_BoardApproxTimed(benchmark::State& state) {
+  run_sim(state, [] { return nfp::board::Board(); });
+}
+BENCHMARK(BM_BoardApproxTimed)->Unit(benchmark::kMillisecond);
+
+void BM_BoardCycleStepped(benchmark::State& state) {
+  run_sim(state, [] {
+    nfp::board::BoardConfig cfg;
+    cfg.fidelity = nfp::board::Fidelity::kCycleStepped;
+    return nfp::board::Board(cfg);
+  });
+}
+BENCHMARK(BM_BoardCycleStepped)->Unit(benchmark::kMillisecond);
+
+void BM_Compile(benchmark::State& state) {
+  const auto abi = state.range(0) == 0 ? nfp::mcc::FloatAbi::kHard
+                                       : nfp::mcc::FloatAbi::kSoft;
+  const std::string source = R"(
+double filter(double* data, int n) {
+  double acc = 0.0;
+  for (int i = 1; i + 1 < n; i++) {
+    acc += (data[i - 1] + 2.0 * data[i] + data[i + 1]) * 0.25;
+  }
+  return acc / (double)n;
+}
+double buf[128];
+int main() {
+  for (int i = 0; i < 128; i++) buf[i] = (double)(i * 7 % 31);
+  return (int)filter(buf, 128);
+}
+)";
+  for (auto _ : state) {
+    nfp::mcc::CompileOptions opts;
+    opts.float_abi = abi;
+    benchmark::DoNotOptimize(nfp::mcc::Compiler(opts).compile({source}));
+  }
+}
+BENCHMARK(BM_Compile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

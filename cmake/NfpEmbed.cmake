@@ -1,0 +1,14 @@
+# nfp_embed_mc(<out_var> <symbol> <absolute-input-path>)
+# Generates a .cpp defining `nfp::rtlib::<symbol>` as a string_view holding
+# the file contents, and returns its path in <out_var>.
+function(nfp_embed_mc out_var symbol input)
+  get_filename_component(name "${input}" NAME_WE)
+  set(gen "${CMAKE_CURRENT_BINARY_DIR}/${name}_embedded.cpp")
+  add_custom_command(
+    OUTPUT "${gen}"
+    COMMAND ${CMAKE_COMMAND} -DINPUT=${input} -DOUTPUT=${gen}
+            -DSYMBOL=${symbol} -P ${CMAKE_SOURCE_DIR}/cmake/embed.cmake
+    DEPENDS "${input}" "${CMAKE_SOURCE_DIR}/cmake/embed.cmake"
+    COMMENT "Embedding ${name}")
+  set(${out_var} "${gen}" PARENT_SCOPE)
+endfunction()

@@ -1,0 +1,11 @@
+# Embeds a text file into a C++ translation unit as a raw string literal.
+# Usage: cmake -DINPUT=<file> -DOUTPUT=<cpp> -DSYMBOL=<name> -P embed.cmake
+file(READ "${INPUT}" CONTENT)
+file(WRITE "${OUTPUT}" "// Generated from ${INPUT} -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view ${SYMBOL};
+const std::string_view ${SYMBOL} = R\"MCSRC(${CONTENT})MCSRC\";
+}  // namespace nfp::rtlib
+")

@@ -1,0 +1,50 @@
+// A scripted debug session with the board's debug monitor (the GRMON-like
+// interface the paper's test stand was driven with): compile a program,
+// set a breakpoint, inspect registers and memory, and read the energy
+// counters — everything a developer would do on the bench, on the virtual
+// platform instead.
+#include <cstdio>
+
+#include "board/monitor.h"
+#include "mcc/compiler.h"
+
+int main() {
+  const char* source = R"(
+int table[10];
+int main() {
+  for (int i = 0; i < 10; i++) table[i] = i * i;
+  int sum = 0;
+  for (int i = 0; i < 10; i++) sum += table[i];
+  return sum;  /* 285 */
+}
+)";
+  const auto program = nfp::mcc::Compiler().compile({source});
+
+  nfp::board::Board board;
+  board.load(program);
+  nfp::board::DebugMonitor monitor(board);
+
+  const char* session[] = {
+      "dis 0x40000000 4",  // entry stub
+      "break 0x40000004",  // the delay-slot nop after `call F_main`... run
+      "run",
+      "reg",
+      "delete 0x40000004",
+      "step 40",
+      "info",
+      "run",
+      "info",
+  };
+  for (const char* cmd : session) {
+    std::printf("grmon> %s\n%s\n", cmd, monitor.command(cmd).c_str());
+  }
+
+  const auto table_addr = program.find_symbol("G_table");
+  if (table_addr) {
+    std::printf("grmon> mem G_table 12\n%s\n",
+                monitor.command("mem " + std::to_string(*table_addr) + " 12")
+                    .c_str());
+  }
+  std::printf("final exit code: %u (expect 285)\n", board.cpu().exit_code);
+  return board.cpu().exit_code == 285 ? 0 : 1;
+}

@@ -1,0 +1,902 @@
+#include "asmkit/assembler.h"
+
+#include <bit>
+#include <cctype>
+#include <cstdlib>
+#include <optional>
+#include <vector>
+
+#include "isa/encode.h"
+#include "isa/names.h"
+
+namespace nfp::asmkit {
+namespace {
+
+using isa::Op;
+
+constexpr std::uint32_t kTextAlign = 4;
+constexpr std::uint32_t kDataAlign = 8;
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw AsmError("asm line " + std::to_string(line) + ": " + message);
+}
+
+// ---------------------------------------------------------------------------
+// Tokens (instruction lines only; directives parse their own operand text).
+
+enum class TokKind { kIdent, kReg, kFreg, kNum, kPunct, kY, kHi, kLo };
+
+struct Tok {
+  TokKind kind;
+  std::string text;   // ident / punct character
+  std::int64_t num = 0;
+  std::uint8_t reg = 0;
+};
+
+std::vector<Tok> tokenize(std::string_view text, int line) {
+  std::vector<Tok> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    const char c = text[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '%') {
+      std::size_t j = i + 1;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])))) {
+        ++j;
+      }
+      const std::string_view word = text.substr(i, j - i);
+      if (word == "%hi") {
+        out.push_back({TokKind::kHi, "%hi", 0, 0});
+      } else if (word == "%lo") {
+        out.push_back({TokKind::kLo, "%lo", 0, 0});
+      } else if (word == "%y") {
+        out.push_back({TokKind::kY, "%y", 0, 0});
+      } else if (const auto r = isa::parse_reg(word)) {
+        out.push_back({TokKind::kReg, std::string(word), 0, *r});
+      } else if (const auto f = isa::parse_freg(word)) {
+        out.push_back({TokKind::kFreg, std::string(word), 0, *f});
+      } else {
+        fail(line, "bad register '" + std::string(word) + "'");
+      }
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      char* end = nullptr;
+      const long long value = std::strtoll(text.data() + i, &end, 0);
+      out.push_back({TokKind::kNum, "", value, 0});
+      i = static_cast<std::size_t>(end - text.data());
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == '.') {
+      std::size_t j = i;
+      while (j < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[j])) ||
+              text[j] == '_' || text[j] == '.' || text[j] == '$')) {
+        ++j;
+      }
+      out.push_back({TokKind::kIdent, std::string(text.substr(i, j - i)), 0, 0});
+      i = j;
+      continue;
+    }
+    if (c == '[' || c == ']' || c == '(' || c == ')' || c == '+' || c == '-' ||
+        c == ',') {
+      out.push_back({TokKind::kPunct, std::string(1, c), 0, 0});
+      ++i;
+      continue;
+    }
+    fail(line, std::string("unexpected character '") + c + "'");
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Expressions: [%hi|%lo] ( term (('+'|'-') term)* ) where term is a number
+// or a symbol. Evaluated during the final pass only.
+
+enum class ExprMod { kNone, kHi, kLo };
+
+struct Term {
+  int sign = 1;
+  bool is_symbol = false;
+  std::int64_t value = 0;
+  std::string symbol;
+};
+
+struct Expr {
+  ExprMod mod = ExprMod::kNone;
+  std::vector<Term> terms;
+};
+
+class TokStream {
+ public:
+  TokStream(const std::vector<Tok>& toks, int line) : toks_(toks), line_(line) {}
+
+  bool done() const { return pos_ >= toks_.size(); }
+  const Tok& peek() const {
+    if (done()) fail(line_, "unexpected end of operands");
+    return toks_[pos_];
+  }
+  Tok next() {
+    const Tok t = peek();
+    ++pos_;
+    return t;
+  }
+  bool accept_punct(char c) {
+    if (!done() && toks_[pos_].kind == TokKind::kPunct &&
+        toks_[pos_].text[0] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  void expect_punct(char c) {
+    if (!accept_punct(c)) {
+      fail(line_, std::string("expected '") + c + "'");
+    }
+  }
+  void expect_done() const {
+    if (!done()) fail(line_, "trailing operands");
+  }
+  int line() const { return line_; }
+
+ private:
+  const std::vector<Tok>& toks_;
+  std::size_t pos_ = 0;
+  int line_;
+};
+
+Expr parse_expr(TokStream& ts) {
+  Expr expr;
+  if (!ts.done() && (ts.peek().kind == TokKind::kHi ||
+                     ts.peek().kind == TokKind::kLo)) {
+    expr.mod = ts.next().kind == TokKind::kHi ? ExprMod::kHi : ExprMod::kLo;
+    ts.expect_punct('(');
+  }
+  int sign = 1;
+  if (ts.accept_punct('-')) sign = -1;
+  while (true) {
+    const Tok t = ts.next();
+    Term term;
+    term.sign = sign;
+    if (t.kind == TokKind::kNum) {
+      term.value = t.num;
+    } else if (t.kind == TokKind::kIdent) {
+      term.is_symbol = true;
+      term.symbol = t.text;
+    } else {
+      fail(ts.line(), "expected number or symbol");
+    }
+    expr.terms.push_back(std::move(term));
+    if (ts.accept_punct('+')) {
+      sign = 1;
+    } else if (ts.accept_punct('-')) {
+      sign = -1;
+    } else {
+      break;
+    }
+  }
+  if (expr.mod != ExprMod::kNone) ts.expect_punct(')');
+  return expr;
+}
+
+// An instruction operand that is either a register or an immediate expression.
+struct RegOrImm {
+  bool is_reg = false;
+  std::uint8_t reg = 0;
+  Expr expr;
+};
+
+RegOrImm parse_reg_or_imm(TokStream& ts) {
+  RegOrImm out;
+  if (!ts.done() && ts.peek().kind == TokKind::kReg) {
+    out.is_reg = true;
+    out.reg = ts.next().reg;
+    return out;
+  }
+  out.expr = parse_expr(ts);
+  return out;
+}
+
+// Memory operand [rs1], [rs1+imm], [rs1-imm], [rs1+rs2].
+struct MemOperand {
+  std::uint8_t rs1 = 0;
+  bool index_is_reg = false;
+  std::uint8_t rs2 = 0;
+  Expr offset;  // empty terms => zero immediate
+};
+
+MemOperand parse_mem(TokStream& ts) {
+  MemOperand m;
+  ts.expect_punct('[');
+  const Tok base = ts.next();
+  if (base.kind != TokKind::kReg) fail(ts.line(), "expected base register");
+  m.rs1 = base.reg;
+  if (ts.accept_punct('+')) {
+    if (ts.peek().kind == TokKind::kReg) {
+      m.index_is_reg = true;
+      m.rs2 = ts.next().reg;
+    } else {
+      m.offset = parse_expr(ts);
+    }
+  } else if (!ts.done() && ts.peek().kind == TokKind::kPunct &&
+             ts.peek().text[0] == '-') {
+    m.offset = parse_expr(ts);  // consumes the leading '-'
+  }
+  ts.expect_punct(']');
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Statements.
+
+enum class StmtKind {
+  kInsn,   // one encoded instruction (pseudos included; `set` is 8 bytes)
+  kData,   // raw bytes
+  kSpace,  // zero / NOP fill (also produced by .align)
+};
+
+struct Stmt {
+  StmtKind kind;
+  int line = 0;
+  int section = 0;  // 0 = text, 1 = data
+
+  // kInsn:
+  std::string mnemonic;
+  std::vector<Tok> toks;
+  // kData:
+  std::vector<std::uint8_t> bytes;
+  // kAlign / kSpace:
+  std::uint32_t amount = 0;
+};
+
+struct SymbolDef {
+  int section = 0;      // 0 text, 1 data, 2 absolute (.equ)
+  std::uint32_t value = 0;
+};
+
+void append_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// ---------------------------------------------------------------------------
+// The assembler proper.
+
+class Unit {
+ public:
+  explicit Unit(std::uint32_t origin) : origin_(origin) {}
+
+  Program run(std::string_view source) {
+    parse(source);
+    layout();
+    return encode_all();
+  }
+
+ private:
+  // ---- parsing ------------------------------------------------------------
+  void parse(std::string_view source) {
+    int line_no = 0;
+    std::size_t pos = 0;
+    while (pos <= source.size()) {
+      const std::size_t eol = source.find('\n', pos);
+      std::string_view line = source.substr(
+          pos, eol == std::string_view::npos ? source.size() - pos : eol - pos);
+      ++line_no;
+      parse_line(line, line_no);
+      if (eol == std::string_view::npos) break;
+      pos = eol + 1;
+    }
+  }
+
+  static std::string_view strip(std::string_view s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.front())))
+      s.remove_prefix(1);
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+      s.remove_suffix(1);
+    return s;
+  }
+
+  void parse_line(std::string_view line, int line_no) {
+    // Strip comments, honouring double-quoted strings (.asciz).
+    bool in_string = false;
+    std::size_t comment = line.size();
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      const char c = line[i];
+      if (c == '"' && (i == 0 || line[i - 1] != '\\')) in_string = !in_string;
+      if (!in_string && (c == '!' || c == ';' || c == '#')) {
+        comment = i;
+        break;
+      }
+    }
+    std::string_view text = strip(line.substr(0, comment));
+
+    // Labels.
+    while (true) {
+      std::size_t i = 0;
+      while (i < text.size() &&
+             (std::isalnum(static_cast<unsigned char>(text[i])) ||
+              text[i] == '_' || text[i] == '$' || text[i] == '.')) {
+        ++i;
+      }
+      if (i > 0 && i < text.size() && text[i] == ':') {
+        define_label(std::string(text.substr(0, i)), line_no);
+        text = strip(text.substr(i + 1));
+        continue;
+      }
+      break;
+    }
+    if (text.empty()) return;
+
+    if (text[0] == '.') {
+      parse_directive(text, line_no);
+      return;
+    }
+
+    // Instruction.
+    std::size_t i = 0;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    Stmt s;
+    s.kind = StmtKind::kInsn;
+    s.line = line_no;
+    s.section = section_;
+    s.mnemonic = std::string(text.substr(0, i));
+    s.toks = tokenize(text.substr(i), line_no);
+    const std::uint32_t size = insn_size(s.mnemonic, line_no);
+    add_stmt(std::move(s), size);
+  }
+
+  std::uint32_t insn_size(const std::string& mnem, int line_no) {
+    if (mnem == "set") return 8;
+    (void)line_no;
+    return 4;
+  }
+
+  void define_label(const std::string& name, int line_no) {
+    if (symbols_.count(name)) fail(line_no, "duplicate label '" + name + "'");
+    symbols_[name] = SymbolDef{section_, section_ == 0 ? text_off_ : data_off_};
+  }
+
+  void parse_directive(std::string_view text, int line_no) {
+    std::size_t i = 0;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    const std::string_view name = text.substr(0, i);
+    const std::string rest{strip(text.substr(i))};
+
+    if (name == ".text") { section_ = 0; return; }
+    if (name == ".data") { section_ = 1; return; }
+    if (name == ".global" || name == ".globl" || name == ".type" ||
+        name == ".size") {
+      return;  // accepted and ignored
+    }
+    if (name == ".align") {
+      Stmt s;
+      s.kind = StmtKind::kSpace;  // add_align converts the boundary to padding
+      s.line = line_no;
+      s.section = section_;
+      s.amount = parse_u32(rest, line_no);
+      if (s.amount == 0 || (s.amount & (s.amount - 1)) != 0) {
+        fail(line_no, ".align must be a power of two");
+      }
+      add_align(std::move(s));
+      return;
+    }
+    if (name == ".space" || name == ".skip") {
+      Stmt s;
+      s.kind = StmtKind::kSpace;
+      s.line = line_no;
+      s.section = section_;
+      s.amount = parse_u32(rest, line_no);
+      const std::uint32_t size = s.amount;
+      add_stmt(std::move(s), size);
+      return;
+    }
+    if (name == ".equ") {
+      const std::size_t comma = rest.find(',');
+      if (comma == std::string::npos) fail(line_no, ".equ needs name, value");
+      const std::string sym{strip(std::string_view(rest).substr(0, comma))};
+      const std::uint32_t value =
+          parse_u32(std::string(strip(std::string_view(rest).substr(comma + 1))),
+                    line_no);
+      if (symbols_.count(sym)) fail(line_no, "duplicate symbol '" + sym + "'");
+      symbols_[sym] = SymbolDef{2, value};
+      return;
+    }
+    if (name == ".word" || name == ".half" || name == ".byte" ||
+        name == ".double" || name == ".float") {
+      Stmt s;
+      s.kind = StmtKind::kData;
+      s.line = line_no;
+      s.section = section_;
+      for (const std::string& item : split_commas(rest)) {
+        if (name == ".double" || name == ".float") {
+          char* end = nullptr;
+          const double value = std::strtod(item.c_str(), &end);
+          if (end == item.c_str()) fail(line_no, "bad float '" + item + "'");
+          if (name == ".double") {
+            const auto bits = std::bit_cast<std::uint64_t>(value);
+            append_be32(s.bytes, static_cast<std::uint32_t>(bits >> 32));
+            append_be32(s.bytes, static_cast<std::uint32_t>(bits));
+          } else {
+            const auto bits =
+                std::bit_cast<std::uint32_t>(static_cast<float>(value));
+            append_be32(s.bytes, bits);
+          }
+        } else {
+          const std::int64_t value = parse_i64(item, line_no);
+          if (name == ".word") {
+            append_be32(s.bytes, static_cast<std::uint32_t>(value));
+          } else if (name == ".half") {
+            s.bytes.push_back(static_cast<std::uint8_t>(value >> 8));
+            s.bytes.push_back(static_cast<std::uint8_t>(value));
+          } else {
+            s.bytes.push_back(static_cast<std::uint8_t>(value));
+          }
+        }
+      }
+      const auto size = static_cast<std::uint32_t>(s.bytes.size());
+      add_stmt(std::move(s), size);
+      return;
+    }
+    if (name == ".asciz" || name == ".ascii") {
+      Stmt s;
+      s.kind = StmtKind::kData;
+      s.line = line_no;
+      s.section = section_;
+      s.bytes = parse_string(rest, line_no);
+      if (name == ".asciz") s.bytes.push_back(0);
+      const auto size = static_cast<std::uint32_t>(s.bytes.size());
+      add_stmt(std::move(s), size);
+      return;
+    }
+    fail(line_no, "unknown directive '" + std::string(name) + "'");
+  }
+
+  static std::vector<std::string> split_commas(const std::string& text) {
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    for (std::size_t i = 0; i <= text.size(); ++i) {
+      if (i == text.size() || text[i] == ',') {
+        const auto piece = strip(std::string_view(text).substr(start, i - start));
+        if (!piece.empty()) out.emplace_back(piece);
+        start = i + 1;
+      }
+    }
+    return out;
+  }
+
+  static std::uint32_t parse_u32(const std::string& text, int line_no) {
+    return static_cast<std::uint32_t>(parse_i64(text, line_no));
+  }
+
+  static std::int64_t parse_i64(const std::string& text, int line_no) {
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 0);
+    if (end == text.c_str() || *end != '\0') {
+      fail(line_no, "bad integer '" + text + "'");
+    }
+    return value;
+  }
+
+  static std::vector<std::uint8_t> parse_string(const std::string& text,
+                                                int line_no) {
+    if (text.size() < 2 || text.front() != '"' || text.back() != '"') {
+      fail(line_no, "expected quoted string");
+    }
+    std::vector<std::uint8_t> out;
+    for (std::size_t i = 1; i + 1 < text.size(); ++i) {
+      char c = text[i];
+      if (c == '\\' && i + 2 < text.size()) {
+        ++i;
+        switch (text[i]) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case '0': c = '\0'; break;
+          case '\\': c = '\\'; break;
+          case '"': c = '"'; break;
+          default: fail(line_no, "bad escape");
+        }
+      }
+      out.push_back(static_cast<std::uint8_t>(c));
+    }
+    return out;
+  }
+
+  void add_stmt(Stmt stmt, std::uint32_t size) {
+    std::uint32_t& off = stmt.section == 0 ? text_off_ : data_off_;
+    stmt_offsets_.push_back(off);
+    off += size;
+    stmts_.push_back(std::move(stmt));
+  }
+
+  void add_align(Stmt stmt) {
+    std::uint32_t& off = stmt.section == 0 ? text_off_ : data_off_;
+    const std::uint32_t aligned = (off + stmt.amount - 1) & ~(stmt.amount - 1);
+    stmt_offsets_.push_back(off);
+    stmt.amount = aligned - off;  // repurposed as pad byte count
+    stmt.kind = StmtKind::kSpace;
+    off = aligned;
+    stmts_.push_back(std::move(stmt));
+  }
+
+  // ---- layout ---------------------------------------------------------------
+  void layout() {
+    text_base_ = origin_;
+    data_base_ = (origin_ + text_off_ + (kDataAlign - 1)) & ~(kDataAlign - 1);
+    total_size_ =
+        data_off_ == 0 ? text_off_ : (data_base_ - origin_) + data_off_;
+  }
+
+  std::uint32_t symbol_address(const std::string& name, int line_no) const {
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end()) fail(line_no, "undefined symbol '" + name + "'");
+    switch (it->second.section) {
+      case 0: return text_base_ + it->second.value;
+      case 1: return data_base_ + it->second.value;
+      default: return it->second.value;
+    }
+  }
+
+  std::int64_t eval(const Expr& expr, int line_no) const {
+    std::int64_t value = 0;
+    for (const Term& t : expr.terms) {
+      const std::int64_t term =
+          t.is_symbol ? symbol_address(t.symbol, line_no) : t.value;
+      value += t.sign * term;
+    }
+    const auto uvalue = static_cast<std::uint32_t>(value);
+    switch (expr.mod) {
+      case ExprMod::kHi: return uvalue & 0xFFFFFC00u;
+      case ExprMod::kLo: return uvalue & 0x3FFu;
+      case ExprMod::kNone: return value;
+    }
+    return value;
+  }
+
+  std::int32_t eval_simm13(const Expr& expr, int line_no) const {
+    const std::int64_t value = eval(expr, line_no);
+    if (expr.mod == ExprMod::kNone && (value < -4096 || value > 4095)) {
+      fail(line_no, "immediate out of simm13 range: " + std::to_string(value));
+    }
+    return static_cast<std::int32_t>(value);
+  }
+
+  // ---- encoding -------------------------------------------------------------
+  Program encode_all() {
+    std::vector<std::uint8_t> text_bytes;
+    std::vector<std::uint8_t> data_bytes;
+    text_bytes.reserve(text_off_);
+    data_bytes.reserve(data_off_);
+
+    for (std::size_t i = 0; i < stmts_.size(); ++i) {
+      const Stmt& s = stmts_[i];
+      auto& out = s.section == 0 ? text_bytes : data_bytes;
+      const std::uint32_t base = s.section == 0 ? text_base_ : data_base_;
+      const std::uint32_t pc = base + stmt_offsets_[i];
+      switch (s.kind) {
+        case StmtKind::kInsn:
+          encode_insn(s, pc, out);
+          break;
+        case StmtKind::kData:
+          out.insert(out.end(), s.bytes.begin(), s.bytes.end());
+          break;
+        case StmtKind::kSpace:
+          for (std::uint32_t k = 0; k < s.amount; ++k) {
+            // Pad text with NOPs so padding is executable/disassemblable.
+            if (s.section == 0 && s.amount % 4 == 0 && k % 4 == 0) {
+              append_be32(out, isa::enc_nop());
+              k += 3;
+            } else {
+              out.push_back(0);
+            }
+          }
+          break;
+      }
+    }
+
+    if (text_bytes.size() != text_off_ || data_bytes.size() != data_off_) {
+      throw AsmError("internal: pass size mismatch");
+    }
+
+    std::vector<std::uint8_t> blob(total_size_, 0);
+    std::copy(text_bytes.begin(), text_bytes.end(), blob.begin());
+    std::copy(data_bytes.begin(), data_bytes.end(),
+              blob.begin() + (data_base_ - origin_));
+
+    Program prog(origin_, std::move(blob));
+    for (const auto& [name, def] : symbols_) {
+      switch (def.section) {
+        case 0: prog.define_symbol(name, text_base_ + def.value); break;
+        case 1: prog.define_symbol(name, data_base_ + def.value); break;
+        default: prog.define_symbol(name, def.value); break;
+      }
+    }
+    const auto entry = prog.find_symbol("_start");
+    prog.set_entry(entry ? *entry : origin_);
+    return prog;
+  }
+
+  void encode_insn(const Stmt& s, std::uint32_t pc,
+                   std::vector<std::uint8_t>& out) const {
+    const int line = s.line;
+    TokStream ts(s.toks, line);
+    const std::string& m = s.mnemonic;
+
+    // Pseudo-instructions first.
+    if (m == "nop") {
+      ts.expect_done();
+      append_be32(out, isa::enc_nop());
+      return;
+    }
+    if (m == "set") {
+      const Expr expr = parse_expr(ts);
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      const auto value = static_cast<std::uint32_t>(eval(expr, line));
+      append_be32(out, isa::enc_sethi(rd, value & 0xFFFFFC00u));
+      append_be32(out, isa::enc_alu_imm(Op::kOr, rd, rd,
+                                        static_cast<std::int32_t>(value & 0x3FFu)));
+      return;
+    }
+    if (m == "mov") {
+      const RegOrImm src = parse_reg_or_imm(ts);
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, src.is_reg
+                           ? isa::enc_alu(Op::kOr, rd, 0, src.reg)
+                           : isa::enc_alu_imm(Op::kOr, rd, 0,
+                                              eval_simm13(src.expr, line)));
+      return;
+    }
+    if (m == "clr") {
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, isa::enc_alu(Op::kOr, rd, 0, 0));
+      return;
+    }
+    if (m == "cmp") {
+      const std::uint8_t rs1 = expect_reg(ts);
+      ts.expect_punct(',');
+      const RegOrImm rhs = parse_reg_or_imm(ts);
+      ts.expect_done();
+      append_be32(out, rhs.is_reg
+                           ? isa::enc_alu(Op::kSubcc, 0, rs1, rhs.reg)
+                           : isa::enc_alu_imm(Op::kSubcc, 0, rs1,
+                                              eval_simm13(rhs.expr, line)));
+      return;
+    }
+    if (m == "ret" || m == "retl") {
+      ts.expect_done();
+      append_be32(out, isa::enc_alu_imm(Op::kJmpl, 0, isa::kRegO7, 8));
+      return;
+    }
+    if (m == "ta") {
+      const Expr expr = parse_expr(ts);
+      ts.expect_done();
+      append_be32(out, isa::enc_ta(eval_simm13(expr, line)));
+      return;
+    }
+    if (m == "call") {
+      const Expr expr = parse_expr(ts);
+      ts.expect_done();
+      const auto target = static_cast<std::uint32_t>(eval(expr, line));
+      append_be32(out, isa::enc_call(static_cast<std::int32_t>(target - pc)));
+      return;
+    }
+    if (m == "sethi") {
+      const Expr expr = parse_expr(ts);
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      auto value = static_cast<std::uint32_t>(eval(expr, line));
+      if (expr.mod == ExprMod::kNone && (value & 0x3FF) != 0) {
+        fail(line, "sethi operand must have low 10 bits clear");
+      }
+      append_be32(out, isa::enc_sethi(rd, value & 0xFFFFFC00u));
+      return;
+    }
+    if (m == "jmpl") {
+      const std::uint8_t rs1 = expect_reg(ts);
+      Expr off;
+      bool index_is_reg = false;
+      std::uint8_t rs2 = 0;
+      if (ts.accept_punct('+')) {
+        if (ts.peek().kind == TokKind::kReg) {
+          index_is_reg = true;
+          rs2 = ts.next().reg;
+        } else {
+          off = parse_expr(ts);
+        }
+      }
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, index_is_reg
+                           ? isa::enc_alu(Op::kJmpl, rd, rs1, rs2)
+                           : isa::enc_alu_imm(Op::kJmpl, rd, rs1,
+                                              off.terms.empty()
+                                                  ? 0
+                                                  : eval_simm13(off, line)));
+      return;
+    }
+    if (m == "rd") {
+      if (ts.peek().kind != TokKind::kY) fail(line, "rd expects %y");
+      ts.next();
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, isa::enc_alu(Op::kRdy, rd, 0, 0));
+      return;
+    }
+    if (m == "wr") {
+      const std::uint8_t rs1 = expect_reg(ts);
+      ts.expect_punct(',');
+      const RegOrImm rhs = parse_reg_or_imm(ts);
+      ts.expect_punct(',');
+      if (ts.peek().kind != TokKind::kY) fail(line, "wr expects %y");
+      ts.next();
+      ts.expect_done();
+      append_be32(out, rhs.is_reg
+                           ? isa::enc_alu(Op::kWry, 0, rs1, rhs.reg)
+                           : isa::enc_alu_imm(Op::kWry, 0, rs1,
+                                              eval_simm13(rhs.expr, line)));
+      return;
+    }
+
+    // Branches: b<cond>[,a] / fb<cond>[,a] / plain "b".
+    if (m[0] == 'b' || (m.size() >= 2 && m[0] == 'f' && m[1] == 'b')) {
+      const bool fp = m[0] == 'f';
+      std::string cond_text = fp ? m.substr(2) : m.substr(1);
+      bool annul = false;
+      if (cond_text.size() >= 2 &&
+          cond_text.substr(cond_text.size() - 2) == ",a") {
+        annul = true;
+        cond_text = cond_text.substr(0, cond_text.size() - 2);
+      }
+      if (cond_text.empty()) cond_text = "a";
+      std::optional<std::uint32_t> word;
+      if (fp) {
+        if (const auto fc = isa::fcond_from_name(cond_text)) {
+          const Expr target = parse_expr(ts);
+          ts.expect_done();
+          const auto addr = static_cast<std::uint32_t>(eval(target, line));
+          word = isa::enc_fbfcc(*fc, annul,
+                                static_cast<std::int32_t>(addr - pc));
+        }
+      } else {
+        if (const auto c = isa::cond_from_name(cond_text)) {
+          const Expr target = parse_expr(ts);
+          ts.expect_done();
+          const auto addr = static_cast<std::uint32_t>(eval(target, line));
+          word = isa::enc_bicc(*c, annul, static_cast<std::int32_t>(addr - pc));
+        }
+      }
+      if (word) {
+        append_be32(out, *word);
+        return;
+      }
+      // Fall through: mnemonics like "bclr" would land here (none exist).
+    }
+
+    const Op op = isa::op_from_mnemonic(m);
+    if (op == Op::kInvalid) fail(line, "unknown mnemonic '" + m + "'");
+
+    if (isa::is_load(op)) {
+      const MemOperand mem = parse_mem(ts);
+      ts.expect_punct(',');
+      const bool fp = op == Op::kLdf || op == Op::kLddf;
+      const std::uint8_t rd = fp ? expect_freg(ts) : expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, encode_mem(op, rd, mem, line));
+      return;
+    }
+    if (isa::is_store(op)) {
+      const bool fp = op == Op::kStf || op == Op::kStdf;
+      const std::uint8_t rd = fp ? expect_freg(ts) : expect_reg(ts);
+      ts.expect_punct(',');
+      const MemOperand mem = parse_mem(ts);
+      ts.expect_done();
+      append_be32(out, encode_mem(op, rd, mem, line));
+      return;
+    }
+    if (isa::is_fpu(op)) {
+      if (op == Op::kFcmps || op == Op::kFcmpd) {
+        const std::uint8_t rs1 = expect_freg(ts);
+        ts.expect_punct(',');
+        const std::uint8_t rs2 = expect_freg(ts);
+        ts.expect_done();
+        append_be32(out, isa::enc_fp(op, 0, rs1, rs2));
+        return;
+      }
+      switch (op) {
+        case Op::kFmovs: case Op::kFnegs: case Op::kFabss: case Op::kFsqrts:
+        case Op::kFsqrtd: case Op::kFitos: case Op::kFitod: case Op::kFstoi:
+        case Op::kFdtoi: case Op::kFstod: case Op::kFdtos: {
+          const std::uint8_t rs2 = expect_freg(ts);
+          ts.expect_punct(',');
+          const std::uint8_t rd = expect_freg(ts);
+          ts.expect_done();
+          append_be32(out, isa::enc_fp(op, rd, 0, rs2));
+          return;
+        }
+        default: {
+          const std::uint8_t rs1 = expect_freg(ts);
+          ts.expect_punct(',');
+          const std::uint8_t rs2 = expect_freg(ts);
+          ts.expect_punct(',');
+          const std::uint8_t rd = expect_freg(ts);
+          ts.expect_done();
+          append_be32(out, isa::enc_fp(op, rd, rs1, rs2));
+          return;
+        }
+      }
+    }
+
+    // Integer ALU three-operand form: op rs1, reg_or_imm, rd.
+    {
+      const std::uint8_t rs1 = expect_reg(ts);
+      ts.expect_punct(',');
+      const RegOrImm rhs = parse_reg_or_imm(ts);
+      ts.expect_punct(',');
+      const std::uint8_t rd = expect_reg(ts);
+      ts.expect_done();
+      append_be32(out, rhs.is_reg
+                           ? isa::enc_alu(op, rd, rs1, rhs.reg)
+                           : isa::enc_alu_imm(op, rd, rs1,
+                                              eval_simm13(rhs.expr, line)));
+    }
+  }
+
+  std::uint32_t encode_mem(Op op, std::uint8_t rd, const MemOperand& mem,
+                           int line) const {
+    if (mem.index_is_reg) return isa::enc_mem(op, rd, mem.rs1, mem.rs2);
+    const std::int32_t off =
+        mem.offset.terms.empty() ? 0 : eval_simm13(mem.offset, line);
+    return isa::enc_mem_imm(op, rd, mem.rs1, off);
+  }
+
+  static std::uint8_t expect_reg(TokStream& ts) {
+    const Tok t = ts.next();
+    if (t.kind != TokKind::kReg) fail(ts.line(), "expected integer register");
+    return t.reg;
+  }
+  static std::uint8_t expect_freg(TokStream& ts) {
+    const Tok t = ts.next();
+    if (t.kind != TokKind::kFreg) fail(ts.line(), "expected FP register");
+    return t.reg;
+  }
+
+  std::uint32_t origin_;
+  int section_ = 0;
+  std::uint32_t text_off_ = 0;
+  std::uint32_t data_off_ = 0;
+  std::uint32_t text_base_ = 0;
+  std::uint32_t data_base_ = 0;
+  std::uint32_t total_size_ = 0;
+  std::vector<Stmt> stmts_;
+  std::vector<std::uint32_t> stmt_offsets_;
+  std::map<std::string, SymbolDef> symbols_;
+};
+
+}  // namespace
+
+Program Assembler::assemble(std::string_view source) const {
+  Unit unit(origin_);
+  return unit.run(source);
+}
+
+Program assemble(std::string_view source, std::uint32_t origin) {
+  return Assembler(origin).assemble(source);
+}
+
+}  // namespace nfp::asmkit

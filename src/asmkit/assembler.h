@@ -1,0 +1,52 @@
+// Two-pass SPARC V8 assembler.
+//
+// Supported syntax (a pragmatic subset of the SunOS/gas SPARC dialect):
+//   - sections:       .text  .data
+//   - data:           .word  .half  .byte  .double  .float  .space N
+//                     .asciz "..."  .align N  .equ name, expr
+//   - labels:         name:
+//   - comments:       `!`, `;` or `#` to end of line
+//   - operands:       %g0..%i7 (%sp, %fp), %f0..%f31, immediates (dec/hex),
+//                     symbols, symbol+offset, %hi(expr), %lo(expr),
+//                     memory [reg], [reg+imm], [reg-imm], [reg+reg]
+//   - pseudo-insns:   set expr, rd   -> sethi %hi(expr),rd; or rd,%lo(expr),rd
+//                     mov val, rd    -> or %g0, val, rd
+//                     cmp a, b       -> subcc a, b, %g0
+//                     clr rd         -> or %g0, %g0, rd
+//                     ret / retl     -> jmpl %o7+8, %g0
+//                     b label        -> ba label
+//   - branches:       b<cond>[,a] label     fb<cond>[,a] label
+//
+// The assembler lays .text at `origin`, then .data 8-byte aligned after it.
+// All data is emitted big-endian (SPARC byte order).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "asmkit/program.h"
+
+namespace nfp::asmkit {
+
+struct AsmError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Assembler {
+ public:
+  explicit Assembler(std::uint32_t origin) : origin_(origin) {}
+
+  // Assembles a full translation unit. Throws AsmError with line-numbered
+  // messages on failure. The program entry is the `_start` symbol if
+  // defined, otherwise the origin.
+  Program assemble(std::string_view source) const;
+
+ private:
+  std::uint32_t origin_;
+};
+
+// Convenience wrapper.
+Program assemble(std::string_view source, std::uint32_t origin);
+
+}  // namespace nfp::asmkit

@@ -1,0 +1,54 @@
+// Linked program image: a flat byte blob at a base address plus a symbol
+// table. This is what the assembler produces and what the simulator loads
+// (the paper's "kernel" — a binary executable handed to OVPsim).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nfp::asmkit {
+
+class Program {
+ public:
+  Program() = default;
+  Program(std::uint32_t base, std::vector<std::uint8_t> bytes)
+      : base_(base), bytes_(std::move(bytes)) {}
+
+  std::uint32_t base() const { return base_; }
+  std::uint32_t size() const { return static_cast<std::uint32_t>(bytes_.size()); }
+  std::uint32_t end() const { return base_ + size(); }
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+
+  std::uint32_t entry() const { return entry_; }
+  void set_entry(std::uint32_t entry) { entry_ = entry; }
+
+  void define_symbol(const std::string& name, std::uint32_t addr) {
+    symbols_[name] = addr;
+  }
+  std::optional<std::uint32_t> find_symbol(const std::string& name) const {
+    const auto it = symbols_.find(name);
+    if (it == symbols_.end()) return std::nullopt;
+    return it->second;
+  }
+  // Throwing lookup for symbols the caller knows must exist.
+  std::uint32_t symbol(const std::string& name) const {
+    const auto addr = find_symbol(name);
+    if (!addr) throw std::runtime_error("undefined symbol: " + name);
+    return *addr;
+  }
+  const std::map<std::string, std::uint32_t>& symbols() const {
+    return symbols_;
+  }
+
+ private:
+  std::uint32_t base_ = 0;
+  std::uint32_t entry_ = 0;
+  std::vector<std::uint8_t> bytes_;
+  std::map<std::string, std::uint32_t> symbols_;
+};
+
+}  // namespace nfp::asmkit

@@ -1,0 +1,44 @@
+// FPGA area model: logical-element counts per processor configuration,
+// standing in for Quartus synthesis reports (Table IV, third row).
+#pragma once
+
+#include <cstdint>
+
+#include "board/config.h"
+
+namespace nfp::board {
+
+struct AreaReport {
+  std::uint32_t integer_unit_les = 0;
+  std::uint32_t muldiv_les = 0;
+  std::uint32_t fpu_les = 0;
+  std::uint32_t total() const {
+    return integer_unit_les + muldiv_les + fpu_les;
+  }
+};
+
+class AreaModel {
+ public:
+  // LE budgets for a Cyclone-IV-class device; the FPU (a GRFPU-like unit)
+  // roughly doubles the design, matching the paper's +109%.
+  AreaReport synthesize(const BoardConfig& cfg) const {
+    AreaReport r;
+    r.integer_unit_les = 4000;
+    r.muldiv_les = cfg.has_hw_muldiv ? 1200 : 0;
+    r.fpu_les = cfg.has_fpu ? 5668 : 0;
+    return r;
+  }
+
+  // Relative area change when toggling the FPU on (percent, e.g. +109).
+  double fpu_area_increase_percent() const {
+    BoardConfig off;
+    off.has_fpu = false;
+    BoardConfig on;
+    on.has_fpu = true;
+    const double base = synthesize(off).total();
+    const double with = synthesize(on).total();
+    return (with - base) / base * 100.0;
+  }
+};
+
+}  // namespace nfp::board

@@ -1,0 +1,50 @@
+#include "board/board.h"
+
+#include <cmath>
+
+#include "board/rng.h"
+#include "sim/executor.h"
+
+namespace nfp::board {
+
+Board::Board(BoardConfig cfg)
+    : cfg_(cfg), hooks_(std::make_unique<BoardHooks>(cfg_, cost_)) {}
+
+void Board::load(const asmkit::Program& program) {
+  platform_.load(program);
+  hooks_ = std::make_unique<BoardHooks>(cfg_, cost_);
+}
+
+void Board::step() {
+  sim::Executor<BoardHooks> exec(platform_.cpu(), platform_.bus(), *hooks_);
+  exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+  if (!platform_.cpu().halted) exec.step();
+}
+
+sim::RunResult Board::run(std::uint64_t max_insns) {
+  sim::Executor<BoardHooks> exec(platform_.cpu(), platform_.bus(), *hooks_);
+  exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+  exec.run(max_insns);
+  sim::RunResult result;
+  result.halted = platform_.cpu().halted;
+  result.instret = platform_.cpu().instret;
+  result.exit_code = platform_.cpu().exit_code;
+  return result;
+}
+
+Measurement Board::measure(std::string_view tag) const {
+  Measurement m;
+  m.energy_nj = true_energy_nj();
+  m.time_s = true_time_s();
+  if (cfg_.enable_meter_noise) {
+    SplitMix64 rng(fnv1a(tag, cfg_.seed ^ 0x9E3779B97F4A7C15ull));
+    m.energy_nj *= 1.0 + cfg_.meter_noise_sigma * rng.gaussian();
+    // clock()-style quantisation: the target timebase has finite resolution.
+    const double ticks =
+        std::floor(m.time_s * cfg_.clock_ticks_per_s + rng.uniform());
+    m.time_s = ticks / cfg_.clock_ticks_per_s;
+  }
+  return m;
+}
+
+}  // namespace nfp::board

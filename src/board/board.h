@@ -1,0 +1,64 @@
+// The measurement board: functional execution plus ground-truth cycle and
+// energy accounting, and a power-meter front end with realistic measurement
+// imperfections. This module plays the role of the paper's Terasic DE2-115
+// FPGA + LEON3 + external power meter test stand.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "asmkit/program.h"
+#include "board/config.h"
+#include "board/cost_model.h"
+#include "board/hooks.h"
+#include "sim/platform.h"
+
+namespace nfp::board {
+
+// What the experimenter reads off the bench: energy from the power meter
+// (noisy) and elapsed time from the target's clock (tick-quantised).
+struct Measurement {
+  double energy_nj = 0.0;
+  double time_s = 0.0;
+};
+
+class Board {
+ public:
+  explicit Board(BoardConfig cfg = {});
+
+  void load(const asmkit::Program& program);
+  sim::RunResult run(std::uint64_t max_insns = kDefaultMaxInsns);
+  // Executes a single instruction (debug monitor support).
+  void step();
+
+  // Ground truth (inaccessible on real hardware; used by tests and by the
+  // Fig. 1 accuracy ladder).
+  std::uint64_t cycles() const { return hooks_->cycles(); }
+  double true_time_s() const {
+    return static_cast<double>(cycles()) / cfg_.clock_hz;
+  }
+  double true_energy_nj() const { return hooks_->energy_nj(); }
+  const BoardStats& stats() const { return hooks_->stats(); }
+
+  // Bench measurement: ground truth seen through the power meter and the
+  // clock's tick granularity. `tag` identifies the kernel so repeated
+  // measurements of the same kernel are reproducible but distinct kernels
+  // draw independent noise.
+  Measurement measure(std::string_view tag) const;
+
+  const BoardConfig& config() const { return cfg_; }
+  sim::Platform& platform() { return platform_; }
+  sim::Bus& bus() { return platform_.bus(); }
+  sim::CpuState& cpu() { return platform_.cpu(); }
+
+  static constexpr std::uint64_t kDefaultMaxInsns = 20'000'000'000ull;
+
+ private:
+  BoardConfig cfg_;
+  CostModel cost_;
+  sim::Platform platform_;
+  std::unique_ptr<BoardHooks> hooks_;
+};
+
+}  // namespace nfp::board

@@ -1,0 +1,75 @@
+#include "board/cost_model.h"
+
+namespace nfp::board {
+
+namespace {
+
+// Category-level defaults; per-op deviations applied below. At 50 MHz one
+// cycle is 20 ns, so e.g. loads at 35 cycles equal the paper's ~700 ns.
+constexpr OpCost kIntArith{2, 2, 15.0};
+constexpr OpCost kJump{12, 9, 76.0};
+constexpr OpCost kLoad{35, 35, 229.0};
+constexpr OpCost kStore{19, 19, 166.0};
+constexpr OpCost kNopCost{2, 2, 13.0};
+constexpr OpCost kOther{2, 2, 13.0};
+constexpr OpCost kFpuArith{2, 2, 14.0};
+constexpr OpCost kFpuDiv{22, 22, 431.0};
+constexpr OpCost kFpuSqrt{31, 31, 88.0};
+
+}  // namespace
+
+CostModel::CostModel() {
+  using isa::Category;
+  using isa::Op;
+  for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+    const auto op = static_cast<Op>(i);
+    switch (isa::default_category(op)) {
+      case Category::kIntArith: table_[i] = kIntArith; break;
+      case Category::kJump: table_[i] = kJump; break;
+      case Category::kMemLoad: table_[i] = kLoad; break;
+      case Category::kMemStore: table_[i] = kStore; break;
+      case Category::kNop: table_[i] = kNopCost; break;
+      case Category::kOther: table_[i] = kOther; break;
+      case Category::kFpuArith: table_[i] = kFpuArith; break;
+      case Category::kFpuDiv: table_[i] = kFpuDiv; break;
+      case Category::kFpuSqrt: table_[i] = kFpuSqrt; break;
+    }
+  }
+
+  // Per-op deviations from the category mean — the real hardware is not as
+  // uniform as the nine-category model assumes.
+  for (const Op op : {Op::kUmul, Op::kUmulcc, Op::kSmul, Op::kSmulcc}) {
+    of(op) = OpCost{5, 5, 27.0};
+  }
+  for (const Op op : {Op::kUdiv, Op::kUdivcc, Op::kSdiv, Op::kSdivcc}) {
+    of(op) = OpCost{35, 35, 120.0};
+  }
+  // Shifts are marginally cheaper than adds on the barrel shifter.
+  for (const Op op : {Op::kSll, Op::kSrl, Op::kSra}) {
+    of(op) = OpCost{2, 2, 13.5};
+  }
+  // Double-word memory ops move two bus words.
+  of(Op::kLdd) = OpCost{44, 44, 290.0};
+  of(Op::kLddf) = OpCost{44, 44, 290.0};
+  of(Op::kStd) = OpCost{26, 26, 215.0};
+  of(Op::kStdf) = OpCost{26, 26, 215.0};
+  // Trap entry is a little heavier than a plain jump.
+  of(Op::kTicc) = OpCost{14, 10, 82.0};
+  // jmpl (indirect jump / return) costs slightly more than a direct branch.
+  of(Op::kJmpl) = OpCost{13, 13, 79.0};
+  // FP compares / converts deviate mildly from adds.
+  of(Op::kFcmps) = OpCost{2, 2, 13.0};
+  of(Op::kFcmpd) = OpCost{2, 2, 13.5};
+  of(Op::kFitod) = OpCost{3, 3, 15.0};
+  of(Op::kFdtoi) = OpCost{3, 3, 15.0};
+  of(Op::kFitos) = OpCost{3, 3, 15.0};
+  of(Op::kFstoi) = OpCost{3, 3, 15.0};
+  // Single-precision arithmetic is slightly cheaper than double.
+  for (const Op op : {Op::kFadds, Op::kFsubs, Op::kFmuls}) {
+    of(op) = OpCost{2, 2, 12.5};
+  }
+  of(Op::kFdivs) = OpCost{15, 15, 290.0};
+  of(Op::kFsqrts) = OpCost{21, 21, 60.0};
+}
+
+}  // namespace nfp::board

@@ -1,0 +1,46 @@
+// Ground-truth per-instruction cost tables of the simulated board.
+//
+// These are the "real hardware" values the NFP model tries to recover by
+// calibration; they are intentionally finer-grained than the nine Table-I
+// categories (e.g. umul/udiv differ from add) so that the category model has
+// genuine lumping error, as on the paper's FPGA.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/insn.h"
+
+namespace nfp::board {
+
+struct OpCost {
+  std::uint32_t cycles = 2;        // base cycles (taken path for branches)
+  std::uint32_t cycles_alt = 2;    // untaken path for branches
+  double energy_nj = 13.0;         // base energy per execution
+};
+
+class CostModel {
+ public:
+  // Default table tuned for a 50 MHz LEON3-like core without caches.
+  CostModel();
+
+  const OpCost& of(isa::Op op) const {
+    return table_[static_cast<std::size_t>(op)];
+  }
+  OpCost& of(isa::Op op) { return table_[static_cast<std::size_t>(op)]; }
+
+  // SDRAM behaviour: extra cycles / energy on a row miss.
+  std::uint32_t row_miss_cycles() const { return 4; }
+  double row_miss_energy_nj() const { return 18.0; }
+  std::uint32_t row_bits() const { return 10; }  // 1 KiB open row
+
+  // Cache-enabled behaviour (extension): a hit shrinks a memory access to
+  // the pipeline minimum, a miss pays the full SDRAM access.
+  std::uint32_t cache_hit_cycles() const { return 3; }
+  double cache_hit_energy_nj() const { return 18.0; }
+
+ private:
+  std::array<OpCost, isa::kOpCount> table_;
+};
+
+}  // namespace nfp::board

@@ -1,0 +1,178 @@
+#include "board/monitor.h"
+
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+#include "isa/disasm.h"
+#include "isa/names.h"
+
+namespace nfp::board {
+namespace {
+
+std::vector<std::string> split(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string word;
+  while (in >> word) out.push_back(word);
+  return out;
+}
+
+std::uint64_t parse_u64(const std::string& text, std::uint64_t fallback) {
+  char* end = nullptr;
+  const auto v = std::strtoull(text.c_str(), &end, 0);
+  return end == text.c_str() ? fallback : v;
+}
+
+std::string hex32(std::uint32_t v) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string DebugMonitor::command(const std::string& line) {
+  const auto words = split(line);
+  if (words.empty()) return "";
+  const std::string& cmd = words[0];
+  const auto arg = [&](std::size_t i, std::uint64_t fallback) {
+    return i < words.size() ? parse_u64(words[i], fallback) : fallback;
+  };
+
+  if (cmd == "reg") return cmd_reg();
+  if (cmd == "freg") return cmd_freg();
+  if (cmd == "dis") {
+    return cmd_dis(static_cast<std::uint32_t>(arg(1, board_.cpu().pc)),
+                   static_cast<int>(arg(2, 8)));
+  }
+  if (cmd == "mem") {
+    if (words.size() < 2) return "usage: mem <addr> [words]";
+    return cmd_mem(static_cast<std::uint32_t>(arg(1, 0)),
+                   static_cast<int>(arg(2, 8)));
+  }
+  if (cmd == "step") return cmd_step(arg(1, 1));
+  if (cmd == "run") return cmd_run(arg(1, Board::kDefaultMaxInsns));
+  if (cmd == "break") {
+    if (words.size() < 2) return "usage: break <addr>";
+    breakpoints_.insert(static_cast<std::uint32_t>(arg(1, 0)));
+    return "breakpoint set at " +
+           hex32(static_cast<std::uint32_t>(arg(1, 0)));
+  }
+  if (cmd == "delete") {
+    if (words.size() < 2) return "usage: delete <addr>";
+    breakpoints_.erase(static_cast<std::uint32_t>(arg(1, 0)));
+    return "breakpoint removed";
+  }
+  if (cmd == "info") return cmd_info();
+  if (cmd == "help") {
+    return "commands: reg freg dis mem step run break delete info help";
+  }
+  return "unknown command '" + cmd + "' (try: help)";
+}
+
+std::string DebugMonitor::cmd_reg() const {
+  const auto& cpu = board_.cpu();
+  std::string out;
+  for (int i = 0; i < 32; ++i) {
+    out += isa::reg_name(static_cast<std::uint8_t>(i)) + " " +
+           hex32(cpu.r[i]) + ((i % 4 == 3) ? "\n" : "  ");
+  }
+  out += "pc " + hex32(cpu.pc) + "  npc " + hex32(cpu.npc) + "  y " +
+         hex32(cpu.y) + "\n";
+  out += std::string("icc: ") + (cpu.icc_n ? "N" : "n") +
+         (cpu.icc_z ? "Z" : "z") + (cpu.icc_v ? "V" : "v") +
+         (cpu.icc_c ? "C" : "c") +
+         (cpu.halted ? "  [halted]" : "") + "\n";
+  return out;
+}
+
+std::string DebugMonitor::cmd_freg() const {
+  const auto& cpu = board_.cpu();
+  std::string out;
+  for (int i = 0; i < 32; i += 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%%f%-2d %-22.17g%s", i, cpu.read_d(
+        static_cast<std::uint8_t>(i)), (i % 8 == 6) ? "\n" : "  ");
+    out += buf;
+  }
+  return out;
+}
+
+std::string DebugMonitor::cmd_dis(std::uint32_t addr, int count) {
+  std::string out;
+  for (int i = 0; i < count; ++i) {
+    const std::uint32_t pc = addr + static_cast<std::uint32_t>(i) * 4;
+    std::uint32_t word;
+    try {
+      word = board_.bus().load32(pc);
+    } catch (const sim::SimError&) {
+      out += hex32(pc) + "  <unmapped>\n";
+      continue;
+    }
+    const char marker = pc == board_.cpu().pc ? '>' : ' ';
+    out += std::string(1, marker) + " " + hex32(pc) + "  " +
+           isa::disassemble_word(word, pc) + "\n";
+  }
+  return out;
+}
+
+std::string DebugMonitor::cmd_mem(std::uint32_t addr, int words) {
+  std::string out;
+  for (int i = 0; i < words; ++i) {
+    const std::uint32_t a = addr + static_cast<std::uint32_t>(i) * 4;
+    if (i % 4 == 0) out += hex32(a) + ":";
+    try {
+      out += " " + hex32(board_.bus().load32(a));
+    } catch (const sim::SimError&) {
+      out += " <unmapped>";
+    }
+    if (i % 4 == 3) out += "\n";
+  }
+  if (words % 4 != 0) out += "\n";
+  return out;
+}
+
+std::string DebugMonitor::cmd_step(std::uint64_t count) {
+  for (std::uint64_t i = 0; i < count && !board_.cpu().halted; ++i) {
+    board_.step();
+  }
+  return cmd_dis(board_.cpu().pc, 1);
+}
+
+std::string DebugMonitor::cmd_run(std::uint64_t max_insns) {
+  std::uint64_t executed = 0;
+  while (!board_.cpu().halted && executed < max_insns) {
+    board_.step();
+    ++executed;
+    if (breakpoints_.count(board_.cpu().pc)) {
+      return "breakpoint hit at " + hex32(board_.cpu().pc) + " after " +
+             std::to_string(executed) + " instructions\n" +
+             cmd_dis(board_.cpu().pc, 1);
+    }
+  }
+  if (board_.cpu().halted) {
+    return "halted with exit code " +
+           std::to_string(board_.cpu().exit_code) + "\n";
+  }
+  return "stopped after " + std::to_string(executed) + " instructions\n";
+}
+
+std::string DebugMonitor::cmd_info() const {
+  char buf[256];
+  const auto& stats = board_.stats();
+  std::snprintf(buf, sizeof buf,
+                "instret %llu  cycles %llu  time %.6f s  energy %.3f uJ\n"
+                "loads %llu  row misses %llu  branches %llu taken / %llu "
+                "untaken\n",
+                static_cast<unsigned long long>(board_.cpu().instret),
+                static_cast<unsigned long long>(board_.cycles()),
+                board_.true_time_s(), board_.true_energy_nj() * 1e-3,
+                static_cast<unsigned long long>(stats.loads),
+                static_cast<unsigned long long>(stats.row_misses),
+                static_cast<unsigned long long>(stats.branches_taken),
+                static_cast<unsigned long long>(stats.branches_untaken));
+  return buf;
+}
+
+}  // namespace nfp::board

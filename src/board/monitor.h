@@ -1,0 +1,49 @@
+// Debug monitor for the measurement board — the GRMON analog the paper used
+// to control the FPGA test stand. Text-command interface for scripted debug
+// sessions, examples and tests.
+//
+// Commands:
+//   reg                 dump integer registers, pc/npc, condition codes
+//   freg                dump FPU registers as doubles
+//   dis [addr] [n]      disassemble n instructions (default: at pc, 8)
+//   mem <addr> [n]      hex-dump n words (default 8)
+//   step [n]            execute n instructions (default 1)
+//   run [max]           run until halt, breakpoint, or max instructions
+//   break <addr>        set a breakpoint
+//   delete <addr>       remove a breakpoint
+//   info                cycles, energy, instret, memory-system statistics
+//   help                command list
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+
+#include "board/board.h"
+
+namespace nfp::board {
+
+class DebugMonitor {
+ public:
+  explicit DebugMonitor(Board& board) : board_(board) {}
+
+  // Executes one command line; returns the monitor's textual response.
+  // Unknown commands return an error string (never throws for bad input).
+  std::string command(const std::string& line);
+
+  const std::set<std::uint32_t>& breakpoints() const { return breakpoints_; }
+
+ private:
+  std::string cmd_reg() const;
+  std::string cmd_freg() const;
+  std::string cmd_dis(std::uint32_t addr, int count);
+  std::string cmd_mem(std::uint32_t addr, int words);
+  std::string cmd_step(std::uint64_t count);
+  std::string cmd_run(std::uint64_t max_insns);
+  std::string cmd_info() const;
+
+  Board& board_;
+  std::set<std::uint32_t> breakpoints_;
+};
+
+}  // namespace nfp::board

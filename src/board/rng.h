@@ -1,0 +1,55 @@
+// Deterministic, platform-independent random utilities for the board's
+// measurement noise. Distribution sampling is implemented by hand (rather
+// than <random> distributions) so results are bit-identical everywhere.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <string_view>
+
+namespace nfp::board {
+
+// SplitMix64: tiny, high-quality PRNG.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    std::uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  // Standard normal via Box-Muller (deterministic, portable).
+  double gaussian() {
+    double u1 = uniform();
+    if (u1 < 1e-300) u1 = 1e-300;
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+// FNV-1a hash for deriving per-kernel noise seeds from kernel tags.
+constexpr std::uint64_t fnv1a(std::string_view text,
+                              std::uint64_t seed = 0xCBF29CE484222325ull) {
+  std::uint64_t h = seed;
+  for (const char c : text) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+}  // namespace nfp::board

@@ -1,0 +1,55 @@
+// Bit-level writer for the MVC bitstream (MSB-first; matches the Micro-C
+// decoder's bit reader).
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace nfp::codec {
+
+class BitWriter {
+ public:
+  void bit(int b) {
+    if (bit_index_ == 0) bytes_.push_back(0);
+    if (b) {
+      bytes_.back() |= static_cast<std::uint8_t>(1u << (7 - bit_index_));
+    }
+    bit_index_ = (bit_index_ + 1) & 7;
+  }
+
+  void bits(std::uint32_t value, int count) {
+    for (int i = count - 1; i >= 0; --i) bit((value >> i) & 1u);
+  }
+
+  // Unsigned Exp-Golomb.
+  void ue(std::uint32_t v) {
+    const std::uint32_t u = v + 1;
+    int n = 0;
+    while ((1u << (n + 1)) <= u) ++n;  // n = floor(log2(u))
+    for (int i = 0; i < n; ++i) bit(0);
+    bits(u, n + 1);
+  }
+
+  // Signed Exp-Golomb: 0, 1, -1, 2, -2, ...
+  void se(std::int32_t v) {
+    if (v == 0) {
+      ue(0);
+    } else if (v > 0) {
+      ue(static_cast<std::uint32_t>(2 * v - 1));
+    } else {
+      ue(static_cast<std::uint32_t>(-2 * v));
+    }
+  }
+
+  const std::vector<std::uint8_t>& bytes() const { return bytes_; }
+  std::size_t bit_count() const {
+    return bytes_.size() * 8 - (bit_index_ == 0 ? 0 : 8 - bit_index_);
+  }
+
+ private:
+  std::vector<std::uint8_t> bytes_;
+  int bit_index_ = 0;
+};
+
+}  // namespace nfp::codec

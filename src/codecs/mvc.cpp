@@ -1,0 +1,335 @@
+#include "codecs/mvc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "codecs/bitio.h"
+
+// Host build of the Micro-C decoder: supplies the reconstruction primitives
+// (inverse transform, dequant, prediction, deblock) and the golden decoder.
+namespace nfp::codec::mvcdec {
+#include "workloads/mc_shims.h"
+#include "workloads/mc/mvc_dec.c"
+}  // namespace nfp::codec::mvcdec
+
+namespace nfp::codec {
+namespace {
+
+constexpr int kBlock = 8;
+
+void append_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+// Forward 8x8 transform: coeff = T * block * T^t with HEVC shifts
+// (inverse lives in the Micro-C decoder).
+void fdct8(const int* block, int* coeff) {
+  int tmp[64];
+  for (int i = 0; i < 8; ++i) {
+    for (int k = 0; k < 8; ++k) {
+      int acc = 0;
+      for (int m = 0; m < 8; ++m) {
+        acc += mvcdec::mvc_t8[i * 8 + m] * block[m * 8 + k];
+      }
+      tmp[i * 8 + k] = (acc + 2) >> 2;
+    }
+  }
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 8; ++j) {
+      int acc = 0;
+      for (int k = 0; k < 8; ++k) {
+        acc += tmp[i * 8 + k] * mvcdec::mvc_t8[j * 8 + k];
+      }
+      coeff[i * 8 + j] = (acc + 256) >> 9;
+    }
+  }
+}
+
+int quantize(int coeff, int qp) {
+  const int qstep = mvcdec::mvc_qstep_q4[qp];
+  const int sign = coeff < 0 ? -1 : 1;
+  const int mag = coeff < 0 ? -coeff : coeff;
+  // Dead-zone quantiser: offset of qstep/3.
+  return sign * (((mag << 4) + qstep / 3) / qstep);
+}
+
+struct ResidualCode {
+  int levels[64] = {};  // quantised levels in zigzag order
+  int last = 0;         // number of zigzag positions to scan
+  bool coded = false;
+};
+
+ResidualCode code_residual(const int* spatial, int qp) {
+  int coeff[64];
+  fdct8(spatial, coeff);
+  ResidualCode rc;
+  for (int i = 0; i < 64; ++i) {
+    const int level = quantize(coeff[mvcdec::mvc_zigzag[i]], qp);
+    rc.levels[i] = level;
+    if (level != 0) rc.last = i + 1;
+  }
+  rc.coded = rc.last > 0;
+  return rc;
+}
+
+void write_residual(BitWriter& bw, const ResidualCode& rc) {
+  bw.bit(rc.coded ? 1 : 0);
+  if (!rc.coded) return;
+  bw.ue(static_cast<std::uint32_t>(rc.last));
+  for (int i = 0; i < rc.last; ++i) {
+    const int level = rc.levels[i];
+    if (level == 0) {
+      bw.bit(0);
+      continue;
+    }
+    bw.bit(1);
+    bw.ue(static_cast<std::uint32_t>((level < 0 ? -level : level) - 1));
+    bw.bit(level < 0 ? 1 : 0);
+  }
+}
+
+// Reconstructs a residual exactly as the decoder will (dequant + idct).
+void reconstruct_residual(const ResidualCode& rc, int qp, int* res) {
+  int coeff[64] = {};
+  for (int i = 0; i < rc.last; ++i) {
+    if (rc.levels[i] != 0) {
+      coeff[mvcdec::mvc_zigzag[i]] = mvcdec::mvc_dequant(rc.levels[i], qp);
+    }
+  }
+  if (rc.coded) {
+    mvcdec::mvc_idct8(coeff, res);
+  } else {
+    for (int i = 0; i < 64; ++i) res[i] = 0;
+  }
+}
+
+int sad_block(const std::uint8_t* orig, int width, int bx, int by,
+              const int* pred) {
+  int sad = 0;
+  for (int y = 0; y < kBlock; ++y) {
+    for (int x = 0; x < kBlock; ++x) {
+      const int d = orig[(by + y) * width + bx + x] - pred[y * 8 + x];
+      sad += d < 0 ? -d : d;
+    }
+  }
+  return sad;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> EncodedStream::to_input_blob() const {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(28 + payload.size());
+  append_be32(blob, kMvcMagic);
+  append_be32(blob, static_cast<std::uint32_t>(width));
+  append_be32(blob, static_cast<std::uint32_t>(height));
+  append_be32(blob, static_cast<std::uint32_t>(frames));
+  append_be32(blob, static_cast<std::uint32_t>(qp));
+  append_be32(blob, static_cast<std::uint32_t>(config));
+  append_be32(blob, static_cast<std::uint32_t>(payload.size()));
+  blob.insert(blob.end(), payload.begin(), payload.end());
+  return blob;
+}
+
+EncodeResult encode(const std::vector<Frame>& frames, int width, int height,
+                    int qp, Config config) {
+  if (width % kBlock || height % kBlock || width > 64 || height > 64) {
+    throw std::invalid_argument("mvc: bad dimensions");
+  }
+  if (qp < 0 || qp > 51) throw std::invalid_argument("mvc: bad qp");
+  for (const Frame& f : frames) {
+    if (static_cast<int>(f.size()) != width * height) {
+      throw std::invalid_argument("mvc: bad frame size");
+    }
+  }
+
+  BitWriter bw;
+  Frame recon_prev(static_cast<std::size_t>(width) * height, 0);
+  Frame recon_cur(static_cast<std::size_t>(width) * height, 0);
+  EncodeResult result;
+
+  for (int f = 0; f < static_cast<int>(frames.size()); ++f) {
+    const std::uint8_t* orig = frames[f].data();
+    const bool intra_frame =
+        config == Config::kIntra || f == 0 ||
+        (config == Config::kRandomaccess && f % 4 == 0);
+    bw.bit(intra_frame ? 1 : 0);
+
+    for (int by = 0; by < height; by += kBlock) {
+      for (int bx = 0; bx < width; bx += kBlock) {
+        int pred[64];
+        int orig_block[64];
+        for (int y = 0; y < kBlock; ++y) {
+          for (int x = 0; x < kBlock; ++x) {
+            orig_block[y * 8 + x] = orig[(by + y) * width + bx + x];
+          }
+        }
+
+        bool with_residual = true;
+        if (intra_frame) {
+          // Pick the intra mode with the smallest SAD.
+          int best_mode = 0;
+          int best_sad = std::numeric_limits<int>::max();
+          int best_pred[64];
+          for (int mode = 0; mode < 4; ++mode) {
+            mvcdec::mvc_intra_pred(recon_cur.data(), width, bx, by, mode,
+                                   pred);
+            const int sad = sad_block(orig, width, bx, by, pred);
+            if (sad < best_sad) {
+              best_sad = sad;
+              best_mode = mode;
+              std::copy(pred, pred + 64, best_pred);
+            }
+          }
+          bw.bits(static_cast<std::uint32_t>(best_mode), 2);
+          std::copy(best_pred, best_pred + 64, pred);
+        } else {
+          // Candidate 0: skip (zero MV, no residual).
+          int zero_pred[64];
+          mvcdec::mvc_motion_comp(recon_prev.data(), width, height, bx, by,
+                                  0, 0, zero_pred);
+          const int sad0 = sad_block(orig, width, bx, by, zero_pred);
+
+          // Candidate 1: motion search (full search, +-4 full-pel).
+          int best_mvx = 0, best_mvy = 0;
+          int best_sad = std::numeric_limits<int>::max();
+          int mv_pred[64];
+          for (int mvy = -4; mvy <= 4; ++mvy) {
+            for (int mvx = -4; mvx <= 4; ++mvx) {
+              int cand[64];
+              mvcdec::mvc_motion_comp(recon_prev.data(), width, height, bx,
+                                      by, mvx, mvy, cand);
+              const int sad = sad_block(orig, width, bx, by, cand) +
+                              2 * (std::abs(mvx) + std::abs(mvy));
+              if (sad < best_sad) {
+                best_sad = sad;
+                best_mvx = mvx;
+                best_mvy = mvy;
+                std::copy(cand, cand + 64, mv_pred);
+              }
+            }
+          }
+
+          // Candidate 2: best intra mode.
+          int best_imode = 0;
+          int best_isad = std::numeric_limits<int>::max();
+          int intra_pred[64];
+          for (int mode = 0; mode < 4; ++mode) {
+            int cand[64];
+            mvcdec::mvc_intra_pred(recon_cur.data(), width, bx, by, mode,
+                                   cand);
+            const int sad = sad_block(orig, width, bx, by, cand);
+            if (sad < best_isad) {
+              best_isad = sad;
+              best_imode = mode;
+              std::copy(cand, cand + 64, intra_pred);
+            }
+          }
+
+          // Candidate 3 (lowdelay only): two-hypothesis average of the
+          // best MV and the zero MV.
+          int bi_pred[64];
+          int bi_sad = std::numeric_limits<int>::max();
+          if (config == Config::kLowdelay) {
+            for (int i = 0; i < 64; ++i) {
+              bi_pred[i] = (mv_pred[i] + zero_pred[i] + 1) >> 1;
+            }
+            bi_sad = sad_block(orig, width, bx, by, bi_pred) + 6;
+          }
+
+          if (sad0 <= 96) {
+            bw.bits(0, 2);  // skip
+            std::copy(zero_pred, zero_pred + 64, pred);
+            with_residual = false;
+          } else if (bi_sad < best_sad && bi_sad < best_isad + 32) {
+            bw.bits(3, 2);
+            bw.se(best_mvx);
+            bw.se(best_mvy);
+            bw.se(0);
+            bw.se(0);
+            std::copy(bi_pred, bi_pred + 64, pred);
+          } else if (best_sad <= best_isad + 32) {
+            bw.bits(1, 2);
+            bw.se(best_mvx);
+            bw.se(best_mvy);
+            std::copy(mv_pred, mv_pred + 64, pred);
+          } else {
+            bw.bits(2, 2);
+            bw.bits(static_cast<std::uint32_t>(best_imode), 2);
+            std::copy(intra_pred, intra_pred + 64, pred);
+          }
+        }
+
+        int res[64] = {};
+        if (with_residual) {
+          int diff[64];
+          for (int i = 0; i < 64; ++i) diff[i] = orig_block[i] - pred[i];
+          const ResidualCode rc = code_residual(diff, qp);
+          write_residual(bw, rc);
+          reconstruct_residual(rc, qp, res);
+        }
+        for (int y = 0; y < kBlock; ++y) {
+          for (int x = 0; x < kBlock; ++x) {
+            recon_cur[(by + y) * width + bx + x] =
+                static_cast<std::uint8_t>(
+                    mvcdec::mvc_clip255(pred[y * 8 + x] + res[y * 8 + x]));
+          }
+        }
+      }
+    }
+    mvcdec::mvc_deblock(recon_cur.data(), width, height, qp);
+    result.reconstruction.push_back(recon_cur);
+    recon_prev = recon_cur;
+  }
+
+  result.stream.width = width;
+  result.stream.height = height;
+  result.stream.frames = static_cast<int>(frames.size());
+  result.stream.qp = qp;
+  result.stream.config = config;
+  result.stream.payload = bw.bytes();
+  return result;
+}
+
+DecodeResult golden_decode(const EncodedStream& stream) {
+  DecodeResult out;
+  const std::size_t frame_size =
+      static_cast<std::size_t>(stream.width) * stream.height;
+  std::vector<std::uint8_t> buffer(frame_size * stream.frames);
+  std::vector<std::uint8_t> payload = stream.payload;
+  double stats[2] = {0.0, 0.0};
+  out.status = mvcdec::mvc_decode(
+      payload.data(), static_cast<int>(payload.size()), stream.width,
+      stream.height, stream.frames, stream.qp, buffer.data(), stats);
+  out.rms_activity = stats[0];
+  out.elapsed_s = stats[1];
+  for (int f = 0; f < stream.frames; ++f) {
+    out.frames.emplace_back(buffer.begin() + f * frame_size,
+                            buffer.begin() + (f + 1) * frame_size);
+  }
+  return out;
+}
+
+int dequant_probe(int level, int qp) {
+  return mvcdec::mvc_dequant(level, qp);
+}
+
+double psnr(const Frame& a, const Frame& b) {
+  double sse = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sse += d * d;
+  }
+  const double mse = sse / static_cast<double>(a.size());
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace nfp::codec

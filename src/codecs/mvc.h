@@ -1,0 +1,76 @@
+// MVC mini video codec: host-side encoder and golden decoder, the HM
+// reference software stand-in of the evaluation (Section VI-A).
+//
+// The encoder's reconstruction loop calls the exact primitives of the
+// Micro-C decoder (src/workloads/mc/mvc_dec.c, host-compiled), so encoder
+// reconstruction and decoder output are bit-identical by construction.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfp::codec {
+
+// The paper's four encoding configurations.
+enum class Config : std::uint8_t {
+  kIntra = 0,        // all-intra
+  kLowdelay = 1,     // IPPP with two-hypothesis ("bipred") blocks allowed
+  kLowdelayP = 2,    // IPPP, single hypothesis only
+  kRandomaccess = 3, // intra refresh every 4th frame
+};
+
+inline const char* to_string(Config c) {
+  switch (c) {
+    case Config::kIntra: return "intra";
+    case Config::kLowdelay: return "lowdelay";
+    case Config::kLowdelayP: return "lowdelay_P";
+    case Config::kRandomaccess: return "randomaccess";
+  }
+  return "?";
+}
+
+inline constexpr std::uint32_t kMvcMagic = 0x4D564331;  // "MVC1"
+
+using Frame = std::vector<std::uint8_t>;  // width*height luma samples
+
+struct EncodedStream {
+  int width = 0;
+  int height = 0;
+  int frames = 0;
+  int qp = 0;
+  Config config = Config::kIntra;
+  std::vector<std::uint8_t> payload;
+
+  // Serialises header + payload in the target's input-window layout
+  // (seven big-endian words, then payload bytes).
+  std::vector<std::uint8_t> to_input_blob() const;
+};
+
+struct EncodeResult {
+  EncodedStream stream;
+  std::vector<Frame> reconstruction;  // encoder-side recon (closed loop)
+};
+
+// Encodes a sequence. Frames must all be width*height, with width/height
+// multiples of 8 and at most 64.
+EncodeResult encode(const std::vector<Frame>& frames, int width, int height,
+                    int qp, Config config);
+
+struct DecodeResult {
+  std::vector<Frame> frames;
+  double rms_activity = 0.0;
+  double elapsed_s = 0.0;
+  int status = 0;
+};
+
+// Golden decoder: the host-compiled Micro-C decoder.
+DecodeResult golden_decode(const EncodedStream& stream);
+
+double psnr(const Frame& a, const Frame& b);
+
+// Exposes the Micro-C decoder's dequantiser (tests pin the QP table to the
+// documented formula round(16 * 2^((qp-4)/6)) through it).
+int dequant_probe(int level, int qp);
+
+}  // namespace nfp::codec

@@ -1,0 +1,106 @@
+#include "codecs/sequence_gen.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "board/rng.h"
+
+namespace nfp::codec {
+namespace {
+
+std::uint8_t clip_pixel(double v) {
+  if (v < 0.0) return 0;
+  if (v > 255.0) return 255;
+  return static_cast<std::uint8_t>(v + 0.5);
+}
+
+}  // namespace
+
+std::vector<Frame> make_sequence(int width, int height, int frames,
+                                 SequenceKind kind, std::uint64_t seed) {
+  board::SplitMix64 rng(seed ^ 0xC0DEC0DEC0DEC0DEull);
+  std::vector<Frame> out;
+  out.reserve(static_cast<std::size_t>(frames));
+
+  switch (kind) {
+    case SequenceKind::kMovingGradient: {
+      const double gx = 1.0 + rng.uniform() * 2.0;
+      const double gy = 1.0 + rng.uniform() * 2.0;
+      const double vx = 1.5 + rng.uniform() * 2.0;  // pixels per frame
+      const double vy = 0.5 + rng.uniform();
+      for (int f = 0; f < frames; ++f) {
+        Frame frame(static_cast<std::size_t>(width) * height);
+        for (int y = 0; y < height; ++y) {
+          for (int x = 0; x < width; ++x) {
+            const double v =
+                90.0 + gx * (x + vx * f) + gy * (y + vy * f) +
+                25.0 * std::sin((x + vx * f) * 0.21);
+            frame[static_cast<std::size_t>(y) * width + x] = clip_pixel(v);
+          }
+        }
+        out.push_back(std::move(frame));
+      }
+      return out;
+    }
+    case SequenceKind::kBouncingBlocks: {
+      struct Box {
+        double x, y, vx, vy;
+        int size;
+        int value;
+      };
+      std::vector<Box> boxes;
+      for (int b = 0; b < 3; ++b) {
+        boxes.push_back({rng.uniform() * (width - 12),
+                         rng.uniform() * (height - 12),
+                         1.0 + rng.uniform() * 2.5, 1.0 + rng.uniform() * 2.5,
+                         8 + static_cast<int>(rng.next() % 8),
+                         60 + static_cast<int>(rng.next() % 160)});
+      }
+      for (int f = 0; f < frames; ++f) {
+        Frame frame(static_cast<std::size_t>(width) * height, 40);
+        for (auto& box : boxes) {
+          const int x0 = static_cast<int>(box.x);
+          const int y0 = static_cast<int>(box.y);
+          for (int y = y0; y < y0 + box.size && y < height; ++y) {
+            for (int x = x0; x < x0 + box.size && x < width; ++x) {
+              if (x >= 0 && y >= 0) {
+                frame[static_cast<std::size_t>(y) * width + x] =
+                    static_cast<std::uint8_t>(box.value);
+              }
+            }
+          }
+          box.x += box.vx;
+          box.y += box.vy;
+          if (box.x < 0 || box.x + box.size >= width) box.vx = -box.vx;
+          if (box.y < 0 || box.y + box.size >= height) box.vy = -box.vy;
+        }
+        out.push_back(std::move(frame));
+      }
+      return out;
+    }
+    case SequenceKind::kPanningTexture: {
+      const double fx = 0.5 + rng.uniform() * 1.5;
+      const double fy = 0.5 + rng.uniform() * 1.5;
+      const double pan = 2.0 + rng.uniform() * 2.0;
+      for (int f = 0; f < frames; ++f) {
+        Frame frame(static_cast<std::size_t>(width) * height);
+        for (int y = 0; y < height; ++y) {
+          for (int x = 0; x < width; ++x) {
+            const double u = x + pan * f;
+            const double v =
+                128.0 +
+                45.0 * std::sin(2.0 * std::numbers::pi * fx * u / width) *
+                    std::cos(2.0 * std::numbers::pi * fy * y / height) +
+                20.0 * std::sin(0.9 * u + 0.7 * y);
+            frame[static_cast<std::size_t>(y) * width + x] = clip_pixel(v);
+          }
+        }
+        out.push_back(std::move(frame));
+      }
+      return out;
+    }
+  }
+  return out;
+}
+
+}  // namespace nfp::codec

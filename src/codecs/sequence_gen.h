@@ -1,0 +1,22 @@
+// Synthetic raw video sequences, standing in for the paper's three input
+// sequences. Three motion characters: a moving smooth gradient, bouncing
+// rectangles, and a panning sinusoid texture.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "codecs/mvc.h"
+
+namespace nfp::codec {
+
+enum class SequenceKind : int {
+  kMovingGradient = 0,
+  kBouncingBlocks = 1,
+  kPanningTexture = 2,
+};
+
+std::vector<Frame> make_sequence(int width, int height, int frames,
+                                 SequenceKind kind, std::uint64_t seed);
+
+}  // namespace nfp::codec

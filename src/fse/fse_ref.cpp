@@ -1,0 +1,201 @@
+#include "fse/fse_ref.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace nfp::fse {
+namespace {
+
+using cd = std::complex<double>;
+
+// Binary exponentiation with an integer exponent: the exact operation
+// sequence the target implementation uses, so weights match bit-for-bit.
+double ipow(double base, int e) {
+  double result = 1.0;
+  double p = base;
+  while (e > 0) {
+    if (e & 1) result *= p;
+    p *= p;
+    e >>= 1;
+  }
+  return result;
+}
+
+std::vector<double> build_weights(const std::vector<int>& mask, int n,
+                                  double rho) {
+  std::vector<double> w(static_cast<std::size_t>(n) * n, 0.0);
+  // Isotropic decay rho^(d^2) evaluated on the doubled lattice so the
+  // exponent stays integral: rho^(d2q/4) with d2q = (2x-n+1)^2+(2y-n+1)^2.
+  const double rho_q = std::sqrt(std::sqrt(rho));
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      const std::size_t i = static_cast<std::size_t>(y) * n + x;
+      if (mask[i]) continue;
+      const int dx = 2 * x - (n - 1);
+      const int dy = 2 * y - (n - 1);
+      w[i] = ipow(rho_q, dx * dx + dy * dy);
+    }
+  }
+  return w;
+}
+
+struct FseState {
+  int n;
+  std::vector<cd> big_w;  // FFT2 of weights
+  std::vector<cd> r;      // weighted residual spectrum
+  std::vector<cd> g;      // model coefficient spectrum
+  double w0;              // sum of weights (DC of big_w)
+};
+
+FseState init(const std::vector<double>& signal, const std::vector<int>& mask,
+              const FseParams& p) {
+  const int n = p.n;
+  const std::size_t area = static_cast<std::size_t>(n) * n;
+  if (signal.size() != area || mask.size() != area) {
+    throw std::invalid_argument("fse: signal/mask size mismatch");
+  }
+  const auto w = build_weights(mask, n, p.rho);
+  FseState st;
+  st.n = n;
+  st.big_w.assign(area, cd{});
+  st.r.assign(area, cd{});
+  st.g.assign(area, cd{});
+  st.w0 = 0.0;
+  for (std::size_t i = 0; i < area; ++i) {
+    st.big_w[i] = cd(w[i], 0.0);
+    st.r[i] = cd(w[i] * signal[i], 0.0);
+    st.w0 += w[i];
+  }
+  if (st.w0 <= 0.0) throw std::invalid_argument("fse: empty weight support");
+  fft2_inplace(st.big_w, n, false);
+  fft2_inplace(st.r, n, false);
+  return st;
+}
+
+// One basis selection + residual spectrum update. Returns the selected
+// residual energy before the update.
+double iterate(FseState& st, double gamma) {
+  const int n = st.n;
+  const std::size_t area = static_cast<std::size_t>(n) * n;
+  std::size_t best = 0;
+  double best_e = -1.0;
+  for (std::size_t k = 0; k < area; ++k) {
+    const double e = std::norm(st.r[k]);
+    if (e > best_e) {
+      best_e = e;
+      best = k;
+    }
+  }
+  const cd dc = st.r[best] * (gamma / st.w0);
+  st.g[best] += dc;
+  const int bx = static_cast<int>(best) % n;
+  const int by = static_cast<int>(best) / n;
+  for (int ky = 0; ky < n; ++ky) {
+    const int sy = (ky - by + n) % n;
+    for (int kx = 0; kx < n; ++kx) {
+      const int sx = (kx - bx + n) % n;
+      st.r[static_cast<std::size_t>(ky) * n + kx] -=
+          dc * st.big_w[static_cast<std::size_t>(sy) * n + sx];
+    }
+  }
+  return best_e;
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<cd>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (n == 0 || (n & (n - 1)) != 0) {
+    throw std::invalid_argument("fft: size must be a power of two");
+  }
+  // Bit reversal.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle =
+        (inverse ? 2.0 : -2.0) * std::numbers::pi / static_cast<double>(len);
+    const cd wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      cd w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cd u = data[i + k];
+        const cd v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  // Unscaled in both directions (matches the target implementation; the
+  // model evaluation absorbs the 1/N^2).
+}
+
+void fft2_inplace(std::vector<cd>& data, int n, bool inverse) {
+  if (data.size() != static_cast<std::size_t>(n) * n) {
+    throw std::invalid_argument("fft2: bad size");
+  }
+  std::vector<cd> line(static_cast<std::size_t>(n));
+  for (int y = 0; y < n; ++y) {
+    line.assign(data.begin() + static_cast<std::ptrdiff_t>(y) * n,
+                data.begin() + static_cast<std::ptrdiff_t>(y + 1) * n);
+    fft_inplace(line, inverse);
+    std::copy(line.begin(), line.end(),
+              data.begin() + static_cast<std::ptrdiff_t>(y) * n);
+  }
+  for (int x = 0; x < n; ++x) {
+    for (int y = 0; y < n; ++y) line[y] = data[static_cast<std::size_t>(y) * n + x];
+    fft_inplace(line, inverse);
+    for (int y = 0; y < n; ++y) data[static_cast<std::size_t>(y) * n + x] = line[y];
+  }
+}
+
+std::vector<double> extrapolate(const std::vector<double>& signal,
+                                const std::vector<int>& mask,
+                                const FseParams& params) {
+  FseState st = init(signal, mask, params);
+  for (int it = 0; it < params.iterations; ++it) iterate(st, params.gamma);
+  // Evaluate the model: unscaled inverse FFT of the coefficient spectrum
+  // yields g[x] = sum_k c_k exp(+j 2 pi k x / N) directly.
+  std::vector<cd> model = st.g;
+  fft2_inplace(model, st.n, true);
+  std::vector<double> out(signal);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (mask[i]) out[i] = model[i].real();
+  }
+  return out;
+}
+
+std::vector<double> residual_energy_trace(const std::vector<double>& signal,
+                                          const std::vector<int>& mask,
+                                          const FseParams& params) {
+  // Traces the functional FSE minimises: the weighted spatial residual
+  // error  E = sum_x w[x] (f[x] - model[x])^2 . Each iteration performs a
+  // gamma-damped line step along one basis function in the weighted inner
+  // product space, so E is non-increasing for gamma in (0, 2).
+  FseState st = init(signal, mask, params);
+  const auto w = build_weights(mask, params.n, params.rho);
+  const std::size_t area = w.size();
+  std::vector<double> trace;
+  trace.reserve(static_cast<std::size_t>(params.iterations) + 1);
+  for (int it = 0; it <= params.iterations; ++it) {
+    std::vector<cd> model = st.g;
+    fft2_inplace(model, st.n, true);  // unscaled inverse: sum_k c_k e^{+j..}
+    double energy = 0.0;
+    for (std::size_t i = 0; i < area; ++i) {
+      // Complex-valued FSE: the model may carry imaginary parts until the
+      // conjugate-symmetric partner coefficients are selected.
+      const cd r = cd(signal[i], 0.0) - model[i];
+      energy += w[i] * std::norm(r);
+    }
+    trace.push_back(energy);
+    if (it < params.iterations) iterate(st, params.gamma);
+  }
+  return trace;
+}
+
+}  // namespace nfp::fse

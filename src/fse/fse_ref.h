@@ -1,0 +1,42 @@
+// Host reference implementation of complex-valued Frequency Selective
+// Extrapolation (Seiler & Kaup 2010/2011): the fast frequency-domain
+// variant that updates the weighted residual spectrum per iteration.
+//
+// Used as the algorithmic golden model for the Micro-C target
+// implementation (workloads/mc/fse.c) and for property tests. The paper's
+// isotropic rho^dist weighting is realised as rho^(dx^2+dy^2) so the
+// target build needs no exp/log, which preserves the isotropic decay
+// behaviour FSE requires.
+#pragma once
+
+#include <complex>
+#include <vector>
+
+namespace nfp::fse {
+
+struct FseParams {
+  int n = 16;            // FFT / block size (power of two)
+  int iterations = 48;   // basis selections
+  double rho = 0.90;     // weight decay
+  double gamma = 0.5;    // orthogonality deficiency compensation
+};
+
+// Extrapolates the masked samples of `signal` (n*n, row major).
+// mask[i] != 0 means sample i is missing. Returns the completed signal:
+// original samples kept, missing samples replaced by the model.
+std::vector<double> extrapolate(const std::vector<double>& signal,
+                                const std::vector<int>& mask,
+                                const FseParams& params = {});
+
+// Weighted residual energy after each iteration (for property tests:
+// must be non-increasing).
+std::vector<double> residual_energy_trace(const std::vector<double>& signal,
+                                          const std::vector<int>& mask,
+                                          const FseParams& params = {});
+
+// Reference FFT utilities (power-of-two size), exposed for tests.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse);
+void fft2_inplace(std::vector<std::complex<double>>& data, int n,
+                  bool inverse);
+
+}  // namespace nfp::fse

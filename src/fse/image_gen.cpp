@@ -1,0 +1,107 @@
+#include "fse/image_gen.h"
+
+#include <cmath>
+#include <numbers>
+
+#include "board/rng.h"
+
+namespace nfp::fse {
+
+std::vector<double> make_image(int n, std::uint64_t seed) {
+  board::SplitMix64 rng(seed * 0x9E3779B97F4A7C15ull + 0x1234);
+  // 2-4 sinusoid components + linear gradient + mild noise.
+  const int components = 2 + static_cast<int>(rng.next() % 3);
+  struct Wave {
+    double fx, fy, phase, amp;
+  };
+  std::vector<Wave> waves;
+  for (int c = 0; c < components; ++c) {
+    waves.push_back({
+        0.3 + rng.uniform() * 2.2,
+        0.3 + rng.uniform() * 2.2,
+        rng.uniform() * 2.0 * std::numbers::pi,
+        20.0 + rng.uniform() * 45.0,
+    });
+  }
+  const double gx = (rng.uniform() - 0.5) * 3.0;
+  const double gy = (rng.uniform() - 0.5) * 3.0;
+
+  std::vector<double> img(static_cast<std::size_t>(n) * n);
+  for (int y = 0; y < n; ++y) {
+    for (int x = 0; x < n; ++x) {
+      double v = 128.0 + gx * x + gy * y;
+      for (const Wave& w : waves) {
+        v += w.amp * std::sin(2.0 * std::numbers::pi *
+                                  (w.fx * x + w.fy * y) / n +
+                              w.phase);
+      }
+      v += (rng.uniform() - 0.5) * 4.0;  // sensor-like noise
+      if (v < 0.0) v = 0.0;
+      if (v > 255.0) v = 255.0;
+      img[static_cast<std::size_t>(y) * n + x] = v;
+    }
+  }
+  return img;
+}
+
+std::vector<int> make_mask(int n, std::uint64_t seed, MaskKind kind) {
+  board::SplitMix64 rng(seed ^ 0xABCDEF0123456789ull);
+  std::vector<int> mask(static_cast<std::size_t>(n) * n, 0);
+  switch (kind) {
+    case MaskKind::kBlock: {
+      const int bw = n / 4 + static_cast<int>(rng.next() % (n / 4));
+      const int bh = n / 4 + static_cast<int>(rng.next() % (n / 4));
+      const int x0 = static_cast<int>(rng.next() % (n - bw));
+      const int y0 = static_cast<int>(rng.next() % (n - bh));
+      for (int y = y0; y < y0 + bh; ++y) {
+        for (int x = x0; x < x0 + bw; ++x) {
+          mask[static_cast<std::size_t>(y) * n + x] = 1;
+        }
+      }
+      break;
+    }
+    case MaskKind::kStripes: {
+      const int period = 4 + static_cast<int>(rng.next() % 4);
+      const int offset = static_cast<int>(rng.next() % period);
+      const bool vertical = (rng.next() & 1) != 0;
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          const int c = vertical ? x : y;
+          if (c % period == offset) {
+            mask[static_cast<std::size_t>(y) * n + x] = 1;
+          }
+        }
+      }
+      break;
+    }
+    case MaskKind::kScatter: {
+      for (auto& m : mask) {
+        m = rng.uniform() < 0.18 ? 1 : 0;
+      }
+      break;
+    }
+  }
+  // Never lose everything (FSE needs support samples).
+  mask[0] = 0;
+  mask[mask.size() - 1] = 0;
+  return mask;
+}
+
+double masked_psnr(const std::vector<double>& want,
+                   const std::vector<double>& got,
+                   const std::vector<int>& mask) {
+  double sse = 0.0;
+  int count = 0;
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    if (!mask[i]) continue;
+    const double d = want[i] - got[i];
+    sse += d * d;
+    ++count;
+  }
+  if (count == 0) return 99.0;
+  const double mse = sse / count;
+  if (mse <= 1e-12) return 99.0;
+  return 10.0 * std::log10(255.0 * 255.0 / mse);
+}
+
+}  // namespace nfp::fse

@@ -1,0 +1,32 @@
+// Synthetic test images and loss masks for the FSE evaluation, standing in
+// for the paper's 24 Kodak pictures with per-picture masks. The instruction
+// mix of FSE depends on block size, mask shape and iteration count, not on
+// photographic content, so seeded sinusoid/gradient/noise textures preserve
+// the experiment.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nfp::fse {
+
+enum class MaskKind {
+  kBlock,    // rectangular loss area (error concealment scenario)
+  kStripes,  // periodic slice loss (packet loss scenario)
+  kScatter,  // random pixel loss (distortion removal scenario)
+};
+
+// n*n image with values in [0, 255], deterministic per (seed).
+std::vector<double> make_image(int n, std::uint64_t seed);
+
+// n*n mask, nonzero = missing. Deterministic per (seed, kind); loses
+// roughly 10-25% of the samples.
+std::vector<int> make_mask(int n, std::uint64_t seed, MaskKind kind);
+
+// PSNR of `got` vs `want` restricted to masked samples (the reconstruction
+// quality FSE is judged by).
+double masked_psnr(const std::vector<double>& want,
+                   const std::vector<double>& got,
+                   const std::vector<int>& mask);
+
+}  // namespace nfp::fse

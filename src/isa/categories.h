@@ -1,0 +1,45 @@
+// Instruction categories of the paper's mechanistic NFP model (Table I).
+//
+// The paper identifies nine categories: six for the integer unit and three
+// for the FPU. Each retired instruction is attributed to exactly one
+// category; the NFP model multiplies per-category retire counts with
+// calibrated specific energies/times (Eq. 1).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace nfp::isa {
+
+enum class Category : std::uint8_t {
+  kIntArith = 0,  // integer add/sub/logic/shift/mul/div
+  kJump,          // Bicc, FBfcc, call, jmpl, trap
+  kMemLoad,       // all integer and FP loads
+  kMemStore,      // all integer and FP stores
+  kNop,           // sethi 0, %g0
+  kOther,         // sethi, rd/wr state registers, save/restore
+  kFpuArith,      // FP add/sub/mul, moves, compares, conversions
+  kFpuDiv,        // FP divide
+  kFpuSqrt,       // FP square root
+};
+
+inline constexpr std::size_t kCategoryCount = 9;
+
+constexpr std::string_view to_string(Category c) {
+  constexpr std::array<std::string_view, kCategoryCount> names = {
+      "Integer Arithmetic", "Jump",       "Memory Load",
+      "Memory Store",       "NOP",        "Other",
+      "FPU Arithmetic",     "FPU Divide", "FPU Square root",
+  };
+  return names[static_cast<std::size_t>(c)];
+}
+
+constexpr std::array<Category, kCategoryCount> all_categories() {
+  return {Category::kIntArith, Category::kJump,    Category::kMemLoad,
+          Category::kMemStore, Category::kNop,     Category::kOther,
+          Category::kFpuArith, Category::kFpuDiv,  Category::kFpuSqrt};
+}
+
+}  // namespace nfp::isa

@@ -1,0 +1,177 @@
+#include "isa/decode.h"
+
+namespace nfp::isa {
+namespace {
+
+constexpr std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
+  const std::uint32_t mask = 1u << (bits - 1);
+  return static_cast<std::int32_t>((value ^ mask) - mask);
+}
+
+Op alu_op(std::uint32_t op3) {
+  switch (op3) {
+    case 0x00: return Op::kAdd;
+    case 0x01: return Op::kAnd;
+    case 0x02: return Op::kOr;
+    case 0x03: return Op::kXor;
+    case 0x04: return Op::kSub;
+    case 0x05: return Op::kAndn;
+    case 0x06: return Op::kOrn;
+    case 0x07: return Op::kXnor;
+    case 0x08: return Op::kAddx;
+    case 0x0A: return Op::kUmul;
+    case 0x0B: return Op::kSmul;
+    case 0x0C: return Op::kSubx;
+    case 0x0E: return Op::kUdiv;
+    case 0x0F: return Op::kSdiv;
+    case 0x10: return Op::kAddcc;
+    case 0x11: return Op::kAndcc;
+    case 0x12: return Op::kOrcc;
+    case 0x13: return Op::kXorcc;
+    case 0x14: return Op::kSubcc;
+    case 0x15: return Op::kAndncc;
+    case 0x16: return Op::kOrncc;
+    case 0x17: return Op::kXnorcc;
+    case 0x18: return Op::kAddxcc;
+    case 0x1A: return Op::kUmulcc;
+    case 0x1B: return Op::kSmulcc;
+    case 0x1C: return Op::kSubxcc;
+    case 0x1E: return Op::kUdivcc;
+    case 0x1F: return Op::kSdivcc;
+    case 0x25: return Op::kSll;
+    case 0x26: return Op::kSrl;
+    case 0x27: return Op::kSra;
+    case 0x28: return Op::kRdy;
+    case 0x30: return Op::kWry;
+    case 0x38: return Op::kJmpl;
+    case 0x3A: return Op::kTicc;
+    case 0x3C: return Op::kSave;
+    case 0x3D: return Op::kRestore;
+    default:   return Op::kInvalid;
+  }
+}
+
+Op mem_op(std::uint32_t op3) {
+  switch (op3) {
+    case 0x00: return Op::kLd;
+    case 0x01: return Op::kLdub;
+    case 0x02: return Op::kLduh;
+    case 0x03: return Op::kLdd;
+    case 0x04: return Op::kSt;
+    case 0x05: return Op::kStb;
+    case 0x06: return Op::kSth;
+    case 0x07: return Op::kStd;
+    case 0x09: return Op::kLdsb;
+    case 0x0A: return Op::kLdsh;
+    case 0x20: return Op::kLdf;
+    case 0x23: return Op::kLddf;
+    case 0x24: return Op::kStf;
+    case 0x27: return Op::kStdf;
+    default:   return Op::kInvalid;
+  }
+}
+
+Op fp_op(std::uint32_t op3, std::uint32_t opf) {
+  if (op3 == 0x34) {  // FPop1
+    switch (opf) {
+      case 0x01: return Op::kFmovs;
+      case 0x05: return Op::kFnegs;
+      case 0x09: return Op::kFabss;
+      case 0x29: return Op::kFsqrts;
+      case 0x2A: return Op::kFsqrtd;
+      case 0x41: return Op::kFadds;
+      case 0x42: return Op::kFaddd;
+      case 0x45: return Op::kFsubs;
+      case 0x46: return Op::kFsubd;
+      case 0x49: return Op::kFmuls;
+      case 0x4A: return Op::kFmuld;
+      case 0x4D: return Op::kFdivs;
+      case 0x4E: return Op::kFdivd;
+      case 0xC4: return Op::kFitos;
+      case 0xC6: return Op::kFdtos;
+      case 0xC8: return Op::kFitod;
+      case 0xC9: return Op::kFstod;
+      case 0xD1: return Op::kFstoi;
+      case 0xD2: return Op::kFdtoi;
+      default:   return Op::kInvalid;
+    }
+  }
+  // FPop2
+  switch (opf) {
+    case 0x51: return Op::kFcmps;
+    case 0x52: return Op::kFcmpd;
+    default:   return Op::kInvalid;
+  }
+}
+
+}  // namespace
+
+DecodedInsn decode(std::uint32_t word) {
+  DecodedInsn d;
+  d.raw = word;
+  const std::uint32_t op = word >> 30;
+  switch (op) {
+    case 0: {  // format 2: sethi / branches
+      const std::uint32_t op2 = (word >> 22) & 0x7;
+      if (op2 == 0x4) {  // sethi
+        d.rd = static_cast<std::uint8_t>((word >> 25) & 0x1F);
+        d.imm = static_cast<std::int32_t>((word & 0x3FFFFF) << 10);
+        d.has_imm = true;
+        d.op = (d.rd == 0 && d.imm == 0) ? Op::kNop : Op::kSethi;
+        return d;
+      }
+      if (op2 == 0x2 || op2 == 0x6) {  // Bicc / FBfcc
+        d.op = (op2 == 0x2) ? Op::kBicc : Op::kFbfcc;
+        d.cond = static_cast<std::uint8_t>((word >> 25) & 0xF);
+        d.annul = ((word >> 29) & 1) != 0;
+        d.imm = sign_extend(word & 0x3FFFFF, 22) * 4;  // byte displacement
+        d.has_imm = true;
+        return d;
+      }
+      return d;
+    }
+    case 1: {  // call
+      d.op = Op::kCall;
+      d.imm = sign_extend(word & 0x3FFFFFFF, 30) * 4;
+      d.has_imm = true;
+      return d;
+    }
+    case 2: {  // format 3: ALU / FPop
+      const std::uint32_t op3 = (word >> 19) & 0x3F;
+      d.rd = static_cast<std::uint8_t>((word >> 25) & 0x1F);
+      d.rs1 = static_cast<std::uint8_t>((word >> 14) & 0x1F);
+      if (op3 == 0x34 || op3 == 0x35) {
+        d.op = fp_op(op3, (word >> 5) & 0x1FF);
+        d.rs2 = static_cast<std::uint8_t>(word & 0x1F);
+        return d;
+      }
+      d.op = alu_op(op3);
+      if (d.op == Op::kTicc) {
+        d.cond = static_cast<std::uint8_t>((word >> 25) & 0xF);
+        d.rd = 0;
+      }
+      if ((word >> 13) & 1) {
+        d.has_imm = true;
+        d.imm = sign_extend(word & 0x1FFF, 13);
+      } else {
+        d.rs2 = static_cast<std::uint8_t>(word & 0x1F);
+      }
+      return d;
+    }
+    default: {  // format 3: memory
+      const std::uint32_t op3 = (word >> 19) & 0x3F;
+      d.op = mem_op(op3);
+      d.rd = static_cast<std::uint8_t>((word >> 25) & 0x1F);
+      d.rs1 = static_cast<std::uint8_t>((word >> 14) & 0x1F);
+      if ((word >> 13) & 1) {
+        d.has_imm = true;
+        d.imm = sign_extend(word & 0x1FFF, 13);
+      } else {
+        d.rs2 = static_cast<std::uint8_t>(word & 0x1F);
+      }
+      return d;
+    }
+  }
+}
+
+}  // namespace nfp::isa

@@ -1,0 +1,14 @@
+// SPARC V8 instruction word decoder.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/insn.h"
+
+namespace nfp::isa {
+
+// Decodes a single 32-bit instruction word. Unrecognised encodings yield
+// Op::kInvalid; the simulator treats executing such a word as a fatal error.
+DecodedInsn decode(std::uint32_t word);
+
+}  // namespace nfp::isa

@@ -1,0 +1,100 @@
+#include "isa/disasm.h"
+
+#include <cstdio>
+
+#include "isa/decode.h"
+#include "isa/names.h"
+
+namespace nfp::isa {
+namespace {
+
+std::string hex32(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", value);
+  return buf;
+}
+
+std::string imm_or_reg(const DecodedInsn& d) {
+  if (d.has_imm) return std::to_string(d.imm);
+  return reg_name(d.rs2);
+}
+
+std::string address_operand(const DecodedInsn& d) {
+  std::string out = "[" + reg_name(d.rs1);
+  if (d.has_imm) {
+    if (d.imm != 0) {
+      out += (d.imm > 0 ? "+" : "") + std::to_string(d.imm);
+    }
+  } else if (d.rs2 != 0) {
+    out += "+" + reg_name(d.rs2);
+  }
+  out += "]";
+  return out;
+}
+
+}  // namespace
+
+std::string disassemble(const DecodedInsn& d, std::uint32_t pc) {
+  const std::string m{mnemonic(d.op)};
+  switch (d.op) {
+    case Op::kInvalid:
+      return "<invalid " + hex32(d.raw) + ">";
+    case Op::kNop:
+      return "nop";
+    case Op::kSethi:
+      return "sethi %hi(" + hex32(static_cast<std::uint32_t>(d.imm)) + "), " +
+             reg_name(d.rd);
+    case Op::kBicc: {
+      std::string out = "b";
+      out += cond_name(static_cast<Cond>(d.cond));
+      if (d.annul) out += ",a";
+      return out + " " + hex32(pc + static_cast<std::uint32_t>(d.imm));
+    }
+    case Op::kFbfcc: {
+      std::string out = "fb";
+      out += fcond_name(static_cast<FCond>(d.cond));
+      if (d.annul) out += ",a";
+      return out + " " + hex32(pc + static_cast<std::uint32_t>(d.imm));
+    }
+    case Op::kCall:
+      return "call " + hex32(pc + static_cast<std::uint32_t>(d.imm));
+    case Op::kJmpl:
+      return "jmpl " + reg_name(d.rs1) + "+" + imm_or_reg(d) + ", " +
+             reg_name(d.rd);
+    case Op::kTicc:
+      return "ta " + (d.has_imm ? std::to_string(d.imm) : reg_name(d.rs2));
+    case Op::kRdy:
+      return "rd %y, " + reg_name(d.rd);
+    case Op::kWry:
+      return "wr " + reg_name(d.rs1) + ", " + imm_or_reg(d) + ", %y";
+    case Op::kLd: case Op::kLdub: case Op::kLdsb: case Op::kLduh:
+    case Op::kLdsh: case Op::kLdd:
+      return m + " " + address_operand(d) + ", " + reg_name(d.rd);
+    case Op::kLdf: case Op::kLddf:
+      return m + " " + address_operand(d) + ", " + freg_name(d.rd);
+    case Op::kSt: case Op::kStb: case Op::kSth: case Op::kStd:
+      return m + " " + reg_name(d.rd) + ", " + address_operand(d);
+    case Op::kStf: case Op::kStdf:
+      return m + " " + freg_name(d.rd) + ", " + address_operand(d);
+    case Op::kFcmps: case Op::kFcmpd:
+      return m + " " + freg_name(d.rs1) + ", " + freg_name(d.rs2);
+    case Op::kFmovs: case Op::kFnegs: case Op::kFabss: case Op::kFsqrts:
+    case Op::kFsqrtd: case Op::kFitos: case Op::kFitod: case Op::kFstoi:
+    case Op::kFdtoi: case Op::kFstod: case Op::kFdtos:
+      return m + " " + freg_name(d.rs2) + ", " + freg_name(d.rd);
+    case Op::kFadds: case Op::kFaddd: case Op::kFsubs: case Op::kFsubd:
+    case Op::kFmuls: case Op::kFmuld: case Op::kFdivs: case Op::kFdivd:
+      return m + " " + freg_name(d.rs1) + ", " + freg_name(d.rs2) + ", " +
+             freg_name(d.rd);
+    default:
+      // Integer ALU three-operand form.
+      return m + " " + reg_name(d.rs1) + ", " + imm_or_reg(d) + ", " +
+             reg_name(d.rd);
+  }
+}
+
+std::string disassemble_word(std::uint32_t word, std::uint32_t pc) {
+  return disassemble(decode(word), pc);
+}
+
+}  // namespace nfp::isa

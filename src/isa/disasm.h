@@ -1,0 +1,20 @@
+// SPARC V8 disassembler. Mirrors the "disassembler" output path of the
+// paper's OVP processor model (Fig. 2): every decoded tag can be rendered
+// for debugging without affecting the execution path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "isa/insn.h"
+
+namespace nfp::isa {
+
+// Renders one decoded instruction. `pc` is used to print absolute branch
+// and call targets.
+std::string disassemble(const DecodedInsn& insn, std::uint32_t pc);
+
+// Convenience: decode + render a raw word.
+std::string disassemble_word(std::uint32_t word, std::uint32_t pc);
+
+}  // namespace nfp::isa

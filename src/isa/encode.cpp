@@ -1,0 +1,186 @@
+#include "isa/encode.h"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace nfp::isa {
+namespace {
+
+std::uint32_t alu_op3(Op op) {
+  switch (op) {
+    case Op::kAdd: return 0x00;
+    case Op::kAnd: return 0x01;
+    case Op::kOr: return 0x02;
+    case Op::kXor: return 0x03;
+    case Op::kSub: return 0x04;
+    case Op::kAndn: return 0x05;
+    case Op::kOrn: return 0x06;
+    case Op::kXnor: return 0x07;
+    case Op::kAddx: return 0x08;
+    case Op::kUmul: return 0x0A;
+    case Op::kSmul: return 0x0B;
+    case Op::kSubx: return 0x0C;
+    case Op::kUdiv: return 0x0E;
+    case Op::kSdiv: return 0x0F;
+    case Op::kAddcc: return 0x10;
+    case Op::kAndcc: return 0x11;
+    case Op::kOrcc: return 0x12;
+    case Op::kXorcc: return 0x13;
+    case Op::kSubcc: return 0x14;
+    case Op::kAndncc: return 0x15;
+    case Op::kOrncc: return 0x16;
+    case Op::kXnorcc: return 0x17;
+    case Op::kAddxcc: return 0x18;
+    case Op::kUmulcc: return 0x1A;
+    case Op::kSmulcc: return 0x1B;
+    case Op::kSubxcc: return 0x1C;
+    case Op::kUdivcc: return 0x1E;
+    case Op::kSdivcc: return 0x1F;
+    case Op::kSll: return 0x25;
+    case Op::kSrl: return 0x26;
+    case Op::kSra: return 0x27;
+    case Op::kRdy: return 0x28;
+    case Op::kWry: return 0x30;
+    case Op::kJmpl: return 0x38;
+    case Op::kTicc: return 0x3A;
+    case Op::kSave: return 0x3C;
+    case Op::kRestore: return 0x3D;
+    default:
+      assert(false && "not an ALU op");
+      std::abort();
+  }
+}
+
+std::uint32_t mem_op3(Op op) {
+  switch (op) {
+    case Op::kLd: return 0x00;
+    case Op::kLdub: return 0x01;
+    case Op::kLduh: return 0x02;
+    case Op::kLdd: return 0x03;
+    case Op::kSt: return 0x04;
+    case Op::kStb: return 0x05;
+    case Op::kSth: return 0x06;
+    case Op::kStd: return 0x07;
+    case Op::kLdsb: return 0x09;
+    case Op::kLdsh: return 0x0A;
+    case Op::kLdf: return 0x20;
+    case Op::kLddf: return 0x23;
+    case Op::kStf: return 0x24;
+    case Op::kStdf: return 0x27;
+    default:
+      assert(false && "not a memory op");
+      std::abort();
+  }
+}
+
+struct FpEnc {
+  std::uint32_t op3;
+  std::uint32_t opf;
+};
+
+FpEnc fp_enc(Op op) {
+  switch (op) {
+    case Op::kFmovs: return {0x34, 0x01};
+    case Op::kFnegs: return {0x34, 0x05};
+    case Op::kFabss: return {0x34, 0x09};
+    case Op::kFsqrts: return {0x34, 0x29};
+    case Op::kFsqrtd: return {0x34, 0x2A};
+    case Op::kFadds: return {0x34, 0x41};
+    case Op::kFaddd: return {0x34, 0x42};
+    case Op::kFsubs: return {0x34, 0x45};
+    case Op::kFsubd: return {0x34, 0x46};
+    case Op::kFmuls: return {0x34, 0x49};
+    case Op::kFmuld: return {0x34, 0x4A};
+    case Op::kFdivs: return {0x34, 0x4D};
+    case Op::kFdivd: return {0x34, 0x4E};
+    case Op::kFitos: return {0x34, 0xC4};
+    case Op::kFdtos: return {0x34, 0xC6};
+    case Op::kFitod: return {0x34, 0xC8};
+    case Op::kFstod: return {0x34, 0xC9};
+    case Op::kFstoi: return {0x34, 0xD1};
+    case Op::kFdtoi: return {0x34, 0xD2};
+    case Op::kFcmps: return {0x35, 0x51};
+    case Op::kFcmpd: return {0x35, 0x52};
+    default:
+      assert(false && "not an FP op");
+      std::abort();
+  }
+}
+
+std::uint32_t format3(std::uint32_t op, std::uint32_t rd, std::uint32_t op3,
+                      std::uint32_t rs1, std::uint32_t rs2) {
+  return (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | rs2;
+}
+
+std::uint32_t format3_imm(std::uint32_t op, std::uint32_t rd,
+                          std::uint32_t op3, std::uint32_t rs1,
+                          std::int32_t simm13) {
+  assert(simm13 >= -4096 && simm13 <= 4095);
+  return (op << 30) | (rd << 25) | (op3 << 19) | (rs1 << 14) | (1u << 13) |
+         (static_cast<std::uint32_t>(simm13) & 0x1FFF);
+}
+
+std::uint32_t branch_word(std::uint32_t op2, std::uint32_t cond, bool annul,
+                          std::int32_t byte_disp) {
+  assert(byte_disp % 4 == 0);
+  const std::int32_t words = byte_disp / 4;
+  assert(words >= -(1 << 21) && words < (1 << 21));
+  return (static_cast<std::uint32_t>(annul) << 29) | (cond << 25) |
+         (op2 << 22) | (static_cast<std::uint32_t>(words) & 0x3FFFFF);
+}
+
+}  // namespace
+
+std::uint32_t enc_alu(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rs2) {
+  return format3(2, rd, alu_op3(op), rs1, rs2);
+}
+
+std::uint32_t enc_alu_imm(Op op, std::uint8_t rd, std::uint8_t rs1,
+                          std::int32_t simm13) {
+  return format3_imm(2, rd, alu_op3(op), rs1, simm13);
+}
+
+std::uint32_t enc_mem(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rs2) {
+  return format3(3, rd, mem_op3(op), rs1, rs2);
+}
+
+std::uint32_t enc_mem_imm(Op op, std::uint8_t rd, std::uint8_t rs1,
+                          std::int32_t simm13) {
+  return format3_imm(3, rd, mem_op3(op), rs1, simm13);
+}
+
+std::uint32_t enc_sethi(std::uint8_t rd, std::uint32_t value) {
+  assert((value & 0x3FF) == 0);
+  return (static_cast<std::uint32_t>(rd) << 25) | (0x4u << 22) | (value >> 10);
+}
+
+std::uint32_t enc_nop() { return enc_sethi(0, 0); }
+
+std::uint32_t enc_bicc(Cond cond, bool annul, std::int32_t byte_disp) {
+  return branch_word(0x2, static_cast<std::uint32_t>(cond), annul, byte_disp);
+}
+
+std::uint32_t enc_fbfcc(FCond cond, bool annul, std::int32_t byte_disp) {
+  return branch_word(0x6, static_cast<std::uint32_t>(cond), annul, byte_disp);
+}
+
+std::uint32_t enc_call(std::int32_t byte_disp) {
+  assert(byte_disp % 4 == 0);
+  return (1u << 30) | (static_cast<std::uint32_t>(byte_disp / 4) & 0x3FFFFFFF);
+}
+
+std::uint32_t enc_ta(std::int32_t swtrap) {
+  // ta swtrap  ==  Ticc with cond=always, rs1=%g0, imm=swtrap.
+  return format3_imm(2, 0x8, 0x3A, 0, swtrap);
+}
+
+std::uint32_t enc_fp(Op op, std::uint8_t rd, std::uint8_t rs1,
+                     std::uint8_t rs2) {
+  const FpEnc e = fp_enc(op);
+  return (2u << 30) | (static_cast<std::uint32_t>(rd) << 25) | (e.op3 << 19) |
+         (static_cast<std::uint32_t>(rs1) << 14) | (e.opf << 5) | rs2;
+}
+
+}  // namespace nfp::isa

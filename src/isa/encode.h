@@ -1,0 +1,41 @@
+// SPARC V8 instruction word encoders. Used by the assembler and by tests.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/insn.h"
+
+namespace nfp::isa {
+
+// ALU / jmpl / save / restore with register operand 2.
+std::uint32_t enc_alu(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rs2);
+// ALU with 13-bit signed immediate.
+std::uint32_t enc_alu_imm(Op op, std::uint8_t rd, std::uint8_t rs1,
+                          std::int32_t simm13);
+
+// Memory access (rd is the integer or FP data register).
+std::uint32_t enc_mem(Op op, std::uint8_t rd, std::uint8_t rs1,
+                      std::uint8_t rs2);
+std::uint32_t enc_mem_imm(Op op, std::uint8_t rd, std::uint8_t rs1,
+                          std::int32_t simm13);
+
+// sethi: value must have its low 10 bits clear (imm22 << 10 form).
+std::uint32_t enc_sethi(std::uint8_t rd, std::uint32_t value);
+std::uint32_t enc_nop();
+
+// Branches take a byte displacement relative to the branch instruction;
+// it must be word aligned and fit in 22 bits of words.
+std::uint32_t enc_bicc(Cond cond, bool annul, std::int32_t byte_disp);
+std::uint32_t enc_fbfcc(FCond cond, bool annul, std::int32_t byte_disp);
+std::uint32_t enc_call(std::int32_t byte_disp);
+
+// Trap-always with software trap number `swtrap` (rs1 = %g0 + imm).
+std::uint32_t enc_ta(std::int32_t swtrap);
+
+// FPop with two source registers (fadds..fdtos). For single-source ops
+// (fmovs, fsqrt, conversions) rs1 must be 0.
+std::uint32_t enc_fp(Op op, std::uint8_t rd, std::uint8_t rs1,
+                     std::uint8_t rs2);
+
+}  // namespace nfp::isa

@@ -1,0 +1,147 @@
+// SPARC V8 instruction subset modelled by nfpkit.
+//
+// This mirrors the structure of the paper's OVP processor model (Fig. 2/3):
+// a 32-bit word is decoded into an internal tag (Op) used by both the
+// disassembler and the execution ("morpher") dispatch. Ops are grouped into
+// the NFP categories of Table I via default_category().
+#pragma once
+
+#include <cstdint>
+
+#include "isa/categories.h"
+
+namespace nfp::isa {
+
+enum class Op : std::uint8_t {
+  kInvalid = 0,
+  // Format 2.
+  kSethi,
+  kNop,  // sethi 0, %g0 — decoded as its own tag (Table I has a NOP category)
+  kBicc,
+  kFbfcc,
+  // Format 1.
+  kCall,
+  // Format 3: integer ALU.
+  kAdd, kAddcc, kAddx, kAddxcc,
+  kSub, kSubcc, kSubx, kSubxcc,
+  kAnd, kAndcc, kAndn, kAndncc,
+  kOr, kOrcc, kOrn, kOrncc,
+  kXor, kXorcc, kXnor, kXnorcc,
+  kSll, kSrl, kSra,
+  kUmul, kUmulcc, kSmul, kSmulcc,
+  kUdiv, kUdivcc, kSdiv, kSdivcc,
+  kRdy, kWry,
+  kJmpl, kTicc, kSave, kRestore,
+  // Format 3: memory.
+  kLd, kLdub, kLdsb, kLduh, kLdsh, kLdd,
+  kSt, kStb, kSth, kStd,
+  kLdf, kLddf, kStf, kStdf,
+  // FPop.
+  kFadds, kFaddd, kFsubs, kFsubd, kFmuls, kFmuld,
+  kFdivs, kFdivd, kFsqrts, kFsqrtd,
+  kFmovs, kFnegs, kFabss,
+  kFitos, kFitod, kFstoi, kFdtoi, kFstod, kFdtos,
+  kFcmps, kFcmpd,
+  kOpCount_,
+};
+
+inline constexpr std::size_t kOpCount = static_cast<std::size_t>(Op::kOpCount_);
+
+// Integer condition codes (Bicc `cond` field).
+enum class Cond : std::uint8_t {
+  kN = 0, kE = 1, kLe = 2, kL = 3, kLeu = 4, kCs = 5, kNeg = 6, kVs = 7,
+  kA = 8, kNe = 9, kG = 10, kGe = 11, kGu = 12, kCc = 13, kPos = 14, kVc = 15,
+};
+
+// Floating-point condition codes (FBfcc `cond` field).
+enum class FCond : std::uint8_t {
+  kN = 0, kNe = 1, kLg = 2, kUl = 3, kL = 4, kUg = 5, kG = 6, kU = 7,
+  kA = 8, kE = 9, kUe = 10, kGe = 11, kUge = 12, kLe = 13, kUle = 14, kO = 15,
+};
+
+struct DecodedInsn {
+  Op op = Op::kInvalid;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::uint8_t cond = 0;   // Bicc/FBfcc/Ticc condition field
+  bool annul = false;      // branch annul bit
+  bool has_imm = false;    // i-bit (format 3) / always for sethi, branches
+  std::int32_t imm = 0;    // simm13; byte displacement for branches and call;
+                           // imm22 (already shifted) for sethi
+  std::uint32_t raw = 0;
+};
+
+// Well-known integer register numbers.
+inline constexpr std::uint8_t kRegG0 = 0;
+inline constexpr std::uint8_t kRegSp = 14;  // %o6
+inline constexpr std::uint8_t kRegO7 = 15;  // call return address
+inline constexpr std::uint8_t kRegFp = 30;  // %i6
+
+constexpr bool is_load(Op op) {
+  switch (op) {
+    case Op::kLd: case Op::kLdub: case Op::kLdsb: case Op::kLduh:
+    case Op::kLdsh: case Op::kLdd: case Op::kLdf: case Op::kLddf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_store(Op op) {
+  switch (op) {
+    case Op::kSt: case Op::kStb: case Op::kSth: case Op::kStd:
+    case Op::kStf: case Op::kStdf:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_control(Op op) {
+  switch (op) {
+    case Op::kBicc: case Op::kFbfcc: case Op::kCall: case Op::kJmpl:
+    case Op::kTicc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+constexpr bool is_fpu(Op op) {
+  return op >= Op::kFadds && op <= Op::kFcmpd;
+}
+
+// Default mapping of ops to the paper's nine Table-I categories.
+constexpr Category default_category(Op op) {
+  switch (op) {
+    case Op::kNop:
+      return Category::kNop;
+    case Op::kBicc: case Op::kFbfcc: case Op::kCall: case Op::kJmpl:
+    case Op::kTicc:
+      return Category::kJump;
+    case Op::kLd: case Op::kLdub: case Op::kLdsb: case Op::kLduh:
+    case Op::kLdsh: case Op::kLdd: case Op::kLdf: case Op::kLddf:
+      return Category::kMemLoad;
+    case Op::kSt: case Op::kStb: case Op::kSth: case Op::kStd:
+    case Op::kStf: case Op::kStdf:
+      return Category::kMemStore;
+    case Op::kSethi: case Op::kRdy: case Op::kWry: case Op::kSave:
+    case Op::kRestore: case Op::kInvalid:
+      return Category::kOther;
+    case Op::kFdivs: case Op::kFdivd:
+      return Category::kFpuDiv;
+    case Op::kFsqrts: case Op::kFsqrtd:
+      return Category::kFpuSqrt;
+    case Op::kFadds: case Op::kFaddd: case Op::kFsubs: case Op::kFsubd:
+    case Op::kFmuls: case Op::kFmuld: case Op::kFmovs: case Op::kFnegs:
+    case Op::kFabss: case Op::kFitos: case Op::kFitod: case Op::kFstoi:
+    case Op::kFdtoi: case Op::kFstod: case Op::kFdtos: case Op::kFcmps:
+    case Op::kFcmpd:
+      return Category::kFpuArith;
+    default:
+      return Category::kIntArith;
+  }
+}
+
+}  // namespace nfp::isa

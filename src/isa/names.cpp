@@ -1,0 +1,151 @@
+#include "isa/names.h"
+
+#include <array>
+#include <charconv>
+#include <unordered_map>
+
+namespace nfp::isa {
+namespace {
+
+struct OpName {
+  Op op;
+  std::string_view name;
+};
+
+constexpr std::array kOpNames = {
+    OpName{Op::kSethi, "sethi"},   OpName{Op::kNop, "nop"},
+    OpName{Op::kCall, "call"},     OpName{Op::kAdd, "add"},
+    OpName{Op::kAddcc, "addcc"},   OpName{Op::kAddx, "addx"},
+    OpName{Op::kAddxcc, "addxcc"}, OpName{Op::kSub, "sub"},
+    OpName{Op::kSubcc, "subcc"},   OpName{Op::kSubx, "subx"},
+    OpName{Op::kSubxcc, "subxcc"}, OpName{Op::kAnd, "and"},
+    OpName{Op::kAndcc, "andcc"},   OpName{Op::kAndn, "andn"},
+    OpName{Op::kAndncc, "andncc"}, OpName{Op::kOr, "or"},
+    OpName{Op::kOrcc, "orcc"},     OpName{Op::kOrn, "orn"},
+    OpName{Op::kOrncc, "orncc"},   OpName{Op::kXor, "xor"},
+    OpName{Op::kXorcc, "xorcc"},   OpName{Op::kXnor, "xnor"},
+    OpName{Op::kXnorcc, "xnorcc"}, OpName{Op::kSll, "sll"},
+    OpName{Op::kSrl, "srl"},       OpName{Op::kSra, "sra"},
+    OpName{Op::kUmul, "umul"},     OpName{Op::kUmulcc, "umulcc"},
+    OpName{Op::kSmul, "smul"},     OpName{Op::kSmulcc, "smulcc"},
+    OpName{Op::kUdiv, "udiv"},     OpName{Op::kUdivcc, "udivcc"},
+    OpName{Op::kSdiv, "sdiv"},     OpName{Op::kSdivcc, "sdivcc"},
+    OpName{Op::kRdy, "rd"},        OpName{Op::kWry, "wr"},
+    OpName{Op::kJmpl, "jmpl"},     OpName{Op::kTicc, "ta"},
+    OpName{Op::kSave, "save"},     OpName{Op::kRestore, "restore"},
+    OpName{Op::kLd, "ld"},         OpName{Op::kLdub, "ldub"},
+    OpName{Op::kLdsb, "ldsb"},     OpName{Op::kLduh, "lduh"},
+    OpName{Op::kLdsh, "ldsh"},     OpName{Op::kLdd, "ldd"},
+    OpName{Op::kSt, "st"},         OpName{Op::kStb, "stb"},
+    OpName{Op::kSth, "sth"},       OpName{Op::kStd, "std"},
+    OpName{Op::kLdf, "ldf"},       OpName{Op::kLddf, "lddf"},
+    OpName{Op::kStf, "stf"},       OpName{Op::kStdf, "stdf"},
+    OpName{Op::kFadds, "fadds"},   OpName{Op::kFaddd, "faddd"},
+    OpName{Op::kFsubs, "fsubs"},   OpName{Op::kFsubd, "fsubd"},
+    OpName{Op::kFmuls, "fmuls"},   OpName{Op::kFmuld, "fmuld"},
+    OpName{Op::kFdivs, "fdivs"},   OpName{Op::kFdivd, "fdivd"},
+    OpName{Op::kFsqrts, "fsqrts"}, OpName{Op::kFsqrtd, "fsqrtd"},
+    OpName{Op::kFmovs, "fmovs"},   OpName{Op::kFnegs, "fnegs"},
+    OpName{Op::kFabss, "fabss"},   OpName{Op::kFitos, "fitos"},
+    OpName{Op::kFitod, "fitod"},   OpName{Op::kFstoi, "fstoi"},
+    OpName{Op::kFdtoi, "fdtoi"},   OpName{Op::kFstod, "fstod"},
+    OpName{Op::kFdtos, "fdtos"},   OpName{Op::kFcmps, "fcmps"},
+    OpName{Op::kFcmpd, "fcmpd"},
+};
+
+constexpr std::array<std::string_view, 16> kCondNames = {
+    "n", "e", "le", "l", "leu", "cs", "neg", "vs",
+    "a", "ne", "g", "ge", "gu", "cc", "pos", "vc"};
+
+constexpr std::array<std::string_view, 16> kFCondNames = {
+    "n", "ne", "lg", "ul", "l", "ug", "g", "u",
+    "a", "e", "ue", "ge", "uge", "le", "ule", "o"};
+
+}  // namespace
+
+std::string_view mnemonic(Op op) {
+  if (op == Op::kBicc) return "b";
+  if (op == Op::kFbfcc) return "fb";
+  for (const auto& entry : kOpNames) {
+    if (entry.op == op) return entry.name;
+  }
+  return "<invalid>";
+}
+
+std::string_view cond_name(Cond cond) {
+  return kCondNames[static_cast<std::size_t>(cond)];
+}
+
+std::string_view fcond_name(FCond cond) {
+  return kFCondNames[static_cast<std::size_t>(cond)];
+}
+
+std::string reg_name(std::uint8_t reg) {
+  static constexpr std::array<char, 4> kBanks = {'g', 'o', 'l', 'i'};
+  std::string out = "%";
+  out += kBanks[(reg >> 3) & 3];
+  out += static_cast<char>('0' + (reg & 7));
+  return out;
+}
+
+std::string freg_name(std::uint8_t reg) {
+  return "%f" + std::to_string(static_cast<int>(reg));
+}
+
+std::optional<std::uint8_t> parse_reg(std::string_view text) {
+  if (text == "%sp") return kRegSp;
+  if (text == "%fp") return kRegFp;
+  if (text.size() != 3 || text[0] != '%') return std::nullopt;
+  int bank;
+  switch (text[1]) {
+    case 'g': bank = 0; break;
+    case 'o': bank = 1; break;
+    case 'l': bank = 2; break;
+    case 'i': bank = 3; break;
+    default: return std::nullopt;
+  }
+  if (text[2] < '0' || text[2] > '7') return std::nullopt;
+  return static_cast<std::uint8_t>(bank * 8 + (text[2] - '0'));
+}
+
+std::optional<std::uint8_t> parse_freg(std::string_view text) {
+  if (text.size() < 3 || text.substr(0, 2) != "%f") return std::nullopt;
+  int value = 0;
+  const auto* begin = text.data() + 2;
+  const auto* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end || value < 0 || value > 31) {
+    return std::nullopt;
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+Op op_from_mnemonic(std::string_view text) {
+  static const auto* kMap = [] {
+    auto* map = new std::unordered_map<std::string_view, Op>();
+    for (const auto& entry : kOpNames) map->emplace(entry.name, entry.op);
+    return map;
+  }();
+  const auto it = kMap->find(text);
+  return it == kMap->end() ? Op::kInvalid : it->second;
+}
+
+std::optional<Cond> cond_from_name(std::string_view text) {
+  for (std::size_t i = 0; i < kCondNames.size(); ++i) {
+    if (kCondNames[i] == text) return static_cast<Cond>(i);
+  }
+  if (text == "z") return Cond::kE;
+  if (text == "nz") return Cond::kNe;
+  if (text == "geu") return Cond::kCc;
+  if (text == "lu") return Cond::kCs;
+  return std::nullopt;
+}
+
+std::optional<FCond> fcond_from_name(std::string_view text) {
+  for (std::size_t i = 0; i < kFCondNames.size(); ++i) {
+    if (kFCondNames[i] == text) return static_cast<FCond>(i);
+  }
+  return std::nullopt;
+}
+
+}  // namespace nfp::isa

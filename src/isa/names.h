@@ -1,0 +1,37 @@
+// Textual names for ops, registers, and condition codes. Shared by the
+// disassembler and the assembler.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "isa/insn.h"
+
+namespace nfp::isa {
+
+// Mnemonic for a non-branch op ("add", "ldub", "faddd", ...). Bicc/FBfcc
+// return "b" / "fb"; use cond_name()/fcond_name() for the full mnemonic.
+std::string_view mnemonic(Op op);
+
+// "ne", "e", "g", ... per the V8 assembler syntax ("" for never, "a" always).
+std::string_view cond_name(Cond cond);
+std::string_view fcond_name(FCond cond);
+
+// "%g0".."%g7", "%o0".."%o7", "%l0".."%l7", "%i0".."%i7" (also %sp, %fp).
+std::string reg_name(std::uint8_t reg);
+std::string freg_name(std::uint8_t reg);
+
+// Parses "%g3", "%sp", "%fp", "%o7" etc. Returns nullopt if not a register.
+std::optional<std::uint8_t> parse_reg(std::string_view text);
+// Parses "%f0".."%f31".
+std::optional<std::uint8_t> parse_freg(std::string_view text);
+
+// Reverse mnemonic lookup for the assembler; covers integer/FP/memory ops
+// (not branches). Returns kInvalid if unknown.
+Op op_from_mnemonic(std::string_view text);
+
+std::optional<Cond> cond_from_name(std::string_view text);
+std::optional<FCond> fcond_from_name(std::string_view text);
+
+}  // namespace nfp::isa

@@ -1,0 +1,115 @@
+// Micro-C abstract syntax tree.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mcc/types.h"
+
+namespace nfp::mcc {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class BinOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kShl, kShr, kAnd, kOr, kXor,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogAnd, kLogOr,
+};
+
+enum class UnOp : std::uint8_t {
+  kNeg, kNot, kBitNot, kDeref, kAddr,
+};
+
+struct Expr {
+  enum class K : std::uint8_t {
+    kIntLit, kDoubleLit, kStrLit,
+    kVar,           // text
+    kBinary,        // bin_op, lhs, rhs
+    kUnary,         // un_op, lhs
+    kAssign,        // lhs = rhs (plain; compound ops desugared by parser)
+    kCond,          // cond ? lhs : rhs
+    kCall,          // text = callee, args
+    kIndex,         // lhs[rhs]
+    kCast,          // (cast_type) lhs
+    kSizeof,        // sizeof(cast_type) -> int constant
+    kIncDec,        // ++/-- ; lhs target; int_value: +1/-1; flag: prefix
+  };
+
+  K kind;
+  int line = 0;
+
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  std::string text;
+  BinOp bin_op{};
+  UnOp un_op{};
+  Type cast_type;
+  bool flag = false;  // kIncDec: prefix?
+
+  ExprPtr lhs, rhs, cond;
+  std::vector<ExprPtr> args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+struct VarDecl {
+  std::string name;
+  Type type;
+  ExprPtr init;  // optional (scalars only for locals)
+  int line = 0;
+};
+
+struct Stmt {
+  enum class K : std::uint8_t {
+    kExpr, kDecl, kBlock, kIf, kWhile, kDoWhile, kFor, kReturn, kBreak,
+    kContinue, kEmpty,
+  };
+
+  K kind;
+  int line = 0;
+
+  ExprPtr expr;       // kExpr, kReturn (optional), kIf/kWhile condition
+  StmtPtr body;       // kIf then / loop body
+  StmtPtr else_body;  // kIf else
+  ExprPtr init_expr;  // kFor init (expression form)
+  StmtPtr init_decl;  // kFor init (declaration form)
+  ExprPtr step;       // kFor step
+  std::vector<StmtPtr> block;  // kBlock
+  VarDecl decl;       // kDecl
+};
+
+struct Param {
+  std::string name;
+  Type type;
+};
+
+struct Function {
+  std::string name;
+  Type return_type;
+  std::vector<Param> params;
+  StmtPtr body;  // null for prototypes
+  int line = 0;
+};
+
+struct GlobalVar {
+  std::string name;
+  Type type;
+  // Constant initialisers: scalars have one entry; arrays up to array_len
+  // entries (rest zero). Doubles use double_values.
+  std::vector<std::int64_t> int_inits;
+  std::vector<double> double_inits;
+  bool has_init = false;
+  int line = 0;
+};
+
+struct TranslationUnit {
+  std::vector<Function> functions;
+  std::vector<GlobalVar> globals;
+};
+
+}  // namespace nfp::mcc

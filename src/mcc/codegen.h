@@ -1,0 +1,49 @@
+// SPARC V8 code generation for Micro-C.
+//
+// Unoptimised, -O0-style code: all variables live in memory, expressions
+// evaluate on a virtual register stack with fixed spill slots. This mirrors
+// the instruction mixes of the paper's bare-metal builds (memory-heavy, many
+// NOP delay slots).
+//
+// ## Target ABI (custom bare-metal, windowless)
+//  - All arguments are passed on the stack: for a call with A argument
+//    words, the caller stores word j at [%sp - 4*A + 4*j] immediately
+//    before the `call`. Doubles occupy two words, high word first.
+//  - Return values: integers/pointers in %o0; doubles in %o0 (high) and
+//    %o1 (low), regardless of float ABI.
+//  - All registers are caller-saved. %sp (%o6) is the stack pointer,
+//    %o7 holds the return address (call/retl).
+//  - Frame layout (offsets from %sp after the prologue):
+//       [0]        saved %o7
+//       [8..16)    FP<->integer staging slot
+//       [16..336)  40 virtual-stack backing slots of 8 bytes
+//       [336..)    locals
+//       [F-4A..F)  incoming argument words
+//
+// ## Float ABIs
+//  - kHard: doubles in FPU register pairs; double ops emit faddd/fmuld/....
+//  - kSoft (-msoft-float): doubles are 2-word values in integer registers;
+//    double ops call the __sf_* runtime (itself Micro-C, integer-only).
+#pragma once
+
+#include <string>
+
+#include "mcc/ast.h"
+
+namespace nfp::mcc {
+
+enum class FloatAbi { kHard, kSoft };
+
+// LEON3-style hardware option: with kSoft, integer `*`, `/`, `%` and the
+// mc_umulhi intrinsic lower to the __mc_* runtime (rtlib/mc/softmuldiv.c)
+// instead of umul/udiv instructions, for boards synthesised without the
+// MUL/DIV units. Note: the soft divider returns all-ones for division by
+// zero where the hardware one faults the simulator.
+enum class MulDivAbi { kHard, kSoft };
+
+// Generates a complete assembly translation unit, including the `_start`
+// entry stub (call main, then `ta 0` with main's return value in %o0).
+std::string generate_assembly(const TranslationUnit& unit, FloatAbi abi,
+                              MulDivAbi muldiv = MulDivAbi::kHard);
+
+}  // namespace nfp::mcc

@@ -1,0 +1,48 @@
+#include "mcc/compiler.h"
+
+#include "asmkit/assembler.h"
+#include "mcc/parser.h"
+#include "mcc/peephole.h"
+#include "rtlib/sources.h"
+
+namespace nfp::mcc {
+
+std::string Compiler::compile_to_asm(
+    const std::vector<std::string>& sources) const {
+  std::map<std::string, std::string> defines = opts_.extra_defines;
+  defines.emplace("MC_TARGET", "1");
+  if (opts_.float_abi == FloatAbi::kSoft) {
+    defines.emplace("MC_SOFT_FLOAT", "1");
+  }
+  if (opts_.muldiv_abi == MulDivAbi::kSoft) {
+    defines.emplace("MC_SOFT_MULDIV", "1");
+  }
+
+  TranslationUnit unit;
+  for (const std::string& src : sources) {
+    parse_into(preprocess_and_lex(src, defines), unit);
+  }
+  if (opts_.link_runtime) {
+    if (opts_.float_abi == FloatAbi::kSoft) {
+      parse_into(
+          preprocess_and_lex(std::string(rtlib::kSoftfloatSource), defines),
+          unit);
+    }
+    if (opts_.muldiv_abi == MulDivAbi::kSoft) {
+      parse_into(
+          preprocess_and_lex(std::string(rtlib::kSoftMulDivSource), defines),
+          unit);
+    }
+  }
+  std::string text =
+      generate_assembly(unit, opts_.float_abi, opts_.muldiv_abi);
+  if (opts_.peephole) text = peephole_optimize(text);
+  return text;
+}
+
+asmkit::Program Compiler::compile(
+    const std::vector<std::string>& sources) const {
+  return asmkit::assemble(compile_to_asm(sources), opts_.origin);
+}
+
+}  // namespace nfp::mcc

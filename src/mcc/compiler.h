@@ -1,0 +1,57 @@
+// Micro-C compiler driver: preprocess + parse + codegen + assemble.
+//
+// ## The Micro-C dialect (dual-compilable C subset)
+//  - types: void, char/short/int (signed & unsigned), double, pointers,
+//    constant-size (multi-dimensional) arrays
+//  - no structs/unions/enums/typedefs/function pointers/varargs
+//  - statements: blocks, if/else, while, do-while, for, return,
+//    break/continue; declarations anywhere in a block
+//  - expressions: full C operator set (incl. compound assignment, ++/--,
+//    ternary, short-circuit logic, casts, sizeof(type))
+//  - preprocessor: object-like #define, #undef, #ifdef/#ifndef/#else/#endif;
+//    MC_TARGET is predefined (plus MC_SOFT_FLOAT under the soft ABI)
+//  - intrinsics (host shims in tests/support/mc_host.h):
+//      mc_putc, mc_halt, mc_clock, mc_umulhi, mc_sqrt, mc_dhi, mc_dlo,
+//      mc_bits2d
+//
+// Whole-program compilation: all sources are merged into one translation
+// unit; under FloatAbi::kSoft the soft-float runtime is appended
+// automatically (the -msoft-float analog of the paper's builds).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.h"
+#include "mcc/codegen.h"
+#include "sim/memmap.h"
+
+namespace nfp::mcc {
+
+struct CompileOptions {
+  FloatAbi float_abi = FloatAbi::kHard;
+  MulDivAbi muldiv_abi = MulDivAbi::kHard;
+  bool link_runtime = true;  // append soft runtimes for the soft ABIs
+  bool peephole = false;     // opt-in assembly peephole (mcc/peephole.h)
+  std::uint32_t origin = sim::kTextBase;
+  std::map<std::string, std::string> extra_defines;
+};
+
+class Compiler {
+ public:
+  explicit Compiler(CompileOptions opts = {}) : opts_(std::move(opts)) {}
+
+  // Compiles Micro-C sources to SPARC assembly text.
+  std::string compile_to_asm(const std::vector<std::string>& sources) const;
+
+  // Full pipeline: sources -> loadable program image.
+  asmkit::Program compile(const std::vector<std::string>& sources) const;
+
+  const CompileOptions& options() const { return opts_; }
+
+ private:
+  CompileOptions opts_;
+};
+
+}  // namespace nfp::mcc

@@ -1,0 +1,434 @@
+#include "mcc/lexer.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+
+namespace nfp::mcc {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw CompileError("mcc line " + std::to_string(line) + ": " + message);
+}
+
+struct Keyword {
+  const char* text;
+  Tok kind;
+};
+
+constexpr Keyword kKeywords[] = {
+    {"void", Tok::kKwVoid},         {"int", Tok::kKwInt},
+    {"unsigned", Tok::kKwUnsigned}, {"char", Tok::kKwChar},
+    {"short", Tok::kKwShort},       {"double", Tok::kKwDouble},
+    {"signed", Tok::kKwSigned},     {"const", Tok::kKwConst},
+    {"static", Tok::kKwStatic},     {"if", Tok::kKwIf},
+    {"else", Tok::kKwElse},         {"while", Tok::kKwWhile},
+    {"for", Tok::kKwFor},           {"do", Tok::kKwDo},
+    {"return", Tok::kKwReturn},     {"break", Tok::kKwBreak},
+    {"continue", Tok::kKwContinue}, {"sizeof", Tok::kKwSizeof},
+};
+
+char unescape(char c, int line) {
+  switch (c) {
+    case 'n': return '\n';
+    case 't': return '\t';
+    case 'r': return '\r';
+    case '0': return '\0';
+    case '\\': return '\\';
+    case '\'': return '\'';
+    case '"': return '"';
+    default: fail(line, "unsupported escape sequence");
+  }
+}
+
+bool is_float_literal(std::string_view s) {
+  // Hex floats: 0x...p; decimal floats: contain '.' or exponent.
+  if (s.size() > 2 && s[0] == '0' && (s[1] == 'x' || s[1] == 'X')) {
+    return s.find('p') != std::string_view::npos ||
+           s.find('P') != std::string_view::npos ||
+           s.find('.') != std::string_view::npos;
+  }
+  return s.find('.') != std::string_view::npos ||
+         s.find('e') != std::string_view::npos ||
+         s.find('E') != std::string_view::npos;
+}
+
+}  // namespace
+
+const char* tok_name(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kDoubleLit: return "double literal";
+    case Tok::kCharLit: return "char literal";
+    case Tok::kStrLit: return "string literal";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kSemi: return ";";
+    case Tok::kComma: return ",";
+    case Tok::kAssign: return "=";
+    default: return "<token>";
+  }
+}
+
+std::vector<Token> lex(std::string_view src, int first_line) {
+  std::vector<Token> out;
+  int line = first_line;
+  std::size_t i = 0;
+  const auto push = [&](Tok kind) {
+    Token t;
+    t.kind = kind;
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i;
+      while (j < src.size() && (std::isalnum(static_cast<unsigned char>(src[j])) ||
+                                src[j] == '_')) {
+        ++j;
+      }
+      const std::string_view word = src.substr(i, j - i);
+      Token t;
+      t.line = line;
+      t.kind = Tok::kIdent;
+      for (const auto& kw : kKeywords) {
+        if (word == kw.text) {
+          t.kind = kw.kind;
+          break;
+        }
+      }
+      t.text = std::string(word);
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])))) {
+      // Scan the maximal numeric literal (covers hex, hex-float, exponent).
+      std::size_t j = i;
+      while (j < src.size()) {
+        const char d = src[j];
+        if (std::isalnum(static_cast<unsigned char>(d)) || d == '.') {
+          ++j;
+        } else if ((d == '+' || d == '-') && j > i &&
+                   (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                    src[j - 1] == 'p' || src[j - 1] == 'P')) {
+          ++j;
+        } else {
+          break;
+        }
+      }
+      std::string text(src.substr(i, j - i));
+      Token t;
+      t.line = line;
+      if (is_float_literal(text)) {
+        char* end = nullptr;
+        t.kind = Tok::kDoubleLit;
+        t.double_value = std::strtod(text.c_str(), &end);
+        if (end != text.c_str() + text.size()) {
+          fail(line, "bad float literal '" + text + "'");
+        }
+      } else {
+        // Strip C suffixes (u, U, l, L) for host-compatible sources.
+        std::size_t len = text.size();
+        while (len > 0 && std::strchr("uUlL", text[len - 1])) --len;
+        const std::string digits = text.substr(0, len);
+        char* end = nullptr;
+        t.kind = Tok::kIntLit;
+        t.int_value = std::strtoll(digits.c_str(), &end, 0);
+        if (end != digits.c_str() + digits.size() || digits.empty()) {
+          fail(line, "bad integer literal '" + text + "'");
+        }
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    if (c == '\'') {
+      std::size_t j = i + 1;
+      if (j >= src.size()) fail(line, "unterminated char literal");
+      char value = src[j];
+      if (value == '\\') {
+        ++j;
+        if (j >= src.size()) fail(line, "unterminated char literal");
+        value = unescape(src[j], line);
+      }
+      ++j;
+      if (j >= src.size() || src[j] != '\'') {
+        fail(line, "unterminated char literal");
+      }
+      Token t;
+      t.line = line;
+      t.kind = Tok::kIntLit;
+      t.int_value = static_cast<unsigned char>(value);
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+    if (c == '"') {
+      std::string value;
+      std::size_t j = i + 1;
+      while (j < src.size() && src[j] != '"') {
+        char d = src[j];
+        if (d == '\n') fail(line, "newline in string literal");
+        if (d == '\\') {
+          ++j;
+          if (j >= src.size()) fail(line, "unterminated string");
+          d = unescape(src[j], line);
+        }
+        value.push_back(d);
+        ++j;
+      }
+      if (j >= src.size()) fail(line, "unterminated string");
+      Token t;
+      t.line = line;
+      t.kind = Tok::kStrLit;
+      t.text = std::move(value);
+      out.push_back(std::move(t));
+      i = j + 1;
+      continue;
+    }
+
+    // Operators, longest match first.
+    const std::string_view rest = src.substr(i);
+    struct OpTok {
+      const char* text;
+      Tok kind;
+    };
+    static constexpr OpTok kOps[] = {
+        {"<<=", Tok::kShlEq}, {">>=", Tok::kShrEq},
+        {"==", Tok::kEqEq},   {"!=", Tok::kNotEq},
+        {"<=", Tok::kLe},     {">=", Tok::kGe},
+        {"<<", Tok::kShl},    {">>", Tok::kShr},
+        {"&&", Tok::kAndAnd}, {"||", Tok::kOrOr},
+        {"+=", Tok::kPlusEq}, {"-=", Tok::kMinusEq},
+        {"*=", Tok::kStarEq}, {"/=", Tok::kSlashEq},
+        {"%=", Tok::kPercentEq},
+        {"&=", Tok::kAmpEq},  {"|=", Tok::kPipeEq},
+        {"^=", Tok::kCaretEq},
+        {"++", Tok::kPlusPlus}, {"--", Tok::kMinusMinus},
+        {"(", Tok::kLParen},  {")", Tok::kRParen},
+        {"{", Tok::kLBrace},  {"}", Tok::kRBrace},
+        {"[", Tok::kLBracket}, {"]", Tok::kRBracket},
+        {";", Tok::kSemi},    {",", Tok::kComma},
+        {"=", Tok::kAssign},  {"+", Tok::kPlus},
+        {"-", Tok::kMinus},   {"*", Tok::kStar},
+        {"/", Tok::kSlash},   {"%", Tok::kPercent},
+        {"&", Tok::kAmp},     {"|", Tok::kPipe},
+        {"^", Tok::kCaret},   {"~", Tok::kTilde},
+        {"!", Tok::kBang},    {"<", Tok::kLt},
+        {">", Tok::kGt},      {"?", Tok::kQuestion},
+        {":", Tok::kColon},
+    };
+    bool matched = false;
+    for (const auto& op : kOps) {
+      const std::size_t n = std::strlen(op.text);
+      if (rest.substr(0, n) == op.text) {
+        push(op.kind);
+        i += n;
+        matched = true;
+        break;
+      }
+    }
+    if (!matched) {
+      fail(line, std::string("unexpected character '") + c + "'");
+    }
+  }
+  Token eof;
+  eof.kind = Tok::kEof;
+  eof.line = line;
+  out.push_back(eof);
+  return out;
+}
+
+namespace {
+
+// Removes // and /* */ comments, preserving newlines for line numbers.
+std::string strip_comments(std::string_view src) {
+  std::string out;
+  out.reserve(src.size());
+  std::size_t i = 0;
+  bool in_str = false;
+  char str_quote = 0;
+  while (i < src.size()) {
+    const char c = src[i];
+    if (in_str) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < src.size()) {
+        out.push_back(src[i + 1]);
+        i += 2;
+        continue;
+      }
+      if (c == str_quote) in_str = false;
+      ++i;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_str = true;
+      str_quote = c;
+      out.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '/') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < src.size() && src[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < src.size() && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i = std::min(i + 2, src.size());
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Token> preprocess_and_lex(
+    std::string_view source,
+    const std::map<std::string, std::string>& defines) {
+  const std::string clean = strip_comments(source);
+
+  // Macro table: name -> replacement token list.
+  std::map<std::string, std::vector<Token>> macros;
+  for (const auto& [name, body] : defines) {
+    auto toks = lex(body);
+    toks.pop_back();  // drop EOF
+    macros[name] = std::move(toks);
+  }
+
+  // Line-based directive pass.
+  std::string filtered;
+  filtered.reserve(clean.size());
+  std::vector<bool> active_stack;  // per #if level
+  const auto active = [&] {
+    for (const bool a : active_stack) {
+      if (!a) return false;
+    }
+    return true;
+  };
+
+  int line_no = 0;
+  std::size_t pos = 0;
+  while (pos <= clean.size()) {
+    const std::size_t eol = clean.find('\n', pos);
+    const std::string_view raw = std::string_view(clean).substr(
+        pos, eol == std::string::npos ? clean.size() - pos : eol - pos);
+    ++line_no;
+    std::string_view text = raw;
+    while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front())))
+      text.remove_prefix(1);
+
+    if (!text.empty() && text.front() == '#') {
+      text.remove_prefix(1);
+      while (!text.empty() &&
+             std::isspace(static_cast<unsigned char>(text.front())))
+        text.remove_prefix(1);
+      const std::size_t name_end = text.find_first_of(" \t");
+      const std::string_view directive = text.substr(0, name_end);
+      std::string_view rest =
+          name_end == std::string_view::npos ? "" : text.substr(name_end);
+      while (!rest.empty() &&
+             std::isspace(static_cast<unsigned char>(rest.front())))
+        rest.remove_prefix(1);
+      while (!rest.empty() &&
+             std::isspace(static_cast<unsigned char>(rest.back())))
+        rest.remove_suffix(1);
+
+      if (directive == "define") {
+        if (active()) {
+          const std::size_t sp = rest.find_first_of(" \t");
+          const std::string name(rest.substr(0, sp));
+          if (name.empty()) fail(line_no, "#define without a name");
+          if (name.find('(') != std::string::npos ||
+              (sp != std::string_view::npos && rest[sp] == '(')) {
+            fail(line_no, "function-like macros are not supported");
+          }
+          const std::string body(
+              sp == std::string_view::npos ? "" : rest.substr(sp + 1));
+          auto toks = lex(body, line_no);
+          toks.pop_back();
+          macros[name] = std::move(toks);
+        }
+      } else if (directive == "undef") {
+        if (active()) macros.erase(std::string(rest));
+      } else if (directive == "ifdef" || directive == "ifndef") {
+        const bool defined = macros.count(std::string(rest)) != 0;
+        active_stack.push_back(directive == "ifdef" ? defined : !defined);
+      } else if (directive == "else") {
+        if (active_stack.empty()) fail(line_no, "#else without #ifdef");
+        active_stack.back() = !active_stack.back();
+      } else if (directive == "endif") {
+        if (active_stack.empty()) fail(line_no, "#endif without #ifdef");
+        active_stack.pop_back();
+      } else {
+        fail(line_no, "unsupported directive #" + std::string(directive));
+      }
+      filtered += '\n';  // keep line numbering
+    } else {
+      if (active()) filtered += std::string(raw);
+      filtered += '\n';
+    }
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  if (!active_stack.empty()) fail(line_no, "unterminated #ifdef");
+
+  // Lex, then expand macros token-wise (recursively, with a depth guard).
+  const std::vector<Token> raw_tokens = lex(filtered);
+  std::vector<Token> out;
+  out.reserve(raw_tokens.size());
+  const std::function<void(const Token&, int)> expand =
+      [&](const Token& t, int depth) {
+        if (t.kind == Tok::kIdent) {
+          const auto it = macros.find(t.text);
+          if (it != macros.end()) {
+            if (depth > 16) fail(t.line, "macro expansion too deep");
+            for (const Token& body_tok : it->second) {
+              Token copy = body_tok;
+              copy.line = t.line;
+              expand(copy, depth + 1);
+            }
+            return;
+          }
+        }
+        out.push_back(t);
+      };
+  for (const Token& t : raw_tokens) {
+    if (t.kind == Tok::kEof) {
+      out.push_back(t);
+      break;
+    }
+    expand(t, 0);
+  }
+  return out;
+}
+
+}  // namespace nfp::mcc

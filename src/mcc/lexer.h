@@ -1,0 +1,35 @@
+// Micro-C lexer and preprocessor.
+//
+// The preprocessor supports only what dual-compilation needs:
+//   #define NAME <tokens>      (object-like macros)
+//   #ifdef NAME / #ifndef NAME / #else / #endif
+// `MC_TARGET` is predefined when compiling for the simulator, so sources can
+// guard target-only code (e.g. the `main` that reads the memory-mapped I/O
+// windows) from the host build and vice versa.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mcc/token.h"
+
+namespace nfp::mcc {
+
+struct CompileError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+// Lexes a raw source fragment (no preprocessing). Used internally and for
+// macro bodies.
+std::vector<Token> lex(std::string_view source, int first_line = 1);
+
+// Full front-end pass: strip comments, run the preprocessor, lex, and
+// expand macros. `defines` seeds predefined macros (e.g. MC_TARGET).
+std::vector<Token> preprocess_and_lex(
+    std::string_view source,
+    const std::map<std::string, std::string>& defines);
+
+}  // namespace nfp::mcc

@@ -1,0 +1,759 @@
+#include "mcc/parser.h"
+
+#include <cmath>
+
+namespace nfp::mcc {
+namespace {
+
+[[noreturn]] void fail(int line, const std::string& message) {
+  throw CompileError("mcc line " + std::to_string(line) + ": " + message);
+}
+
+class Parser {
+ public:
+  Parser(const std::vector<Token>& tokens, TranslationUnit& unit)
+      : toks_(tokens), unit_(unit) {}
+
+  void run() {
+    while (peek().kind != Tok::kEof) {
+      parse_top_level();
+    }
+  }
+
+ private:
+  // ---- token helpers -------------------------------------------------------
+  const Token& peek(std::size_t ahead = 0) const {
+    const std::size_t i = pos_ + ahead;
+    return i < toks_.size() ? toks_[i] : toks_.back();
+  }
+  const Token& next() {
+    const Token& t = peek();
+    if (t.kind != Tok::kEof) ++pos_;
+    return t;
+  }
+  bool accept(Tok kind) {
+    if (peek().kind == kind) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+  const Token& expect(Tok kind, const char* what) {
+    if (peek().kind != kind) {
+      fail(peek().line, std::string("expected ") + what);
+    }
+    return toks_[pos_++];
+  }
+  int line() const { return peek().line; }
+
+  // ---- types ---------------------------------------------------------------
+  static bool is_type_start(Tok kind) {
+    switch (kind) {
+      case Tok::kKwVoid: case Tok::kKwInt: case Tok::kKwUnsigned:
+      case Tok::kKwChar: case Tok::kKwShort: case Tok::kKwDouble:
+      case Tok::kKwSigned: case Tok::kKwConst: case Tok::kKwStatic:
+        return true;
+      default:
+        return false;
+    }
+  }
+
+  // Base type specifier (no declarator). Consumes const/static qualifiers.
+  Type parse_base_type() {
+    while (accept(Tok::kKwConst) || accept(Tok::kKwStatic)) {
+    }
+    bool is_unsigned = false;
+    bool saw_sign = false;
+    if (accept(Tok::kKwUnsigned)) {
+      is_unsigned = true;
+      saw_sign = true;
+    } else if (accept(Tok::kKwSigned)) {
+      saw_sign = true;
+    }
+    Type base = type_int();
+    switch (peek().kind) {
+      case Tok::kKwVoid:
+        if (saw_sign) fail(line(), "signed/unsigned void");
+        next();
+        base = type_void();
+        break;
+      case Tok::kKwChar:
+        next();
+        base = Type::basic(is_unsigned ? Type::K::kUChar : Type::K::kChar);
+        break;
+      case Tok::kKwShort:
+        next();
+        accept(Tok::kKwInt);
+        base = Type::basic(is_unsigned ? Type::K::kUShort : Type::K::kShort);
+        break;
+      case Tok::kKwInt:
+        next();
+        base = is_unsigned ? type_uint() : type_int();
+        break;
+      case Tok::kKwDouble:
+        if (saw_sign) fail(line(), "signed/unsigned double");
+        next();
+        base = type_double();
+        break;
+      default:
+        if (!saw_sign) fail(line(), "expected type specifier");
+        base = is_unsigned ? type_uint() : type_int();
+        break;
+    }
+    while (accept(Tok::kKwConst)) {
+    }
+    return base;
+  }
+
+  Type parse_pointers(Type base) {
+    while (accept(Tok::kStar)) {
+      base = Type::ptr(base);
+      while (accept(Tok::kKwConst)) {
+      }
+    }
+    return base;
+  }
+
+  // Trailing array dimensions: name[3][4] builds arr(arr(base,4),3).
+  Type parse_array_suffix(Type base) {
+    std::vector<std::uint32_t> dims;
+    while (accept(Tok::kLBracket)) {
+      const ExprPtr dim = parse_ternary();
+      const std::int64_t n = eval_const_int(*dim);
+      if (n <= 0) fail(line(), "array size must be positive");
+      dims.push_back(static_cast<std::uint32_t>(n));
+      expect(Tok::kRBracket, "]");
+    }
+    for (auto it = dims.rbegin(); it != dims.rend(); ++it) {
+      base = Type::arr(base, *it);
+    }
+    return base;
+  }
+
+  // ---- top level -------------------------------------------------------------
+  void parse_top_level() {
+    if (!is_type_start(peek().kind)) {
+      fail(line(), "expected declaration");
+    }
+    const Type base = parse_base_type();
+    const Type with_ptr = parse_pointers(base);
+    const Token& name_tok = expect(Tok::kIdent, "declarator name");
+    const std::string name = name_tok.text;
+
+    if (peek().kind == Tok::kLParen) {
+      parse_function(with_ptr, name, name_tok.line);
+      return;
+    }
+    parse_global(with_ptr, name, name_tok.line);
+    while (accept(Tok::kComma)) {
+      const Type t2 = parse_pointers(base);
+      const Token& n2 = expect(Tok::kIdent, "declarator name");
+      parse_global(t2, n2.text, n2.line);
+    }
+    expect(Tok::kSemi, ";");
+  }
+
+  void parse_function(const Type& ret, const std::string& name, int fline) {
+    Function fn;
+    fn.name = name;
+    fn.return_type = ret;
+    fn.line = fline;
+    expect(Tok::kLParen, "(");
+    if (!accept(Tok::kRParen)) {
+      if (peek().kind == Tok::kKwVoid && peek(1).kind == Tok::kRParen) {
+        next();
+        next();
+      } else {
+        while (true) {
+          Type pt = parse_pointers(parse_base_type());
+          const Token& pn = expect(Tok::kIdent, "parameter name");
+          pt = parse_array_suffix(pt);
+          if (pt.is_array()) pt = Type::ptr(pt.elem());  // decay
+          if (pt.is_void()) fail(pn.line, "void parameter");
+          fn.params.push_back({pn.text, pt});
+          if (!accept(Tok::kComma)) break;
+        }
+        expect(Tok::kRParen, ")");
+      }
+    }
+    if (accept(Tok::kSemi)) {
+      unit_.functions.push_back(std::move(fn));  // prototype
+      return;
+    }
+    fn.body = parse_block();
+    unit_.functions.push_back(std::move(fn));
+  }
+
+  void parse_global(Type type, const std::string& name, int gline) {
+    type = parse_array_suffix(type);
+    if (type.is_void()) fail(gline, "void variable");
+    GlobalVar g;
+    g.name = name;
+    g.type = type;
+    g.line = gline;
+    if (accept(Tok::kAssign)) {
+      g.has_init = true;
+      parse_global_init(g);
+    }
+    unit_.globals.push_back(std::move(g));
+  }
+
+  void parse_global_init(GlobalVar& g) {
+    const Type elem = g.type.is_array() ? innermost_elem(g.type) : g.type;
+    if (accept(Tok::kLBrace)) {
+      if (!g.type.is_array()) fail(line(), "brace init on non-array");
+      if (!accept(Tok::kRBrace)) {
+        while (true) {
+          push_global_scalar(g, elem);
+          if (!accept(Tok::kComma)) break;
+          if (peek().kind == Tok::kRBrace) break;  // trailing comma
+        }
+        expect(Tok::kRBrace, "}");
+      }
+      const std::uint32_t capacity = g.type.size() / elem.size();
+      const std::size_t count =
+          elem.is_double() ? g.double_inits.size() : g.int_inits.size();
+      if (count > capacity) fail(g.line, "too many initialisers");
+      return;
+    }
+    if (peek().kind == Tok::kStrLit && g.type.is_array() &&
+        elem.size() == 1) {
+      const Token& s = next();
+      for (const char c : s.text) g.int_inits.push_back(c);
+      g.int_inits.push_back(0);
+      if (g.int_inits.size() > g.type.size()) {
+        fail(s.line, "string too long for array");
+      }
+      return;
+    }
+    push_global_scalar(g, elem);
+  }
+
+  void push_global_scalar(GlobalVar& g, const Type& elem) {
+    const ExprPtr e = parse_ternary();
+    if (elem.is_double()) {
+      g.double_inits.push_back(eval_const_double(*e));
+    } else {
+      g.int_inits.push_back(eval_const_int(*e));
+    }
+  }
+
+  static Type innermost_elem(Type t) {
+    while (t.is_array()) t = t.elem();
+    return t;
+  }
+
+  // ---- constant expressions -----------------------------------------------
+  static std::int64_t eval_const_int(const Expr& e) {
+    switch (e.kind) {
+      case Expr::K::kIntLit:
+        return e.int_value;
+      case Expr::K::kSizeof:
+        return e.cast_type.size();
+      case Expr::K::kCast:
+        return eval_const_int(*e.lhs);
+      case Expr::K::kUnary:
+        switch (e.un_op) {
+          case UnOp::kNeg: return -eval_const_int(*e.lhs);
+          case UnOp::kBitNot: return ~eval_const_int(*e.lhs);
+          case UnOp::kNot: return eval_const_int(*e.lhs) == 0 ? 1 : 0;
+          default: break;
+        }
+        break;
+      case Expr::K::kBinary: {
+        const std::int64_t a = eval_const_int(*e.lhs);
+        const std::int64_t b = eval_const_int(*e.rhs);
+        switch (e.bin_op) {
+          case BinOp::kAdd: return a + b;
+          case BinOp::kSub: return a - b;
+          case BinOp::kMul: return a * b;
+          case BinOp::kDiv:
+            if (b == 0) fail(e.line, "constant division by zero");
+            return a / b;
+          case BinOp::kMod:
+            if (b == 0) fail(e.line, "constant division by zero");
+            return a % b;
+          case BinOp::kShl: return a << (b & 31);
+          case BinOp::kShr: return a >> (b & 31);
+          case BinOp::kAnd: return a & b;
+          case BinOp::kOr: return a | b;
+          case BinOp::kXor: return a ^ b;
+          default: break;
+        }
+        break;
+      }
+      default:
+        break;
+    }
+    fail(e.line, "expression is not an integer constant");
+  }
+
+  static double eval_const_double(const Expr& e) {
+    switch (e.kind) {
+      case Expr::K::kDoubleLit:
+        return e.double_value;
+      case Expr::K::kUnary:
+        if (e.un_op == UnOp::kNeg) return -eval_const_double(*e.lhs);
+        break;
+      case Expr::K::kIntLit:
+        return static_cast<double>(e.int_value);
+      case Expr::K::kCast:
+        return eval_const_double(*e.lhs);
+      default:
+        break;
+    }
+    fail(e.line, "expression is not a floating constant");
+  }
+
+  // ---- statements -----------------------------------------------------------
+  StmtPtr parse_block() {
+    auto s = std::make_unique<Stmt>();
+    s->kind = Stmt::K::kBlock;
+    s->line = line();
+    expect(Tok::kLBrace, "{");
+    while (!accept(Tok::kRBrace)) {
+      if (peek().kind == Tok::kEof) fail(line(), "unterminated block");
+      parse_statement_into(s->block);
+    }
+    return s;
+  }
+
+  void parse_statement_into(std::vector<StmtPtr>& out) {
+    if (is_type_start(peek().kind)) {
+      parse_local_decls(out);
+      return;
+    }
+    out.push_back(parse_statement());
+  }
+
+  void parse_local_decls(std::vector<StmtPtr>& out) {
+    const Type base = parse_base_type();
+    while (true) {
+      Type t = parse_pointers(base);
+      const Token& name = expect(Tok::kIdent, "variable name");
+      t = parse_array_suffix(t);
+      if (t.is_void()) fail(name.line, "void variable");
+      auto s = std::make_unique<Stmt>();
+      s->kind = Stmt::K::kDecl;
+      s->line = name.line;
+      s->decl.name = name.text;
+      s->decl.type = t;
+      s->decl.line = name.line;
+      if (accept(Tok::kAssign)) {
+        if (t.is_array()) fail(name.line, "local array initialisers are not supported");
+        s->decl.init = parse_assignment();
+      }
+      out.push_back(std::move(s));
+      if (!accept(Tok::kComma)) break;
+    }
+    expect(Tok::kSemi, ";");
+  }
+
+  StmtPtr parse_statement() {
+    auto s = std::make_unique<Stmt>();
+    s->line = line();
+    switch (peek().kind) {
+      case Tok::kLBrace:
+        return parse_block();
+      case Tok::kSemi:
+        next();
+        s->kind = Stmt::K::kEmpty;
+        return s;
+      case Tok::kKwIf: {
+        next();
+        s->kind = Stmt::K::kIf;
+        expect(Tok::kLParen, "(");
+        s->expr = parse_expression();
+        expect(Tok::kRParen, ")");
+        s->body = parse_statement();
+        if (accept(Tok::kKwElse)) s->else_body = parse_statement();
+        return s;
+      }
+      case Tok::kKwWhile: {
+        next();
+        s->kind = Stmt::K::kWhile;
+        expect(Tok::kLParen, "(");
+        s->expr = parse_expression();
+        expect(Tok::kRParen, ")");
+        s->body = parse_statement();
+        return s;
+      }
+      case Tok::kKwDo: {
+        next();
+        s->kind = Stmt::K::kDoWhile;
+        s->body = parse_statement();
+        if (!accept(Tok::kKwWhile)) fail(line(), "expected while after do");
+        expect(Tok::kLParen, "(");
+        s->expr = parse_expression();
+        expect(Tok::kRParen, ")");
+        expect(Tok::kSemi, ";");
+        return s;
+      }
+      case Tok::kKwFor: {
+        next();
+        s->kind = Stmt::K::kFor;
+        expect(Tok::kLParen, "(");
+        if (!accept(Tok::kSemi)) {
+          if (is_type_start(peek().kind)) {
+            std::vector<StmtPtr> decls;
+            parse_local_decls(decls);
+            if (decls.size() != 1) {
+              fail(s->line, "for-init supports a single declaration");
+            }
+            s->init_decl = std::move(decls[0]);
+          } else {
+            s->init_expr = parse_expression();
+            expect(Tok::kSemi, ";");
+          }
+        }
+        if (!accept(Tok::kSemi)) {
+          s->expr = parse_expression();
+          expect(Tok::kSemi, ";");
+        }
+        if (!accept(Tok::kRParen)) {
+          s->step = parse_expression();
+          expect(Tok::kRParen, ")");
+        }
+        s->body = parse_statement();
+        return s;
+      }
+      case Tok::kKwReturn: {
+        next();
+        s->kind = Stmt::K::kReturn;
+        if (!accept(Tok::kSemi)) {
+          s->expr = parse_expression();
+          expect(Tok::kSemi, ";");
+        }
+        return s;
+      }
+      case Tok::kKwBreak:
+        next();
+        expect(Tok::kSemi, ";");
+        s->kind = Stmt::K::kBreak;
+        return s;
+      case Tok::kKwContinue:
+        next();
+        expect(Tok::kSemi, ";");
+        s->kind = Stmt::K::kContinue;
+        return s;
+      default: {
+        s->kind = Stmt::K::kExpr;
+        s->expr = parse_expression();
+        expect(Tok::kSemi, ";");
+        return s;
+      }
+    }
+  }
+
+  // ---- expressions -----------------------------------------------------------
+  ExprPtr make(Expr::K kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = line();
+    return e;
+  }
+
+  ExprPtr parse_expression() { return parse_assignment(); }
+
+  ExprPtr parse_assignment() {
+    ExprPtr lhs = parse_ternary();
+    const Tok k = peek().kind;
+    const bool compound =
+        k == Tok::kPlusEq || k == Tok::kMinusEq || k == Tok::kStarEq ||
+        k == Tok::kSlashEq || k == Tok::kPercentEq || k == Tok::kAmpEq ||
+        k == Tok::kPipeEq || k == Tok::kCaretEq || k == Tok::kShlEq ||
+        k == Tok::kShrEq;
+    if (k == Tok::kAssign || compound) {
+      const int l = line();
+      next();
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::K::kAssign;
+      e->line = l;
+      e->flag = compound;  // compound assignment: evaluate lvalue once
+      if (compound) {
+        switch (k) {
+          case Tok::kPlusEq: e->bin_op = BinOp::kAdd; break;
+          case Tok::kMinusEq: e->bin_op = BinOp::kSub; break;
+          case Tok::kStarEq: e->bin_op = BinOp::kMul; break;
+          case Tok::kSlashEq: e->bin_op = BinOp::kDiv; break;
+          case Tok::kPercentEq: e->bin_op = BinOp::kMod; break;
+          case Tok::kAmpEq: e->bin_op = BinOp::kAnd; break;
+          case Tok::kPipeEq: e->bin_op = BinOp::kOr; break;
+          case Tok::kCaretEq: e->bin_op = BinOp::kXor; break;
+          case Tok::kShlEq: e->bin_op = BinOp::kShl; break;
+          case Tok::kShrEq: e->bin_op = BinOp::kShr; break;
+          default: break;
+        }
+      }
+      e->lhs = std::move(lhs);
+      e->rhs = parse_assignment();
+      return e;
+    }
+    return lhs;
+  }
+
+  ExprPtr parse_ternary() {
+    ExprPtr c = parse_binary(0);
+    if (accept(Tok::kQuestion)) {
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::K::kCond;
+      e->line = c->line;
+      e->cond = std::move(c);
+      e->lhs = parse_assignment();
+      expect(Tok::kColon, ":");
+      e->rhs = parse_ternary();
+      return e;
+    }
+    return c;
+  }
+
+  struct BinLevel {
+    Tok tok;
+    BinOp op;
+    int prec;
+  };
+
+  static const BinLevel* binary_level(Tok kind) {
+    static constexpr BinLevel kLevels[] = {
+        {Tok::kOrOr, BinOp::kLogOr, 1},
+        {Tok::kAndAnd, BinOp::kLogAnd, 2},
+        {Tok::kPipe, BinOp::kOr, 3},
+        {Tok::kCaret, BinOp::kXor, 4},
+        {Tok::kAmp, BinOp::kAnd, 5},
+        {Tok::kEqEq, BinOp::kEq, 6},
+        {Tok::kNotEq, BinOp::kNe, 6},
+        {Tok::kLt, BinOp::kLt, 7},
+        {Tok::kLe, BinOp::kLe, 7},
+        {Tok::kGt, BinOp::kGt, 7},
+        {Tok::kGe, BinOp::kGe, 7},
+        {Tok::kShl, BinOp::kShl, 8},
+        {Tok::kShr, BinOp::kShr, 8},
+        {Tok::kPlus, BinOp::kAdd, 9},
+        {Tok::kMinus, BinOp::kSub, 9},
+        {Tok::kStar, BinOp::kMul, 10},
+        {Tok::kSlash, BinOp::kDiv, 10},
+        {Tok::kPercent, BinOp::kMod, 10},
+    };
+    for (const auto& level : kLevels) {
+      if (level.tok == kind) return &level;
+    }
+    return nullptr;
+  }
+
+  ExprPtr parse_binary(int min_prec) {
+    ExprPtr lhs = parse_unary();
+    while (true) {
+      const BinLevel* level = binary_level(peek().kind);
+      if (level == nullptr || level->prec < min_prec) return lhs;
+      const int l = line();
+      next();
+      ExprPtr rhs = parse_binary(level->prec + 1);
+      auto e = std::make_unique<Expr>();
+      e->kind = Expr::K::kBinary;
+      e->line = l;
+      e->bin_op = level->op;
+      e->lhs = std::move(lhs);
+      e->rhs = std::move(rhs);
+      lhs = std::move(e);
+    }
+  }
+
+  bool at_cast() const {
+    return peek().kind == Tok::kLParen && is_type_start(peek(1).kind);
+  }
+
+  ExprPtr parse_unary() {
+    const int l = line();
+    switch (peek().kind) {
+      case Tok::kMinus: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kUnary;
+        e->line = l;
+        e->un_op = UnOp::kNeg;
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kPlus:
+        next();
+        return parse_unary();
+      case Tok::kBang: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kUnary;
+        e->line = l;
+        e->un_op = UnOp::kNot;
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kTilde: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kUnary;
+        e->line = l;
+        e->un_op = UnOp::kBitNot;
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kStar: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kUnary;
+        e->line = l;
+        e->un_op = UnOp::kDeref;
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kAmp: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kUnary;
+        e->line = l;
+        e->un_op = UnOp::kAddr;
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kPlusPlus:
+      case Tok::kMinusMinus: {
+        const bool inc = peek().kind == Tok::kPlusPlus;
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kIncDec;
+        e->line = l;
+        e->int_value = inc ? 1 : -1;
+        e->flag = true;  // prefix
+        e->lhs = parse_unary();
+        return e;
+      }
+      case Tok::kKwSizeof: {
+        next();
+        expect(Tok::kLParen, "(");
+        Type t = parse_pointers(parse_base_type());
+        t = parse_array_suffix(t);
+        expect(Tok::kRParen, ")");
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kSizeof;
+        e->line = l;
+        e->cast_type = t;
+        return e;
+      }
+      case Tok::kLParen:
+        if (at_cast()) {
+          next();
+          Type t = parse_pointers(parse_base_type());
+          expect(Tok::kRParen, ")");
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::K::kCast;
+          e->line = l;
+          e->cast_type = t;
+          e->lhs = parse_unary();
+          return e;
+        }
+        return parse_postfix();
+      default:
+        return parse_postfix();
+    }
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_primary();
+    while (true) {
+      if (accept(Tok::kLBracket)) {
+        auto idx = std::make_unique<Expr>();
+        idx->kind = Expr::K::kIndex;
+        idx->line = e->line;
+        idx->lhs = std::move(e);
+        idx->rhs = parse_expression();
+        expect(Tok::kRBracket, "]");
+        e = std::move(idx);
+        continue;
+      }
+      if (peek().kind == Tok::kPlusPlus || peek().kind == Tok::kMinusMinus) {
+        const bool inc = peek().kind == Tok::kPlusPlus;
+        next();
+        auto pe = std::make_unique<Expr>();
+        pe->kind = Expr::K::kIncDec;
+        pe->line = e->line;
+        pe->int_value = inc ? 1 : -1;
+        pe->flag = false;  // postfix
+        pe->lhs = std::move(e);
+        e = std::move(pe);
+        continue;
+      }
+      return e;
+    }
+  }
+
+  ExprPtr parse_primary() {
+    const Token& t = peek();
+    switch (t.kind) {
+      case Tok::kIntLit: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kIntLit;
+        e->line = t.line;
+        e->int_value = t.int_value;
+        return e;
+      }
+      case Tok::kDoubleLit: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kDoubleLit;
+        e->line = t.line;
+        e->double_value = t.double_value;
+        return e;
+      }
+      case Tok::kStrLit: {
+        next();
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kStrLit;
+        e->line = t.line;
+        e->text = t.text;
+        return e;
+      }
+      case Tok::kIdent: {
+        next();
+        if (peek().kind == Tok::kLParen) {
+          next();
+          auto e = std::make_unique<Expr>();
+          e->kind = Expr::K::kCall;
+          e->line = t.line;
+          e->text = t.text;
+          if (!accept(Tok::kRParen)) {
+            while (true) {
+              e->args.push_back(parse_assignment());
+              if (!accept(Tok::kComma)) break;
+            }
+            expect(Tok::kRParen, ")");
+          }
+          return e;
+        }
+        auto e = std::make_unique<Expr>();
+        e->kind = Expr::K::kVar;
+        e->line = t.line;
+        e->text = t.text;
+        return e;
+      }
+      case Tok::kLParen: {
+        next();
+        ExprPtr e = parse_expression();
+        expect(Tok::kRParen, ")");
+        return e;
+      }
+      default:
+        fail(t.line, "expected expression");
+    }
+  }
+
+  const std::vector<Token>& toks_;
+  TranslationUnit& unit_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+void parse_into(const std::vector<Token>& tokens, TranslationUnit& unit) {
+  Parser(tokens, unit).run();
+}
+
+}  // namespace nfp::mcc

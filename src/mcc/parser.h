@@ -1,0 +1,16 @@
+// Recursive-descent parser for Micro-C.
+#pragma once
+
+#include <vector>
+
+#include "mcc/ast.h"
+#include "mcc/lexer.h"
+
+namespace nfp::mcc {
+
+// Parses one preprocessed token stream into `unit` (so multiple source files
+// accumulate into a single translation unit, mirroring whole-program
+// compilation of a bare-metal kernel).
+void parse_into(const std::vector<Token>& tokens, TranslationUnit& unit);
+
+}  // namespace nfp::mcc

@@ -1,0 +1,228 @@
+#include "mcc/peephole.h"
+
+#include <vector>
+
+namespace nfp::mcc {
+namespace {
+
+struct Line {
+  std::string text;     // full original line
+  std::string trimmed;  // without indentation
+  bool is_label = false;
+  bool removed = false;
+};
+
+std::vector<Line> split_lines(const std::string& text) {
+  std::vector<Line> lines;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t eol = text.find('\n', pos);
+    const std::string line =
+        text.substr(pos, eol == std::string::npos ? std::string::npos
+                                                  : eol - pos);
+    Line entry;
+    entry.text = line;
+    const std::size_t start = line.find_first_not_of(" \t");
+    entry.trimmed = start == std::string::npos ? "" : line.substr(start);
+    entry.is_label =
+        !entry.trimmed.empty() && entry.trimmed.back() == ':' &&
+        start == 0;  // labels are emitted at column zero
+    lines.push_back(std::move(entry));
+    if (eol == std::string::npos) break;
+    pos = eol + 1;
+  }
+  return lines;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// "st %l0, [%sp+24]" -> ("%l0", "[%sp+24]"); empty on mismatch.
+bool parse_st_sp(const std::string& s, std::string* reg, std::string* slot) {
+  if (!starts_with(s, "st ")) return false;
+  const std::size_t comma = s.find(", [%sp+");
+  if (comma == std::string::npos) return false;
+  *reg = s.substr(3, comma - 3);
+  *slot = s.substr(comma + 2);
+  return !slot->empty() && slot->back() == ']';
+}
+
+bool parse_ld_sp(const std::string& s, std::string* slot, std::string* reg) {
+  if (!starts_with(s, "ld [%sp+")) return false;
+  const std::size_t close = s.find("], ");
+  if (close == std::string::npos) return false;
+  *slot = s.substr(3, close - 2);  // includes brackets
+  *reg = s.substr(close + 3);
+  return true;
+}
+
+// "mov %l0, %l1" -> ("%l0", "%l1"); also matches "mov 5, %l1" with src "5".
+bool parse_mov(const std::string& s, std::string* src, std::string* dst) {
+  if (!starts_with(s, "mov ")) return false;
+  const std::size_t comma = s.find(", ");
+  if (comma == std::string::npos) return false;
+  *src = s.substr(4, comma - 4);
+  *dst = s.substr(comma + 2);
+  return !src->empty() && !dst->empty() &&
+         dst->find(' ') == std::string::npos;
+}
+
+bool is_pool_register(const std::string& reg) {
+  static const char* const kPool[] = {"%l0", "%l1", "%l2", "%l3",
+                                      "%l4", "%l5", "%l6", "%l7",
+                                      "%g2", "%g3", "%g4"};
+  for (const char* p : kPool) {
+    if (reg == p) return true;
+  }
+  return false;
+}
+
+bool parse_simm13(const std::string& text, long* value) {
+  if (text.empty() || text[0] == '%') return false;
+  char* end = nullptr;
+  *value = std::strtol(text.c_str(), &end, 0);
+  return end == text.c_str() + text.size() && *value >= -4096 &&
+         *value <= 4095;
+}
+
+// Three-operand ALU line "op %rA, %rB, %rD" with a foldable opcode.
+bool parse_alu3(const std::string& s, std::string* op, std::string* ra,
+                std::string* rb, std::string* rd) {
+  static const char* const kFoldable[] = {"add", "sub", "and", "or",
+                                          "xor", "sll", "srl", "sra",
+                                          "smul", "umul"};
+  const std::size_t sp = s.find(' ');
+  if (sp == std::string::npos) return false;
+  *op = s.substr(0, sp);
+  bool known = false;
+  for (const char* k : kFoldable) {
+    if (*op == k) known = true;
+  }
+  if (!known) return false;
+  const std::string rest = s.substr(sp + 1);
+  const std::size_t c1 = rest.find(", ");
+  if (c1 == std::string::npos) return false;
+  const std::size_t c2 = rest.find(", ", c1 + 2);
+  if (c2 == std::string::npos) return false;
+  *ra = rest.substr(0, c1);
+  *rb = rest.substr(c1 + 2, c2 - c1 - 2);
+  *rd = rest.substr(c2 + 2);
+  return !ra->empty() && !rb->empty() && !rd->empty();
+}
+
+}  // namespace
+
+std::string peephole_optimize(const std::string& asm_text,
+                              PeepholeStats* stats) {
+  std::vector<Line> lines = split_lines(asm_text);
+  PeepholeStats local;
+
+  // Window 1: st/ld forwarding.
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    if (lines[i].removed || lines[i].is_label) continue;
+    std::string st_reg, st_slot;
+    if (!parse_st_sp(lines[i].trimmed, &st_reg, &st_slot)) continue;
+    // The very next line (no labels in between) must be the matching load.
+    const std::size_t j = i + 1;
+    if (lines[j].removed || lines[j].is_label) continue;
+    std::string ld_slot, ld_reg;
+    if (!parse_ld_sp(lines[j].trimmed, &ld_slot, &ld_reg)) continue;
+    if (ld_slot != st_slot) continue;
+    if (ld_reg == st_reg) {
+      lines[j].removed = true;
+      ++local.removed_loads;
+    } else {
+      // Forward through a register-register move instead of the memory
+      // round trip (the slot still receives the store above).
+      lines[j].text = "        mov " + st_reg + ", " + ld_reg;
+      lines[j].trimmed = "mov " + st_reg + ", " + ld_reg;
+      ++local.removed_loads;
+    }
+  }
+
+  // Window 3: address-move folding (mov rX, rY ; ld [rY], rY).
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    if (lines[i].removed || lines[i].is_label) continue;
+    std::string src, dst;
+    if (!parse_mov(lines[i].trimmed, &src, &dst)) continue;
+    if (src.empty() || src[0] != '%') continue;  // register moves only
+    const std::size_t j = i + 1;
+    if (lines[j].removed || lines[j].is_label) continue;
+    const std::string want = "ld [" + dst + "], " + dst;
+    if (lines[j].trimmed == want) {
+      lines[i].removed = true;
+      lines[j].text = "        ld [" + src + "], " + dst;
+      lines[j].trimmed = "ld [" + src + "], " + dst;
+      ++local.folded_moves;
+    }
+  }
+
+  // Window 4: immediate folding into the second ALU/cmp operand.
+  for (std::size_t i = 0; i + 1 < lines.size(); ++i) {
+    if (lines[i].removed || lines[i].is_label) continue;
+    std::string imm_text, dst;
+    if (!parse_mov(lines[i].trimmed, &imm_text, &dst)) continue;
+    long imm = 0;
+    if (!parse_simm13(imm_text, &imm)) continue;
+    if (!is_pool_register(dst)) continue;
+    const std::size_t j = i + 1;
+    if (lines[j].removed || lines[j].is_label) continue;
+    // cmp rA, rY
+    if (starts_with(lines[j].trimmed, "cmp ")) {
+      const std::string rest = lines[j].trimmed.substr(4);
+      const std::size_t comma = rest.find(", ");
+      if (comma == std::string::npos) continue;
+      const std::string ra = rest.substr(0, comma);
+      const std::string rb = rest.substr(comma + 2);
+      if (rb == dst && ra != dst) {
+        lines[i].removed = true;
+        lines[j].text = "        cmp " + ra + ", " + imm_text;
+        lines[j].trimmed = "cmp " + ra + ", " + imm_text;
+        ++local.folded_immediates;
+      }
+      continue;
+    }
+    std::string op, ra, rb, rd;
+    if (!parse_alu3(lines[j].trimmed, &op, &ra, &rb, &rd)) continue;
+    if (rb == dst && ra != dst) {
+      lines[i].removed = true;
+      const std::string folded = op + " " + ra + ", " + imm_text + ", " + rd;
+      lines[j].text = "        " + folded;
+      lines[j].trimmed = folded;
+      ++local.folded_immediates;
+    }
+  }
+
+  // Window 2: branch-to-fallthrough (ba .L / nop / .L:).
+  for (std::size_t i = 0; i + 2 < lines.size(); ++i) {
+    if (lines[i].removed) continue;
+    if (!starts_with(lines[i].trimmed, "ba ")) continue;
+    const std::string target = lines[i].trimmed.substr(3);
+    if (lines[i + 1].removed || lines[i + 1].trimmed != "nop") continue;
+    // Find the next surviving line; it must be the target label.
+    std::size_t j = i + 2;
+    while (j < lines.size() && lines[j].removed) ++j;
+    if (j >= lines.size() || !lines[j].is_label) continue;
+    const std::string label =
+        lines[j].trimmed.substr(0, lines[j].trimmed.size() - 1);
+    if (label == target) {
+      lines[i].removed = true;
+      lines[i + 1].removed = true;
+      ++local.removed_branches;
+    }
+  }
+
+  std::string out;
+  out.reserve(asm_text.size());
+  for (const Line& line : lines) {
+    if (line.removed) continue;
+    out += line.text;
+    out += '\n';
+  }
+  if (!out.empty()) out.pop_back();  // drop the synthetic trailing newline
+  if (stats) *stats = local;
+  return out;
+}
+
+}  // namespace nfp::mcc

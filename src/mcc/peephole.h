@@ -1,0 +1,39 @@
+// Peephole optimiser over the generated assembly (opt-in; the default
+// build stays -O0-style to match the paper's bare-metal instruction mixes).
+//
+// Implemented windows (all within a basic block — a label ends the window):
+//   1. store-forwarding: `st rX, [%sp+N]` directly followed by
+//      `ld [%sp+N], rY` drops the reload (same register) or turns it into a
+//      register move.
+//   2. fallthrough branches: `ba .L` + delay-slot `nop` immediately before
+//      the definition of `.L` are removed.
+//   3. address-move folding: `mov rX, rY` + `ld [rY], rY` becomes
+//      `ld [rX], rY` (rY is overwritten, so the move is dead).
+//   4. immediate folding: `mov IMM, rY` + `op rA, rY, rD` (or `cmp rA, rY`)
+//      becomes `op rA, IMM, rD` when IMM fits simm13, rA != rY and rY is a
+//      virtual-stack pool register. Relies on the code generator's stack
+//      discipline: a popped pool register is always written before it is
+//      read again, so dropping its defining move is safe.
+#pragma once
+
+#include <string>
+
+namespace nfp::mcc {
+
+struct PeepholeStats {
+  int removed_loads = 0;
+  int removed_branches = 0;
+  int folded_moves = 0;
+  int folded_immediates = 0;
+  int total() const {
+    return removed_loads + removed_branches + folded_moves +
+           folded_immediates;
+  }
+};
+
+// Returns the optimised assembly text; `stats` (optional) reports what was
+// removed.
+std::string peephole_optimize(const std::string& asm_text,
+                              PeepholeStats* stats = nullptr);
+
+}  // namespace nfp::mcc

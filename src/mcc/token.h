@@ -1,0 +1,51 @@
+// Token definitions for Micro-C, the strict C subset accepted by mcc.
+//
+// Micro-C sources are dual-compilable: the same file compiles natively as
+// C/C++ (for golden host tests) and with mcc for the simulated target. See
+// docs in mcc/compiler.h for the language surface.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nfp::mcc {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kDoubleLit,
+  kCharLit,   // carried as kIntLit value, kept distinct for diagnostics
+  kStrLit,
+  // Keywords.
+  kKwVoid, kKwInt, kKwUnsigned, kKwChar, kKwShort, kKwDouble,
+  kKwSigned, kKwConst, kKwStatic,
+  kKwIf, kKwElse, kKwWhile, kKwFor, kKwDo, kKwReturn, kKwBreak, kKwContinue,
+  kKwSizeof,
+  // Punctuation / operators.
+  kLParen, kRParen, kLBrace, kRBrace, kLBracket, kRBracket,
+  kSemi, kComma,
+  kAssign,                            // =
+  kPlus, kMinus, kStar, kSlash, kPercent,
+  kAmp, kPipe, kCaret, kTilde, kBang,
+  kShl, kShr,
+  kLt, kGt, kLe, kGe, kEqEq, kNotEq,
+  kAndAnd, kOrOr,
+  kPlusEq, kMinusEq, kStarEq, kSlashEq, kPercentEq,
+  kAmpEq, kPipeEq, kCaretEq, kShlEq, kShrEq,
+  kPlusPlus, kMinusMinus,
+  kQuestion, kColon,
+};
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;        // identifier / string payload
+  std::int64_t int_value = 0;
+  double double_value = 0.0;
+  int line = 0;
+};
+
+const char* tok_name(Tok kind);
+
+}  // namespace nfp::mcc

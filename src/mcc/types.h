@@ -1,0 +1,122 @@
+// Micro-C type system: void, the integer family (char/short/int, signed and
+// unsigned), double, pointers, and constant-size arrays. No structs, unions,
+// enums, typedefs, or function pointers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace nfp::mcc {
+
+class Type {
+ public:
+  enum class K : std::uint8_t {
+    kVoid, kChar, kUChar, kShort, kUShort, kInt, kUInt, kDouble,
+    kPtr, kArr,
+  };
+
+  Type() : kind_(K::kVoid) {}
+  static Type basic(K kind) { return Type(kind, nullptr, 0); }
+  static Type ptr(const Type& elem) {
+    return Type(K::kPtr, std::make_shared<Type>(elem), 0);
+  }
+  static Type arr(const Type& elem, std::uint32_t len) {
+    return Type(K::kArr, std::make_shared<Type>(elem), len);
+  }
+
+  K kind() const { return kind_; }
+  const Type& elem() const { return *elem_; }
+  std::uint32_t array_len() const { return len_; }
+
+  bool is_void() const { return kind_ == K::kVoid; }
+  bool is_double() const { return kind_ == K::kDouble; }
+  bool is_pointer() const { return kind_ == K::kPtr; }
+  bool is_array() const { return kind_ == K::kArr; }
+  bool is_integer() const {
+    return kind_ >= K::kChar && kind_ <= K::kUInt;
+  }
+  bool is_arithmetic() const { return is_integer() || is_double(); }
+  bool is_scalar() const { return is_arithmetic() || is_pointer(); }
+  bool is_signed() const {
+    return kind_ == K::kChar || kind_ == K::kShort || kind_ == K::kInt;
+  }
+
+  std::uint32_t size() const {
+    switch (kind_) {
+      case K::kVoid: return 0;
+      case K::kChar: case K::kUChar: return 1;
+      case K::kShort: case K::kUShort: return 2;
+      case K::kInt: case K::kUInt: case K::kPtr: return 4;
+      case K::kDouble: return 8;
+      case K::kArr: return len_ * elem_->size();
+    }
+    return 0;
+  }
+
+  bool same(const Type& other) const {
+    if (kind_ != other.kind_) return false;
+    if (kind_ == K::kPtr || kind_ == K::kArr) {
+      if (kind_ == K::kArr && len_ != other.len_) return false;
+      return elem_->same(*other.elem_);
+    }
+    return true;
+  }
+
+  std::string str() const {
+    switch (kind_) {
+      case K::kVoid: return "void";
+      case K::kChar: return "char";
+      case K::kUChar: return "unsigned char";
+      case K::kShort: return "short";
+      case K::kUShort: return "unsigned short";
+      case K::kInt: return "int";
+      case K::kUInt: return "unsigned";
+      case K::kDouble: return "double";
+      case K::kPtr: return elem_->str() + "*";
+      case K::kArr:
+        return elem_->str() + "[" + std::to_string(len_) + "]";
+    }
+    return "?";
+  }
+
+  // Integer promotion: char/short -> int (values always fit).
+  Type promoted() const {
+    if (kind_ == K::kChar || kind_ == K::kShort) return basic(K::kInt);
+    if (kind_ == K::kUChar || kind_ == K::kUShort) return basic(K::kInt);
+    return *this;
+  }
+
+  // Array-to-pointer decay for rvalue contexts.
+  Type decayed() const {
+    if (kind_ == K::kArr) return ptr(*elem_);
+    return *this;
+  }
+
+ private:
+  Type(K kind, std::shared_ptr<Type> elem, std::uint32_t len)
+      : kind_(kind), elem_(std::move(elem)), len_(len) {}
+
+  K kind_;
+  std::shared_ptr<Type> elem_;
+  std::uint32_t len_ = 0;
+};
+
+inline Type type_void() { return Type::basic(Type::K::kVoid); }
+inline Type type_int() { return Type::basic(Type::K::kInt); }
+inline Type type_uint() { return Type::basic(Type::K::kUInt); }
+inline Type type_double() { return Type::basic(Type::K::kDouble); }
+inline Type type_char() { return Type::basic(Type::K::kChar); }
+
+// Usual arithmetic conversions for a binary operator.
+inline Type common_arith_type(const Type& a, const Type& b) {
+  if (a.is_double() || b.is_double()) return type_double();
+  const Type pa = a.promoted();
+  const Type pb = b.promoted();
+  if (pa.kind() == Type::K::kUInt || pb.kind() == Type::K::kUInt) {
+    return type_uint();
+  }
+  return type_int();
+}
+
+}  // namespace nfp::mcc

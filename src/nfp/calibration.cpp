@@ -1,0 +1,280 @@
+#include "nfp/calibration.h"
+
+#include <cstdio>
+#include <functional>
+#include <stdexcept>
+
+#include "asmkit/assembler.h"
+#include "board/board.h"
+#include "sim/memmap.h"
+
+namespace nfp::model {
+namespace {
+
+// A recipe produces the i-th tested instruction line of a category's test
+// kernel body.
+struct Recipe {
+  bool uses_fpu = false;
+  bool uses_muldiv = false;
+  std::function<std::string(std::uint32_t i)> line;
+};
+
+std::string rotate(std::initializer_list<const char*> lines,
+                   std::uint32_t i) {
+  return *(lines.begin() + (i % lines.size()));
+}
+
+std::string format(const char* fmt, std::uint32_t value) {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, fmt, value);
+  return buf;
+}
+
+Recipe recipe_for(const std::string& category) {
+  if (category == "Integer Arithmetic") {
+    return {false, false, [](std::uint32_t i) {
+              return rotate({"add %l1, %l2, %l5", "xor %l2, %l3, %l6",
+                             "sub %l3, %l4, %l5", "and %l4, %l1, %l6",
+                             "sll %l1, 3, %l5", "or %l2, %l4, %l6"},
+                            i);
+            }};
+  }
+  if (category == "Integer") {  // coarse: mul/div folded in
+    return {false, true, [](std::uint32_t i) {
+              return rotate({"add %l1, %l2, %l5", "xor %l2, %l3, %l6",
+                             "sub %l3, %l4, %l5", "and %l4, %l1, %l6",
+                             "sll %l1, 3, %l5", "or %l2, %l4, %l6",
+                             "umul %l1, %l3, %l5", "udiv %l3, %l2, %l6"},
+                            i);
+            }};
+  }
+  if (category == "Integer Multiply") {
+    return {false, true, [](std::uint32_t i) {
+              return rotate({"umul %l1, %l2, %l5", "smul %l2, %l3, %l6",
+                             "umul %l3, %l4, %l5", "smul %l4, %l1, %l6"},
+                            i);
+            }};
+  }
+  if (category == "Integer Divide") {
+    return {false, true, [](std::uint32_t i) {
+              return rotate({"udiv %l1, %l2, %l5", "sdiv %l3, %l4, %l6",
+                             "udiv %l3, %l2, %l5", "sdiv %l1, %l4, %l6"},
+                            i);
+            }};
+  }
+  if (category == "Jump") {
+    // Chains of always-taken annulled branches: each executes exactly once
+    // per loop iteration and contributes nothing but the jump itself.
+    return {false, false, [](std::uint32_t i) {
+              const std::string label = "Lcal" + std::to_string(i);
+              return "ba,a " + label + "\n" + label + ":";
+            }};
+  }
+  if (category == "Memory Load" || category == "Load") {
+    return {false, false, [](std::uint32_t i) {
+              return format("ld [%%g1+%u], %%l5", (i * 4) % 512);
+            }};
+  }
+  if (category == "Memory Store" || category == "Store") {
+    return {false, false, [](std::uint32_t i) {
+              return format("st %%l1, [%%g1+%u]", (i * 4) % 512);
+            }};
+  }
+  if (category == "Memory Double") {
+    return {false, false, [](std::uint32_t i) {
+              if (i % 2 == 0) return format("ldd [%%g1+%u], %%l6", (i * 8) % 256);
+              return format("std %%l6, [%%g1+%u]", (i * 8) % 256);
+            }};
+  }
+  if (category == "NOP") {
+    return {false, false, [](std::uint32_t) { return std::string("nop"); }};
+  }
+  if (category == "Other") {
+    return {false, false, [](std::uint32_t i) {
+              if (i % 2 == 1) return std::string("nop");  // coarse folds NOPs
+              const std::uint32_t value =
+                  (0x12345u + i * 0x1111u) << 10;
+              return format("sethi %%hi(0x%08x), %%l5", value & 0xFFFFFC00u);
+            }};
+  }
+  if (category == "FPU Arithmetic") {
+    return {true, false, [](std::uint32_t i) {
+              return rotate({"faddd %f0, %f2, %f10", "fmuld %f2, %f4, %f12",
+                             "fsubd %f4, %f6, %f10", "faddd %f6, %f8, %f12",
+                             "fmuld %f0, %f6, %f10"},
+                            i);
+            }};
+  }
+  if (category == "FPU Divide") {
+    return {true, false, [](std::uint32_t i) {
+              return rotate({"fdivd %f0, %f2, %f10", "fdivd %f2, %f4, %f12",
+                             "fdivd %f4, %f6, %f10", "fdivd %f6, %f8, %f12"},
+                            i);
+            }};
+  }
+  if (category == "FPU Square root") {
+    return {true, false, [](std::uint32_t i) {
+              return rotate({"fsqrtd %f0, %f10", "fsqrtd %f2, %f12",
+                             "fsqrtd %f4, %f10", "fsqrtd %f6, %f12"},
+                            i);
+            }};
+  }
+  if (category == "FPU Convert/Compare") {
+    return {true, false, [](std::uint32_t i) {
+              return rotate({"fcmpd %f0, %f2", "fitod %f14, %f10",
+                             "fdtoi %f2, %f12", "fcmpd %f4, %f6"},
+                            i);
+            }};
+  }
+  if (category == "FPU") {  // coarse: everything FP in one bucket
+    return {true, false, [](std::uint32_t i) {
+              switch (i % 8) {
+                case 5: return std::string("fdivd %f0, %f2, %f10");
+                case 6: return std::string("fsqrtd %f4, %f12");
+                case 7: return std::string("fcmpd %f0, %f2");
+                default:
+                  return rotate({"faddd %f0, %f2, %f10",
+                                 "fmuld %f2, %f4, %f12",
+                                 "fsubd %f4, %f6, %f10",
+                                 "faddd %f6, %f8, %f12",
+                                 "fmuld %f0, %f6, %f10"},
+                                i);
+              }
+            }};
+  }
+  throw std::invalid_argument("no calibration recipe for category '" +
+                              category + "'");
+}
+
+// Shared kernel skeleton (Table II): identical prologue and loop scaffold in
+// the reference and test kernels; the test body is the only difference.
+std::string make_source(const Recipe& recipe, std::uint32_t loops,
+                        std::uint32_t per_loop, bool with_body) {
+  std::string src;
+  src += "_start:\n";
+  src += "        set idata, %g1\n";
+  src += "        set 0x13572468, %l1\n";
+  src += "        set 0x0F0F1234, %l2\n";
+  src += "        set 0x00A5C3E4, %l3\n";
+  src += "        set 0x76543210, %l4\n";
+  src += "        wr %g0, 0, %y\n";
+  if (recipe.uses_fpu) {
+    src += "        set fdata, %g2\n";
+    src += "        lddf [%g2], %f0\n";
+    src += "        lddf [%g2+8], %f2\n";
+    src += "        lddf [%g2+16], %f4\n";
+    src += "        lddf [%g2+24], %f6\n";
+    src += "        lddf [%g2+32], %f8\n";
+    src += "        ldf [%g2+40], %f14\n";
+  }
+  src += format("        set %u, %%l0\n", loops);
+  src += "loop:\n";
+  if (with_body) {
+    for (std::uint32_t i = 0; i < per_loop; ++i) {
+      src += "        " + recipe.line(i) + "\n";
+    }
+  }
+  src += "        subcc %l0, 1, %l0\n";
+  src += "        bne loop\n";
+  src += "        nop\n";
+  src += "        mov 0, %o0\n";
+  src += "        ta 0\n";
+  src += "        .data\n";
+  src += "        .align 8\n";
+  if (recipe.uses_fpu) {
+    src += "fdata:  .double 1.5, 2.25, 3.125, 0.78125, 1.0009765625\n";
+    src += "        .word 123456, 0\n";
+  }
+  src += "idata:\n";
+  // Pseudo-random payload for the load/store kernels (varied bit patterns,
+  // as typical application data would have).
+  std::uint32_t x = 0x2545F491u;
+  for (int i = 0; i < 128; i += 4) {
+    x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+    const std::uint32_t a = x;
+    x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+    const std::uint32_t b = x;
+    x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+    const std::uint32_t c = x;
+    x ^= x << 13; x ^= x >> 17; x ^= x << 5;
+    src += format("        .word 0x%08x, ", a) + format("0x%08x, ", b) +
+           format("0x%08x, ", c) + format("0x%08x\n", x);
+  }
+  return src;
+}
+
+}  // namespace
+
+Calibrator::Calibrator(const CategoryScheme& scheme, CalibrationPlan plan)
+    : scheme_(scheme), plan_(plan) {}
+
+KernelPair Calibrator::make_kernels(std::size_t category) const {
+  const std::string& name = scheme_.category_name(category);
+  const Recipe recipe = recipe_for(name);
+  KernelPair pair;
+  pair.category = name;
+  pair.ref_asm = make_source(recipe, plan_.loops, plan_.per_loop, false);
+  pair.test_asm = make_source(recipe, plan_.loops, plan_.per_loop, true);
+  pair.n_test = std::uint64_t{plan_.loops} * plan_.per_loop;
+  return pair;
+}
+
+CalibrationResult Calibrator::run(
+    const board::BoardConfig& cfg,
+    const std::optional<Adaptation>& adapt) const {
+  CalibrationResult result;
+  result.costs.energy_nj.assign(scheme_.size(), 0.0);
+  result.costs.time_ns.assign(scheme_.size(), 0.0);
+
+  for (std::size_t c = 0; c < scheme_.size(); ++c) {
+    const std::string& name = scheme_.category_name(c);
+    const Recipe recipe = recipe_for(name);
+    if (recipe.uses_fpu && !cfg.has_fpu) continue;      // not calibratable
+    if (recipe.uses_muldiv && !cfg.has_hw_muldiv) continue;
+
+    const KernelPair pair = make_kernels(c);
+    CategoryCalibration detail;
+    detail.category = name;
+
+    for (const bool is_test : {false, true}) {
+      board::Board brd(cfg);
+      brd.load(asmkit::assemble(is_test ? pair.test_asm : pair.ref_asm,
+                                sim::kTextBase));
+      const auto run_result = brd.run();
+      if (!run_result.halted) {
+        throw std::runtime_error("calibration kernel did not halt: " + name);
+      }
+      const auto meas =
+          brd.measure("cal/" + name + (is_test ? "/test" : "/ref"));
+      if (is_test) {
+        detail.e_test_nj = meas.energy_nj;
+        detail.t_test_s = meas.time_s;
+      } else {
+        detail.e_ref_nj = meas.energy_nj;
+        detail.t_ref_s = meas.time_s;
+      }
+    }
+
+    const auto n = static_cast<double>(pair.n_test);
+    detail.specific_energy_nj = (detail.e_test_nj - detail.e_ref_nj) / n;
+    detail.specific_time_ns =
+        (detail.t_test_s - detail.t_ref_s) * 1e9 / n;
+    result.costs.energy_nj[c] = detail.specific_energy_nj;
+    result.costs.time_ns[c] = detail.specific_time_ns;
+    result.details.push_back(detail);
+  }
+
+  if (adapt) {
+    for (std::size_t c = 0; c < scheme_.size(); ++c) {
+      if (c < adapt->energy_scale.size()) {
+        result.costs.energy_nj[c] *= adapt->energy_scale[c];
+      }
+      if (c < adapt->time_scale.size()) {
+        result.costs.time_ns[c] *= adapt->time_scale[c];
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace nfp::model

@@ -1,0 +1,75 @@
+// Calibration of instruction-specific energies and times (paper §V).
+//
+// For every category of a scheme, two kernels are generated following
+// Table II: a *reference* kernel (an empty counted loop) and a *test*
+// kernel (the same loop containing `per_loop` instances of instructions
+// from the category). Both run on the measurement board; Eq. 2
+//
+//   e_c = (E_test − E_ref) / n_test     t_c = (T_test − T_ref) / n_test
+//
+// yields the per-instruction costs, with n_test = loops · per_loop.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "board/config.h"
+#include "nfp/estimator.h"
+#include "nfp/scheme.h"
+
+namespace nfp::model {
+
+struct CalibrationPlan {
+  std::uint32_t loops = 200'000;  // loop iterations per kernel
+  std::uint32_t per_loop = 32;    // tested instructions per iteration
+};
+
+// Generated source pair for one category.
+struct KernelPair {
+  std::string category;
+  std::string ref_asm;
+  std::string test_asm;
+  std::uint64_t n_test = 0;
+};
+
+// Per-category calibration record (the raw bench readings behind Table I).
+struct CategoryCalibration {
+  std::string category;
+  double e_test_nj = 0, e_ref_nj = 0;
+  double t_test_s = 0, t_ref_s = 0;
+  double specific_energy_nj = 0;  // e_c
+  double specific_time_ns = 0;    // t_c
+};
+
+struct CalibrationResult {
+  CategoryCosts costs;
+  std::vector<CategoryCalibration> details;
+};
+
+// Post-calibration manual adaptation (paper: "the values are checked for
+// consistency and manually adapted, if necessary").
+struct Adaptation {
+  std::vector<double> energy_scale;  // per category; empty = all 1.0
+  std::vector<double> time_scale;
+};
+
+class Calibrator {
+ public:
+  explicit Calibrator(const CategoryScheme& scheme = CategoryScheme::paper(),
+                      CalibrationPlan plan = {});
+
+  // Generates the Table-II kernel pair for one category of the scheme.
+  KernelPair make_kernels(std::size_t category) const;
+
+  // Full calibration campaign on a board with the given configuration.
+  // FPU categories are skipped (zero cost) when the board has no FPU.
+  CalibrationResult run(const board::BoardConfig& cfg,
+                        const std::optional<Adaptation>& adapt = {}) const;
+
+ private:
+  const CategoryScheme& scheme_;
+  CalibrationPlan plan_;
+};
+
+}  // namespace nfp::model

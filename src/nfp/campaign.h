@@ -1,0 +1,57 @@
+// Measurement campaign: run a set of kernels on the ISS (instruction counts)
+// and on the measurement board (ground truth + bench measurement), in
+// parallel across kernels. This is the machinery behind Fig. 4 and
+// Table III, where 120 kernels are evaluated.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.h"
+#include "board/board.h"
+#include "nfp/scheme.h"
+
+namespace nfp::model {
+
+struct KernelJob {
+  std::string name;
+  asmkit::Program program;
+  // Input blocks written into RAM before the run (address, payload).
+  std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>> inputs;
+};
+
+struct KernelRunRecord {
+  std::string name;
+  bool ok = false;
+  std::string error;
+  std::uint32_t exit_code = 0;
+
+  // From the ISS (the model's inputs).
+  OpCounts counts{};
+  std::uint64_t instret = 0;
+
+  // From the board (what the experimenter measures).
+  board::Measurement measured;
+  // Ground truth, for diagnostics only.
+  std::uint64_t cycles = 0;
+  double true_energy_nj = 0.0;
+  double true_time_s = 0.0;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(board::BoardConfig cfg, unsigned threads = 0);
+
+  // Runs every job on both platforms. Results keep the job order.
+  std::vector<KernelRunRecord> run(const std::vector<KernelJob>& jobs) const;
+
+  // Single-job convenience (also used by tests).
+  KernelRunRecord run_one(const KernelJob& job) const;
+
+ private:
+  board::BoardConfig cfg_;
+  unsigned threads_;
+};
+
+}  // namespace nfp::model

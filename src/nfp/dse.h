@@ -1,0 +1,50 @@
+// Design-space exploration (paper §VI-D / Table IV): given per-kernel
+// estimates for a workload compiled with the FPU and with soft-float, report
+// the mean change in energy and time from introducing an FPU, together with
+// the chip-area cost from the synthesis model.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "board/area.h"
+#include "nfp/estimator.h"
+
+namespace nfp::model {
+
+struct FpuImpact {
+  std::string workload;
+  // Mean of per-kernel (X_fpu - X_soft) / X_soft, in percent (negative:
+  // the FPU saves energy/time).
+  double energy_change_percent = 0.0;
+  double time_change_percent = 0.0;
+  double area_change_percent = 0.0;
+  std::size_t kernels = 0;
+};
+
+inline FpuImpact fpu_impact(std::string workload,
+                            const std::vector<Estimate>& with_fpu,
+                            const std::vector<Estimate>& soft_float,
+                            const board::AreaModel& area = {}) {
+  if (with_fpu.size() != soft_float.size() || with_fpu.empty()) {
+    throw std::invalid_argument("fpu_impact: mismatched kernel sets");
+  }
+  FpuImpact impact;
+  impact.workload = std::move(workload);
+  impact.kernels = with_fpu.size();
+  for (std::size_t i = 0; i < with_fpu.size(); ++i) {
+    impact.energy_change_percent +=
+        (with_fpu[i].energy_nj - soft_float[i].energy_nj) /
+        soft_float[i].energy_nj * 100.0;
+    impact.time_change_percent +=
+        (with_fpu[i].time_s - soft_float[i].time_s) / soft_float[i].time_s *
+        100.0;
+  }
+  impact.energy_change_percent /= static_cast<double>(with_fpu.size());
+  impact.time_change_percent /= static_cast<double>(with_fpu.size());
+  impact.area_change_percent = area.fpu_area_increase_percent();
+  return impact;
+}
+
+}  // namespace nfp::model

@@ -1,0 +1,42 @@
+// Estimation error metrics (paper Eq. 3 and Table III):
+//   ε_m = (X̂_m − X_meas,m) / X_meas,m
+//   ε̄  = mean_m |ε_m|        ε_max = max_m |ε_m|
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+namespace nfp::model {
+
+struct ErrorStats {
+  std::vector<double> per_kernel;  // signed relative errors ε_m
+  double mean_abs = 0.0;           // ε̄   (fraction, not percent)
+  double max_abs = 0.0;            // ε_max
+  double mean_abs_percent() const { return mean_abs * 100.0; }
+  double max_abs_percent() const { return max_abs * 100.0; }
+};
+
+inline ErrorStats error_stats(const std::vector<double>& estimated,
+                              const std::vector<double>& measured) {
+  if (estimated.size() != measured.size() || estimated.empty()) {
+    throw std::invalid_argument("error_stats: mismatched or empty inputs");
+  }
+  ErrorStats stats;
+  stats.per_kernel.reserve(estimated.size());
+  double sum = 0.0;
+  for (std::size_t m = 0; m < estimated.size(); ++m) {
+    if (measured[m] == 0.0) {
+      throw std::invalid_argument("error_stats: zero measurement");
+    }
+    const double eps = (estimated[m] - measured[m]) / measured[m];
+    stats.per_kernel.push_back(eps);
+    sum += std::abs(eps);
+    stats.max_abs = std::max(stats.max_abs, std::abs(eps));
+  }
+  stats.mean_abs = sum / static_cast<double>(estimated.size());
+  return stats;
+}
+
+}  // namespace nfp::model

@@ -1,0 +1,48 @@
+// The mechanistic NFP estimator (paper Eq. 1):
+//   Ê = Σ_c e_c · n_c      T̂ = Σ_c t_c · n_c
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "nfp/scheme.h"
+
+namespace nfp::model {
+
+// Instruction-specific costs per category (Table I): e_c in nJ, t_c in ns.
+struct CategoryCosts {
+  std::vector<double> energy_nj;
+  std::vector<double> time_ns;
+
+  std::size_t size() const { return energy_nj.size(); }
+};
+
+struct Estimate {
+  double energy_nj = 0.0;
+  double time_s = 0.0;
+};
+
+inline Estimate estimate(const CategoryCounts& counts,
+                         const CategoryCosts& costs) {
+  if (counts.size() != costs.size()) {
+    throw std::invalid_argument("estimate: counts/costs size mismatch");
+  }
+  Estimate e;
+  double time_ns = 0.0;
+  for (std::size_t c = 0; c < counts.size(); ++c) {
+    const auto n = static_cast<double>(counts[c]);
+    e.energy_nj += costs.energy_nj[c] * n;
+    time_ns += costs.time_ns[c] * n;
+  }
+  e.time_s = time_ns * 1e-9;
+  return e;
+}
+
+inline Estimate estimate(const OpCounts& op_counts,
+                         const CategoryScheme& scheme,
+                         const CategoryCosts& costs) {
+  return estimate(scheme.aggregate(op_counts), costs);
+}
+
+}  // namespace nfp::model

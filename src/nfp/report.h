@@ -1,0 +1,38 @@
+// Minimal fixed-width text tables for the benchmark harnesses, so every
+// bench prints rows that mirror the paper's tables.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nfp::model {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string to_string() const;
+
+  static std::string fmt(double value, int decimals = 2) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+  }
+  static std::string percent(double value, int decimals = 2) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%+.*f%%", decimals, value);
+    return buf;
+  }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nfp::model

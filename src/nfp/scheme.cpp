@@ -1,0 +1,82 @@
+#include "nfp/scheme.h"
+
+namespace nfp::model {
+namespace {
+
+using isa::Op;
+
+std::array<std::uint8_t, isa::kOpCount> map_from_default() {
+  std::array<std::uint8_t, isa::kOpCount> map{};
+  for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+    map[i] = static_cast<std::uint8_t>(
+        isa::default_category(static_cast<Op>(i)));
+  }
+  return map;
+}
+
+}  // namespace
+
+const CategoryScheme& CategoryScheme::paper() {
+  static const CategoryScheme scheme(
+      "paper-9",
+      {"Integer Arithmetic", "Jump", "Memory Load", "Memory Store", "NOP",
+       "Other", "FPU Arithmetic", "FPU Divide", "FPU Square root"},
+      map_from_default());
+  return scheme;
+}
+
+const CategoryScheme& CategoryScheme::coarse() {
+  static const CategoryScheme scheme = [] {
+    // 0 int, 1 jump, 2 load, 3 store, 4 other(+nop), 5 fpu(all).
+    std::array<std::uint8_t, isa::kOpCount> map{};
+    for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+      switch (isa::default_category(static_cast<Op>(i))) {
+        case isa::Category::kIntArith: map[i] = 0; break;
+        case isa::Category::kJump: map[i] = 1; break;
+        case isa::Category::kMemLoad: map[i] = 2; break;
+        case isa::Category::kMemStore: map[i] = 3; break;
+        case isa::Category::kNop:
+        case isa::Category::kOther: map[i] = 4; break;
+        default: map[i] = 5; break;
+      }
+    }
+    return CategoryScheme(
+        "coarse-6",
+        {"Integer", "Jump", "Load", "Store", "Other", "FPU"}, map);
+  }();
+  return scheme;
+}
+
+const CategoryScheme& CategoryScheme::fine() {
+  static const CategoryScheme scheme = [] {
+    // Start from the paper mapping, then split.
+    std::array<std::uint8_t, isa::kOpCount> map = map_from_default();
+    constexpr std::uint8_t kIntMul = 9;
+    constexpr std::uint8_t kIntDiv = 10;
+    constexpr std::uint8_t kFpuConv = 11;
+    constexpr std::uint8_t kMemDouble = 12;
+    for (const Op op : {Op::kUmul, Op::kUmulcc, Op::kSmul, Op::kSmulcc}) {
+      map[static_cast<std::size_t>(op)] = kIntMul;
+    }
+    for (const Op op : {Op::kUdiv, Op::kUdivcc, Op::kSdiv, Op::kSdivcc}) {
+      map[static_cast<std::size_t>(op)] = kIntDiv;
+    }
+    for (const Op op : {Op::kFitos, Op::kFitod, Op::kFstoi, Op::kFdtoi,
+                        Op::kFstod, Op::kFdtos, Op::kFcmps, Op::kFcmpd}) {
+      map[static_cast<std::size_t>(op)] = kFpuConv;
+    }
+    for (const Op op : {Op::kLdd, Op::kLddf, Op::kStd, Op::kStdf}) {
+      map[static_cast<std::size_t>(op)] = kMemDouble;
+    }
+    return CategoryScheme(
+        "fine-13",
+        {"Integer Arithmetic", "Jump", "Memory Load", "Memory Store", "NOP",
+         "Other", "FPU Arithmetic", "FPU Divide", "FPU Square root",
+         "Integer Multiply", "Integer Divide", "FPU Convert/Compare",
+         "Memory Double"},
+        map);
+  }();
+  return scheme;
+}
+
+}  // namespace nfp::model

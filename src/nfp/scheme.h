@@ -1,0 +1,63 @@
+// Category schemes: how retired ops are lumped into NFP model categories.
+//
+// The paper uses nine categories (Table I). Because the ISS records per-op
+// counts, alternative groupings can be evaluated offline without
+// re-simulation; the ablation bench uses a coarser and a finer scheme to
+// quantify the cost of lumping (e.g. mul/div into "Integer Arithmetic").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "isa/insn.h"
+
+namespace nfp::model {
+
+// Per-op retire counts straight from the ISS.
+using OpCounts = std::array<std::uint64_t, isa::kOpCount>;
+
+// Per-category counts after aggregation (n_c in Eq. 1).
+using CategoryCounts = std::vector<std::uint64_t>;
+
+class CategoryScheme {
+ public:
+  // The paper's nine Table-I categories.
+  static const CategoryScheme& paper();
+  // Six categories: FPU lumped into one, NOP folded into Other.
+  static const CategoryScheme& coarse();
+  // Thirteen categories: integer mul and div split out, FP converts/compares
+  // split from FP arithmetic, double-word memory split from single-word.
+  static const CategoryScheme& fine();
+
+  const std::string& name() const { return name_; }
+  std::size_t size() const { return category_names_.size(); }
+  const std::string& category_name(std::size_t c) const {
+    return category_names_[c];
+  }
+  std::size_t category_of(isa::Op op) const {
+    return map_[static_cast<std::size_t>(op)];
+  }
+
+  CategoryCounts aggregate(const OpCounts& counts) const {
+    CategoryCounts out(size(), 0);
+    for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+      out[map_[i]] += counts[i];
+    }
+    return out;
+  }
+
+  CategoryScheme(std::string name, std::vector<std::string> category_names,
+                 std::array<std::uint8_t, isa::kOpCount> map)
+      : name_(std::move(name)),
+        category_names_(std::move(category_names)),
+        map_(map) {}
+
+ private:
+  std::string name_;
+  std::vector<std::string> category_names_;
+  std::array<std::uint8_t, isa::kOpCount> map_;
+};
+
+}  // namespace nfp::model

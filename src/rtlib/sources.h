@@ -1,0 +1,15 @@
+// Embedded Micro-C runtime sources. The same files live on disk under
+// src/rtlib/mc/ and are #included directly by host differential tests.
+#pragma once
+
+#include <string_view>
+
+namespace nfp::rtlib {
+
+// IEEE-754 binary64 soft-float runtime (src/rtlib/mc/softfloat.c).
+extern const std::string_view kSoftfloatSource;
+
+// Software integer mul/div runtime (src/rtlib/mc/softmuldiv.c).
+extern const std::string_view kSoftMulDivSource;
+
+}  // namespace nfp::rtlib

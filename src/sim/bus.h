@@ -1,0 +1,107 @@
+// System bus: big-endian RAM plus memory-mapped peripherals (UART, timer).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/memmap.h"
+
+namespace nfp::sim {
+
+struct SimError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class Bus {
+ public:
+  Bus() : ram_(kRamSize, 0) {}
+
+  // Time sources surfaced through the timer MMIO registers. The ISS reports
+  // retired instructions; the board reports cycles.
+  void set_time_source(std::function<std::uint64_t()> fn) {
+    time_source_ = std::move(fn);
+  }
+  void set_instret_source(std::function<std::uint64_t()> fn) {
+    instret_source_ = std::move(fn);
+  }
+
+  bool in_ram(std::uint32_t addr) const {
+    return addr - kRamBase < kRamSize;
+  }
+
+  // Fast-path byte view of RAM for the executor.
+  std::uint8_t* ram_data() { return ram_.data(); }
+  const std::uint8_t* ram_data() const { return ram_.data(); }
+
+  std::uint32_t load32(std::uint32_t addr) {
+    if (in_ram(addr)) {
+      const std::uint8_t* p = &ram_[addr - kRamBase];
+      return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+             (std::uint32_t{p[2]} << 8) | p[3];
+    }
+    return mmio_load(addr);
+  }
+
+  std::uint16_t load16(std::uint32_t addr) {
+    if (!in_ram(addr)) throw_bad(addr, "halfword load");
+    const std::uint8_t* p = &ram_[addr - kRamBase];
+    return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+  }
+
+  std::uint8_t load8(std::uint32_t addr) {
+    if (!in_ram(addr)) throw_bad(addr, "byte load");
+    return ram_[addr - kRamBase];
+  }
+
+  void store32(std::uint32_t addr, std::uint32_t value) {
+    if (in_ram(addr)) {
+      std::uint8_t* p = &ram_[addr - kRamBase];
+      p[0] = static_cast<std::uint8_t>(value >> 24);
+      p[1] = static_cast<std::uint8_t>(value >> 16);
+      p[2] = static_cast<std::uint8_t>(value >> 8);
+      p[3] = static_cast<std::uint8_t>(value);
+      return;
+    }
+    mmio_store(addr, value);
+  }
+
+  void store16(std::uint32_t addr, std::uint16_t value) {
+    if (!in_ram(addr)) throw_bad(addr, "halfword store");
+    std::uint8_t* p = &ram_[addr - kRamBase];
+    p[0] = static_cast<std::uint8_t>(value >> 8);
+    p[1] = static_cast<std::uint8_t>(value);
+  }
+
+  void store8(std::uint32_t addr, std::uint8_t value) {
+    if (!in_ram(addr)) throw_bad(addr, "byte store");
+    ram_[addr - kRamBase] = value;
+  }
+
+  // ---- host-side bulk access (loader, workload data exchange) -------------
+  void write_block(std::uint32_t addr, const std::uint8_t* data,
+                   std::size_t size);
+  std::vector<std::uint8_t> read_block(std::uint32_t addr,
+                                       std::size_t size) const;
+  void write_u32(std::uint32_t addr, std::uint32_t value) { store32(addr, value); }
+  std::uint32_t read_u32(std::uint32_t addr) { return load32(addr); }
+  void write_f64(std::uint32_t addr, double value);
+  double read_f64(std::uint32_t addr);
+
+  const std::string& uart_output() const { return uart_; }
+  void clear_uart() { uart_.clear(); }
+
+ private:
+  std::uint32_t mmio_load(std::uint32_t addr);
+  void mmio_store(std::uint32_t addr, std::uint32_t value);
+  [[noreturn]] static void throw_bad(std::uint32_t addr, const char* what);
+
+  std::vector<std::uint8_t> ram_;
+  std::string uart_;
+  std::function<std::uint64_t()> time_source_;
+  std::function<std::uint64_t()> instret_source_;
+};
+
+}  // namespace nfp::sim

@@ -1,0 +1,53 @@
+// Retire hooks: the extension point that turns the functional simulator into
+// an ISS with NFP counters (paper §III) or into the measurement board.
+//
+// The paper's OVP model realises counters "without using callback functions"
+// by incrementing internal registers inside each morph function; our
+// equivalent is a template hook inlined into the execution switch, so the
+// counting build has the same zero-indirection property.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "isa/insn.h"
+
+namespace nfp::sim {
+
+// Per-retire detail, filled only for hooks that declare kWantsDetail.
+struct RetireInfo {
+  std::uint32_t pc = 0;
+  std::uint32_t a = 0;       // first source operand (integer value / FP high)
+  std::uint32_t b = 0;       // second operand (register or immediate)
+  std::uint32_t result = 0;  // integer result (or FP result high word)
+  std::uint32_t ea = 0;      // effective address for loads/stores
+  std::uint32_t mem_data = 0;  // word loaded/stored (low word for 64-bit)
+  bool taken = false;          // control transfers: branch taken
+};
+
+// Functional-only simulation: no non-functional properties at all.
+struct NullHooks {
+  static constexpr bool kWantsDetail = false;
+  void on_retire(const isa::DecodedInsn&, const RetireInfo&) {}
+};
+
+// Instruction-accurate counting (the OVP-with-counters analog): one counter
+// per op; category aggregation happens offline so different category maps
+// can be evaluated without re-simulating.
+struct OpCountHooks {
+  static constexpr bool kWantsDetail = false;
+
+  std::array<std::uint64_t, isa::kOpCount> counts{};
+
+  void on_retire(const isa::DecodedInsn& insn, const RetireInfo&) {
+    ++counts[static_cast<std::size_t>(insn.op)];
+  }
+
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (const auto c : counts) sum += c;
+    return sum;
+  }
+};
+
+}  // namespace nfp::sim

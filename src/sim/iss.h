@@ -1,0 +1,67 @@
+// The counting instruction-set simulator (the paper's extended OVPsim):
+// instruction-accurate functional execution plus per-op retire counters.
+#pragma once
+
+#include <cstdint>
+
+#include "asmkit/program.h"
+#include "sim/executor.h"
+#include "sim/hooks.h"
+#include "sim/platform.h"
+
+namespace nfp::sim {
+
+class Iss {
+ public:
+  // Default instruction budget: generous enough for every workload in the
+  // repo; hitting it means a runaway kernel and yields halted == false.
+  static constexpr std::uint64_t kDefaultMaxInsns = 20'000'000'000ull;
+
+  void load(const asmkit::Program& program) { platform_.load(program); }
+
+  RunResult run(std::uint64_t max_insns = kDefaultMaxInsns) {
+    Executor<OpCountHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
+    exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+    exec.run(max_insns);
+    RunResult result;
+    result.halted = platform_.cpu().halted;
+    result.instret = platform_.cpu().instret;
+    result.exit_code = platform_.cpu().exit_code;
+    return result;
+  }
+
+  const OpCountHooks& counters() const { return hooks_; }
+  Platform& platform() { return platform_; }
+  Bus& bus() { return platform_.bus(); }
+  CpuState& cpu() { return platform_.cpu(); }
+
+ private:
+  Platform platform_;
+  OpCountHooks hooks_;
+};
+
+// Functional-only simulator (fastest rung of the Fig. 1 ladder).
+class FunctionalSim {
+ public:
+  void load(const asmkit::Program& program) { platform_.load(program); }
+
+  RunResult run(std::uint64_t max_insns = Iss::kDefaultMaxInsns) {
+    NullHooks hooks;
+    Executor<NullHooks> exec(platform_.cpu(), platform_.bus(), hooks);
+    exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+    exec.run(max_insns);
+    RunResult result;
+    result.halted = platform_.cpu().halted;
+    result.instret = platform_.cpu().instret;
+    result.exit_code = platform_.cpu().exit_code;
+    return result;
+  }
+
+  Platform& platform() { return platform_; }
+  Bus& bus() { return platform_.bus(); }
+
+ private:
+  Platform platform_;
+};
+
+}  // namespace nfp::sim

@@ -1,0 +1,41 @@
+// Physical memory map of the simulated LEON3-like platform.
+//
+// Mirrors a typical GRLIB layout: RAM at 0x40000000, peripherals at
+// 0x80000000. The input/output windows are plain RAM carved out by
+// convention so the host can exchange bulk data (bitstreams, images) with
+// the target program, standing in for the paper's practice of linking
+// in-/output streams directly into the bare-metal kernel.
+#pragma once
+
+#include <cstdint>
+
+namespace nfp::sim {
+
+inline constexpr std::uint32_t kRamBase = 0x40000000u;
+inline constexpr std::uint32_t kRamSize = 0x01000000u;  // 16 MiB
+inline constexpr std::uint32_t kRamEnd = kRamBase + kRamSize;
+
+// Program text+data are linked at the RAM base.
+inline constexpr std::uint32_t kTextBase = kRamBase;
+
+// Host-visible data exchange windows (by convention, inside RAM):
+// input at +8 MiB (up to 4 MiB), output at +12 MiB (up to ~3 MiB).
+inline constexpr std::uint32_t kInputBase = 0x40800000u;
+inline constexpr std::uint32_t kOutputBase = 0x40C00000u;
+
+// Initial stack pointer (grows down; 16-byte aligned).
+inline constexpr std::uint32_t kStackTop = kRamEnd - 16;
+
+// Memory-mapped peripherals.
+inline constexpr std::uint32_t kMmioBase = 0x80000000u;
+inline constexpr std::uint32_t kUartTx = 0x80000000u;      // write: one char
+inline constexpr std::uint32_t kTimerLo = 0x80000100u;     // read: time low
+inline constexpr std::uint32_t kTimerHi = 0x80000104u;     // read: time high
+inline constexpr std::uint32_t kInstretLo = 0x80000108u;   // read: retired lo
+inline constexpr std::uint32_t kInstretHi = 0x8000010Cu;   // read: retired hi
+inline constexpr std::uint32_t kMmioEnd = 0x80001000u;
+
+// Software trap numbers (`ta N`).
+inline constexpr std::int32_t kTrapHalt = 0;
+
+}  // namespace nfp::sim

@@ -1,0 +1,39 @@
+#include "sim/platform.h"
+
+#include "sim/memmap.h"
+
+namespace nfp::sim {
+
+Platform::Platform() {
+  bus_.set_instret_source([this] { return cpu_.instret; });
+  // The target-visible timer advances with retired instructions on every
+  // platform flavour so that a kernel's instruction stream is identical on
+  // the ISS and on the board (a kernel reading the timer must not perturb
+  // the counts the estimator consumes).
+  bus_.set_time_source([this] { return cpu_.instret >> 10; });
+}
+
+void Platform::load(const asmkit::Program& program) {
+  if (!bus_.in_ram(program.base()) ||
+      program.base() + program.size() > kRamEnd) {
+    throw SimError("program does not fit in RAM");
+  }
+  bus_.write_block(program.base(), program.bytes().data(),
+                   program.bytes().size());
+
+  code_base_ = program.base();
+  const std::size_t words = program.size() / 4;
+  dcache_.clear();
+  dcache_.reserve(words);
+  for (std::size_t i = 0; i < words; ++i) {
+    dcache_.push_back(isa::decode(bus_.load32(
+        program.base() + static_cast<std::uint32_t>(i) * 4)));
+  }
+
+  cpu_ = CpuState{};
+  cpu_.pc = program.entry();
+  cpu_.npc = program.entry() + 4;
+  cpu_.r[isa::kRegSp] = kStackTop;
+}
+
+}  // namespace nfp::sim

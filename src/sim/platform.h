@@ -1,0 +1,46 @@
+// Platform = bus + CPU state + loaded program (predecoded). Shared by the
+// counting ISS (sim/iss.h) and the measurement board (board/board.h), which
+// differ only in the retire hooks they attach (paper Fig. 1: same functional
+// simulation, different non-functional instrumentation).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "asmkit/program.h"
+#include "isa/decode.h"
+#include "sim/bus.h"
+#include "sim/cpu_state.h"
+
+namespace nfp::sim {
+
+struct RunResult {
+  bool halted = false;
+  std::uint64_t instret = 0;
+  std::uint32_t exit_code = 0;
+};
+
+class Platform {
+ public:
+  Platform();
+
+  // Copies the program into RAM, predecodes its text, and resets the CPU
+  // (pc = entry, %sp = kStackTop). Any previous machine state is discarded.
+  void load(const asmkit::Program& program);
+
+  Bus& bus() { return bus_; }
+  const Bus& bus() const { return bus_; }
+  CpuState& cpu() { return cpu_; }
+  const CpuState& cpu() const { return cpu_; }
+
+  std::uint32_t code_base() const { return code_base_; }
+  const std::vector<isa::DecodedInsn>& decode_cache() const { return dcache_; }
+
+ private:
+  Bus bus_;
+  CpuState cpu_;
+  std::uint32_t code_base_ = 0;
+  std::vector<isa::DecodedInsn> dcache_;
+};
+
+}  // namespace nfp::sim

@@ -1,0 +1,241 @@
+#include "workloads/kernels.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <tuple>
+
+#include "codecs/sequence_gen.h"
+#include "fse/image_gen.h"
+#include "rtlib/sources.h"
+#include "sim/memmap.h"
+
+// Host build of the Micro-C FSE (golden reference for differential tests).
+namespace nfp::workloads::fsehost {
+#include "workloads/mc_shims.h"
+#include "workloads/mc/fse.c"
+}  // namespace nfp::workloads::fsehost
+
+// Host build of the Micro-C Sobel (golden reference).
+namespace nfp::workloads::sobelhost {
+#include "workloads/mc/sobel.c"
+}  // namespace nfp::workloads::sobelhost
+
+namespace nfp::rtlib {
+// Embedded by the workloads CMake rules.
+extern const std::string_view kFseSource;
+extern const std::string_view kMvcDecSource;
+extern const std::string_view kSobelSource;
+}  // namespace nfp::rtlib
+
+namespace nfp::workloads {
+namespace {
+
+constexpr int kFseN = 16;
+constexpr int kFseArea = kFseN * kFseN;
+
+void append_be32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v >> 24));
+  out.push_back(static_cast<std::uint8_t>(v >> 16));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+  out.push_back(static_cast<std::uint8_t>(v));
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, 8);
+  append_be32(out, static_cast<std::uint32_t>(bits >> 32));
+  append_be32(out, static_cast<std::uint32_t>(bits));
+}
+
+const asmkit::Program& cached_program(const std::string_view source,
+                                      mcc::FloatAbi abi,
+                                      mcc::MulDivAbi muldiv) {
+  static std::mutex mutex;
+  static std::map<std::tuple<const void*, int, int>, asmkit::Program> cache;
+  std::scoped_lock lock(mutex);
+  const auto key = std::make_tuple(static_cast<const void*>(source.data()),
+                                   static_cast<int>(abi),
+                                   static_cast<int>(muldiv));
+  auto it = cache.find(key);
+  if (it == cache.end()) {
+    mcc::CompileOptions opts;
+    opts.float_abi = abi;
+    opts.muldiv_abi = muldiv;
+    it = cache
+             .emplace(key,
+                      mcc::Compiler(opts).compile({std::string(source)}))
+             .first;
+  }
+  return it->second;
+}
+
+std::string abi_name(mcc::FloatAbi abi, mcc::MulDivAbi muldiv) {
+  std::string name = abi == mcc::FloatAbi::kHard ? "float" : "fixed";
+  if (muldiv == mcc::MulDivAbi::kSoft) name += "+swmd";
+  return name;
+}
+
+}  // namespace
+
+const asmkit::Program& mvc_program(mcc::FloatAbi abi,
+                                   mcc::MulDivAbi muldiv) {
+  return cached_program(rtlib::kMvcDecSource, abi, muldiv);
+}
+
+const asmkit::Program& fse_program(mcc::FloatAbi abi,
+                                   mcc::MulDivAbi muldiv) {
+  return cached_program(rtlib::kFseSource, abi, muldiv);
+}
+
+const asmkit::Program& sobel_program(mcc::FloatAbi abi,
+                                     mcc::MulDivAbi muldiv) {
+  return cached_program(rtlib::kSobelSource, abi, muldiv);
+}
+
+std::vector<codec::EncodedStream> mvc_streams(const MvcKernelParams& p) {
+  std::vector<codec::EncodedStream> streams;
+  const codec::Config configs[] = {
+      codec::Config::kIntra, codec::Config::kLowdelay,
+      codec::Config::kLowdelayP, codec::Config::kRandomaccess};
+  for (const auto config : configs) {
+    for (const int qp : p.qps) {
+      for (int seq = 0; seq < 3; ++seq) {
+        const auto frames = codec::make_sequence(
+            p.width, p.height, p.frames,
+            static_cast<codec::SequenceKind>(seq), 1000 + seq);
+        auto encoded =
+            codec::encode(frames, p.width, p.height, qp, config);
+        streams.push_back(std::move(encoded.stream));
+      }
+    }
+  }
+  return streams;
+}
+
+std::vector<model::KernelJob> make_mvc_jobs(mcc::FloatAbi abi,
+                                            const MvcKernelParams& p,
+                                            mcc::MulDivAbi muldiv) {
+  const asmkit::Program& program = mvc_program(abi, muldiv);
+  std::vector<model::KernelJob> jobs;
+  int seq = 0;
+  for (auto& stream : mvc_streams(p)) {
+    model::KernelJob job;
+    job.name = std::string("hevc/") + codec::to_string(stream.config) +
+               "/qp" + std::to_string(stream.qp) + "/seq" +
+               std::to_string(seq % 3) + "/" + abi_name(abi, muldiv);
+    job.program = program;
+    job.inputs.emplace_back(sim::kInputBase, stream.to_input_blob());
+    jobs.push_back(std::move(job));
+    ++seq;
+  }
+  return jobs;
+}
+
+FseKernelData fse_kernel_data(int index) {
+  FseKernelData data;
+  data.signal = fse::make_image(kFseN, 42 + static_cast<std::uint64_t>(index));
+  data.mask = fse::make_mask(kFseN, 42 + static_cast<std::uint64_t>(index),
+                             static_cast<fse::MaskKind>(index % 3));
+  // FSE operates on the distorted signal: missing samples zeroed.
+  for (int i = 0; i < kFseArea; ++i) {
+    if (data.mask[i]) data.signal[i] = 0.0;
+  }
+  return data;
+}
+
+std::vector<std::uint8_t> fse_input_blob(const std::vector<double>& signal,
+                                         const std::vector<int>& mask,
+                                         int iterations, double rho) {
+  std::vector<std::uint8_t> blob;
+  blob.reserve(24 + kFseArea * 12);
+  append_be32(blob, 0x46534531u);
+  append_be32(blob, kFseN);
+  append_be32(blob, static_cast<std::uint32_t>(iterations));
+  append_be32(blob, 0);  // pad to 8-align the rho double
+  append_f64(blob, rho);
+  for (const double v : signal) append_f64(blob, v);
+  for (const int m : mask) {
+    append_be32(blob, static_cast<std::uint32_t>(m));
+  }
+  return blob;
+}
+
+std::vector<model::KernelJob> make_fse_jobs(mcc::FloatAbi abi,
+                                            const FseKernelParams& p,
+                                            mcc::MulDivAbi muldiv) {
+  const asmkit::Program& program = fse_program(abi, muldiv);
+  std::vector<model::KernelJob> jobs;
+  for (int k = 0; k < p.count; ++k) {
+    const FseKernelData data = fse_kernel_data(k);
+    model::KernelJob job;
+    job.name = "fse/img" + std::to_string(k) + "/" + abi_name(abi, muldiv);
+    job.program = program;
+    job.inputs.emplace_back(
+        sim::kInputBase,
+        fse_input_blob(data.signal, data.mask, p.iterations, p.rho));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<std::uint8_t> sobel_kernel_image(int index,
+                                             const SobelKernelParams& p) {
+  // Frame 0 of a synthetic sequence: varied texture per kernel.
+  const auto frames = codec::make_sequence(
+      p.width, p.height, 1, static_cast<codec::SequenceKind>(index % 3),
+      7000 + static_cast<std::uint64_t>(index));
+  return frames[0];
+}
+
+std::vector<model::KernelJob> make_sobel_jobs(mcc::FloatAbi abi,
+                                              const SobelKernelParams& p,
+                                              mcc::MulDivAbi muldiv) {
+  const asmkit::Program& program = sobel_program(abi, muldiv);
+  std::vector<model::KernelJob> jobs;
+  for (int k = 0; k < p.count; ++k) {
+    const auto image = sobel_kernel_image(k, p);
+    std::vector<std::uint8_t> blob;
+    blob.reserve(12 + image.size());
+    append_be32(blob, 0x534F4231u);
+    append_be32(blob, static_cast<std::uint32_t>(p.width));
+    append_be32(blob, static_cast<std::uint32_t>(p.height));
+    blob.insert(blob.end(), image.begin(), image.end());
+
+    model::KernelJob job;
+    job.name = "sobel/img" + std::to_string(k) + "/" + abi_name(abi, muldiv);
+    job.program = program;
+    job.inputs.emplace_back(sim::kInputBase, std::move(blob));
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+SobelGolden sobel_golden(const std::vector<std::uint8_t>& image, int width,
+                         int height) {
+  SobelGolden out;
+  out.edges.assign(image.size(), 0);
+  out.histogram.assign(64, 0);
+  std::vector<std::uint8_t> input = image;
+  sobelhost::sobel(input.data(), out.edges.data(), out.histogram.data(),
+                   width, height);
+  return out;
+}
+
+std::vector<double> fse_golden(const std::vector<double>& signal,
+                               const std::vector<int>& mask, int iterations,
+                               double rho) {
+  static std::mutex mutex;  // the host FSE uses global scratch buffers
+  std::scoped_lock lock(mutex);
+  std::vector<double> f = signal;
+  std::vector<int> m = mask;
+  std::vector<double> out(kFseArea, 0.0);
+  fsehost::fse_extrapolate(f.data(), m.data(), out.data(), iterations, rho,
+                           0.5);
+  return out;
+}
+
+}  // namespace nfp::workloads

@@ -1,0 +1,101 @@
+// The paper's kernel test set (Section VI):
+//  - 36 MVC/HEVC decoding kernels: 4 configurations x 3 QPs x 3 sequences
+//  - 24 FSE kernels: 24 synthetic images with per-image masks
+// each compiled with the FPU ("float") and with soft-float ("fixed").
+//
+// A kernel = a compiled target program plus its input blob; the program is
+// shared between kernels of the same workload/ABI (only inputs differ),
+// mirroring the paper's one-binary-many-bitstreams methodology.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "asmkit/program.h"
+#include "codecs/mvc.h"
+#include "fse/fse_ref.h"
+#include "mcc/compiler.h"
+#include "nfp/campaign.h"
+
+namespace nfp::workloads {
+
+struct MvcKernelParams {
+  int width = 48;
+  int height = 48;
+  int frames = 5;
+  std::vector<int> qps = {10, 32, 45};
+};
+
+struct FseKernelParams {
+  int iterations = 48;
+  double rho = 0.90;
+  int count = 24;
+};
+
+struct SobelKernelParams {
+  int width = 48;
+  int height = 48;
+  int count = 6;
+};
+
+// Compiles the target decoders/extrapolators (cached per ABI per process).
+const asmkit::Program& mvc_program(
+    mcc::FloatAbi abi, mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+const asmkit::Program& fse_program(
+    mcc::FloatAbi abi, mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+const asmkit::Program& sobel_program(
+    mcc::FloatAbi abi, mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+
+// Builds the full kernel sets. Names follow
+//   "hevc/<config>/qp<QP>/seq<k>/<float|fixed>" and
+//   "fse/img<k>/<float|fixed>".
+std::vector<model::KernelJob> make_mvc_jobs(
+    mcc::FloatAbi abi, const MvcKernelParams& p = {},
+    mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+std::vector<model::KernelJob> make_fse_jobs(
+    mcc::FloatAbi abi, const FseKernelParams& p = {},
+    mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+
+// Sobel kernels ("further algorithms" extension): "sobel/img<k>/<abi>".
+std::vector<model::KernelJob> make_sobel_jobs(
+    mcc::FloatAbi abi, const SobelKernelParams& p = {},
+    mcc::MulDivAbi muldiv = mcc::MulDivAbi::kHard);
+
+// Sobel golden: returns edge image followed by the 64-bin histogram
+// serialised as the target writes it (bytes, then 4-aligned words).
+struct SobelGolden {
+  std::vector<std::uint8_t> edges;
+  std::vector<int> histogram;
+};
+SobelGolden sobel_golden(const std::vector<std::uint8_t>& image, int width,
+                         int height);
+// The image behind sobel kernel `index`.
+std::vector<std::uint8_t> sobel_kernel_image(int index,
+                                             const SobelKernelParams& p = {});
+
+// ---- golden expectations (host-compiled Micro-C sources) ----
+// Output bytes the simulator must produce for a given job, for differential
+// verification.
+
+// FSE: n*n doubles; runs the host build of workloads/mc/fse.c.
+std::vector<double> fse_golden(const std::vector<double>& signal,
+                               const std::vector<int>& mask, int iterations,
+                               double rho);
+
+// Input blob builders (exposed for tests/examples).
+std::vector<std::uint8_t> fse_input_blob(const std::vector<double>& signal,
+                                         const std::vector<int>& mask,
+                                         int iterations, double rho);
+
+// Per-kernel data used to rebuild the golden expectation for FSE jobs.
+struct FseKernelData {
+  std::vector<double> signal;
+  std::vector<int> mask;
+};
+FseKernelData fse_kernel_data(int index);
+
+// The MVC streams behind make_mvc_jobs, in job order.
+std::vector<codec::EncodedStream> mvc_streams(const MvcKernelParams& p = {});
+
+}  // namespace nfp::workloads

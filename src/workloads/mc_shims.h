@@ -1,0 +1,38 @@
+// Host-side shims for the Micro-C intrinsics. Include this before
+// #including a .c Micro-C source into a (uniquely named) namespace to build
+// it natively with the exact semantics the simulated target provides.
+//
+// NOTE: deliberately includes no standard headers, because this file is
+// typically included *inside* a namespace. The including .cpp must include
+// <cmath>, <cstdint> and <cstring> at global scope first.
+#pragma once
+
+inline unsigned mc_umulhi(unsigned a, unsigned b) {
+  return static_cast<unsigned>(
+      (static_cast<unsigned long long>(a) * b) >> 32);
+}
+
+inline unsigned mc_dhi(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return static_cast<unsigned>(bits >> 32);
+}
+
+inline unsigned mc_dlo(double d) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  return static_cast<unsigned>(bits);
+}
+
+inline double mc_bits2d(unsigned hi, unsigned lo) {
+  const std::uint64_t bits = (static_cast<std::uint64_t>(hi) << 32) | lo;
+  double d;
+  std::memcpy(&d, &bits, 8);
+  return d;
+}
+
+inline double mc_sqrt(double x) { return std::sqrt(x); }
+
+inline void mc_putc(int) {}
+inline void mc_halt(int) {}
+inline unsigned mc_clock() { return 0; }

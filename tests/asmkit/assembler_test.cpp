@@ -1,0 +1,224 @@
+#include "asmkit/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/encode.h"
+#include "sim/iss.h"
+#include "sim/memmap.h"
+
+namespace nfp::asmkit {
+namespace {
+
+using isa::Op;
+
+std::uint32_t word_at(const Program& p, std::uint32_t addr) {
+  const std::uint32_t off = addr - p.base();
+  const auto& b = p.bytes();
+  return (std::uint32_t{b[off]} << 24) | (std::uint32_t{b[off + 1]} << 16) |
+         (std::uint32_t{b[off + 2]} << 8) | b[off + 3];
+}
+
+TEST(Assembler, EncodesBasicInstructions) {
+  const Program p = assemble(R"(
+        add %g1, %g2, %g3
+        sub %o0, 1, %o0
+        nop
+)",
+                             0x1000);
+  EXPECT_EQ(word_at(p, 0x1000), isa::enc_alu(Op::kAdd, 3, 1, 2));
+  EXPECT_EQ(word_at(p, 0x1004), isa::enc_alu_imm(Op::kSub, 8, 8, 1));
+  EXPECT_EQ(word_at(p, 0x1008), isa::enc_nop());
+}
+
+TEST(Assembler, LabelsAndBranches) {
+  const Program p = assemble(R"(
+loop:
+        subcc %l0, 1, %l0
+        bne loop
+        nop
+        ba done
+        nop
+done:
+        ta 0
+)",
+                             0x2000);
+  // bne at 0x2004 targets 0x2000 => disp -4.
+  const isa::DecodedInsn bne = isa::decode(word_at(p, 0x2004));
+  EXPECT_EQ(bne.op, Op::kBicc);
+  EXPECT_EQ(bne.imm, -4);
+  // ba at 0x200c targets done at 0x2014 => disp 8.
+  const isa::DecodedInsn ba = isa::decode(word_at(p, 0x200c));
+  EXPECT_EQ(ba.imm, 8);
+  EXPECT_EQ(p.symbol("done"), 0x2014u);
+}
+
+TEST(Assembler, HiLoAndSet) {
+  const Program p = assemble(R"(
+        sethi %hi(0x40001234), %g1
+        or %g1, %lo(0x40001234), %g1
+        set 0x40001234, %g2
+)",
+                             0);
+  const isa::DecodedInsn hi = isa::decode(word_at(p, 0));
+  EXPECT_EQ(hi.op, Op::kSethi);
+  EXPECT_EQ(static_cast<std::uint32_t>(hi.imm), 0x40001234u & 0xFFFFFC00u);
+  const isa::DecodedInsn lo = isa::decode(word_at(p, 4));
+  EXPECT_EQ(lo.imm, 0x234);
+  const isa::DecodedInsn set_hi = isa::decode(word_at(p, 8));
+  EXPECT_EQ(set_hi.op, Op::kSethi);
+  const isa::DecodedInsn set_lo = isa::decode(word_at(p, 12));
+  EXPECT_EQ(set_lo.op, Op::kOr);
+  EXPECT_EQ(set_lo.imm, 0x234);
+}
+
+TEST(Assembler, DataDirectives) {
+  const Program p = assemble(R"(
+        .data
+words:  .word 0x11223344, -1
+halfs:  .half 0x55AA
+bytes:  .byte 1, 2, 3
+        .align 8
+dbl:    .double 1.5
+str:    .asciz "hi\n"
+)",
+                             0x4000);
+  const std::uint32_t w = p.symbol("words");
+  EXPECT_EQ(word_at(p, w), 0x11223344u);
+  EXPECT_EQ(word_at(p, w + 4), 0xFFFFFFFFu);
+  const std::uint32_t d = p.symbol("dbl");
+  EXPECT_EQ(d % 8, 0u);
+  // 1.5 == 0x3FF8000000000000
+  EXPECT_EQ(word_at(p, d), 0x3FF80000u);
+  EXPECT_EQ(word_at(p, d + 4), 0u);
+  const std::uint32_t s = p.symbol("str");
+  EXPECT_EQ(p.bytes()[s - p.base()], 'h');
+  EXPECT_EQ(p.bytes()[s - p.base() + 2], '\n');
+  EXPECT_EQ(p.bytes()[s - p.base() + 3], 0);
+}
+
+TEST(Assembler, DataPlacedAfterText) {
+  const Program p = assemble(R"(
+        nop
+        .data
+var:    .word 7
+)",
+                             0x1000);
+  EXPECT_EQ(p.symbol("var"), 0x1008u);  // text 4 bytes, data aligned to 8
+}
+
+TEST(Assembler, PseudoInstructions) {
+  const Program p = assemble(R"(
+        mov 5, %o0
+        mov %o0, %o1
+        cmp %o0, %o1
+        clr %g1
+        retl
+        nop
+)",
+                             0);
+  EXPECT_EQ(word_at(p, 0), isa::enc_alu_imm(Op::kOr, 8, 0, 5));
+  EXPECT_EQ(word_at(p, 4), isa::enc_alu(Op::kOr, 9, 0, 8));
+  EXPECT_EQ(word_at(p, 8), isa::enc_alu(Op::kSubcc, 0, 8, 9));
+  EXPECT_EQ(word_at(p, 12), isa::enc_alu(Op::kOr, 1, 0, 0));
+  EXPECT_EQ(word_at(p, 16), isa::enc_alu_imm(Op::kJmpl, 0, 15, 8));
+}
+
+TEST(Assembler, EquAndExpressions) {
+  const Program p = assemble(R"(
+        .equ BASE, 0x44000000
+        set BASE+16, %g1
+        ld [%g1+BASE-BASE], %g2
+)",
+                             0);
+  const isa::DecodedInsn lo = isa::decode(word_at(p, 4));
+  EXPECT_EQ(lo.imm, 16);
+}
+
+TEST(Assembler, CommentsAndLabelsOnSameLine) {
+  const Program p = assemble(R"(
+start:  nop  ! comment with , and [ chars
+        nop  ; another
+        nop  # and another
+)",
+                             0x100);
+  EXPECT_EQ(p.symbol("start"), 0x100u);
+  EXPECT_EQ(p.size(), 12u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("nop\n  bogus %g1\n", 0);
+    FAIL() << "expected AsmError";
+  } catch (const AsmError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Assembler, UndefinedSymbolFails) {
+  EXPECT_THROW(assemble("call nowhere\n nop\n", 0), AsmError);
+}
+
+TEST(Assembler, DuplicateLabelFails) {
+  EXPECT_THROW(assemble("a: nop\na: nop\n", 0), AsmError);
+}
+
+TEST(Assembler, ImmediateRangeChecked) {
+  EXPECT_THROW(assemble("add %g1, 5000, %g1\n", 0), AsmError);
+  EXPECT_NO_THROW(assemble("add %g1, 4095, %g1\n", 0));
+  EXPECT_NO_THROW(assemble("add %g1, -4096, %g1\n", 0));
+}
+
+TEST(Assembler, EntryDefaultsToOriginOrStart) {
+  const Program a = assemble("nop\n", 0x1000);
+  EXPECT_EQ(a.entry(), 0x1000u);
+  const Program b = assemble("nop\n_start: nop\n", 0x1000);
+  EXPECT_EQ(b.entry(), 0x1004u);
+}
+
+TEST(Assembler, FpuSyntax) {
+  const Program p = assemble(R"(
+        faddd %f0, %f2, %f4
+        fsqrtd %f4, %f6
+        fcmpd %f0, %f2
+        nop
+        fbl somewhere
+        nop
+somewhere:
+        ldf [%sp+4], %f1
+        stdf %f4, [%g1]
+)",
+                             0);
+  EXPECT_EQ(word_at(p, 0), isa::enc_fp(Op::kFaddd, 4, 0, 2));
+  EXPECT_EQ(word_at(p, 4), isa::enc_fp(Op::kFsqrtd, 6, 0, 4));
+  EXPECT_EQ(word_at(p, 8), isa::enc_fp(Op::kFcmpd, 0, 0, 2));
+  const isa::DecodedInsn fbl = isa::decode(word_at(p, 16));
+  EXPECT_EQ(fbl.op, Op::kFbfcc);
+  EXPECT_EQ(fbl.imm, 8);
+}
+
+// End-to-end: assemble a program that computes 10! iteratively and run it.
+TEST(Assembler, FactorialRunsOnIss) {
+  const Program p = assemble(R"(
+_start:
+        mov 10, %l0        ! n
+        mov 1, %l1         ! acc
+loop:   cmp %l0, 1
+        ble done
+        nop
+        umul %l1, %l0, %l1
+        ba loop
+        sub %l0, 1, %l0
+done:   mov %l1, %o0
+        ta 0
+)",
+                             nfp::sim::kTextBase);
+  nfp::sim::Iss iss;
+  iss.load(p);
+  const auto result = iss.run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.exit_code, 3628800u);
+}
+
+}  // namespace
+}  // namespace nfp::asmkit

@@ -1,0 +1,88 @@
+// Property: for register-addressed instructions, the disassembler output is
+// valid assembler input and round-trips to the identical machine word.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "asmkit/assembler.h"
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "isa/encode.h"
+
+namespace nfp::asmkit {
+namespace {
+
+using isa::Op;
+
+std::uint32_t first_word(const Program& p) {
+  const auto& b = p.bytes();
+  return (std::uint32_t{b[0]} << 24) | (std::uint32_t{b[1]} << 16) |
+         (std::uint32_t{b[2]} << 8) | b[3];
+}
+
+void expect_roundtrip(std::uint32_t word) {
+  const std::string text = isa::disassemble_word(word, 0);
+  SCOPED_TRACE(text);
+  Program reassembled;
+  ASSERT_NO_THROW(reassembled = assemble(text + "\n", 0));
+  EXPECT_EQ(first_word(reassembled), word);
+}
+
+class DisasmRoundTrip : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(DisasmRoundTrip, AluRegisterForms) {
+  std::mt19937_64 rng(GetParam());
+  const Op ops[] = {Op::kAdd,  Op::kAddcc, Op::kSub, Op::kSubcc, Op::kAnd,
+                    Op::kOr,   Op::kXor,   Op::kSll, Op::kSrl,   Op::kSra,
+                    Op::kUmul, Op::kSmul,  Op::kUdiv, Op::kSdiv, Op::kAndn,
+                    Op::kOrn,  Op::kXnor,  Op::kAddx, Op::kSubx};
+  for (int i = 0; i < 200; ++i) {
+    const Op op = ops[rng() % std::size(ops)];
+    const auto rd = static_cast<std::uint8_t>(rng() % 32);
+    const auto rs1 = static_cast<std::uint8_t>(rng() % 32);
+    const auto rs2 = static_cast<std::uint8_t>(rng() % 32);
+    expect_roundtrip(isa::enc_alu(op, rd, rs1, rs2));
+    const auto imm = static_cast<std::int32_t>(rng() % 8192) - 4096;
+    expect_roundtrip(isa::enc_alu_imm(op, rd, rs1, imm));
+  }
+}
+
+TEST_P(DisasmRoundTrip, MemoryForms) {
+  std::mt19937_64 rng(GetParam() ^ 0xABCD);
+  const Op ops[] = {Op::kLd,  Op::kLdub, Op::kLdsb, Op::kLduh, Op::kLdsh,
+                    Op::kLdd, Op::kSt,   Op::kStb,  Op::kSth,  Op::kStd,
+                    Op::kLdf, Op::kLddf, Op::kStf,  Op::kStdf};
+  for (int i = 0; i < 200; ++i) {
+    const Op op = ops[rng() % std::size(ops)];
+    const auto rd = static_cast<std::uint8_t>(rng() % 32);
+    const auto rs1 = static_cast<std::uint8_t>(rng() % 32);
+    const auto imm = static_cast<std::int32_t>(rng() % 8192) - 4096;
+    expect_roundtrip(isa::enc_mem_imm(op, rd, rs1, imm));
+  }
+}
+
+TEST_P(DisasmRoundTrip, FpuForms) {
+  std::mt19937_64 rng(GetParam() ^ 0x5555);
+  const Op two_src[] = {Op::kFadds, Op::kFaddd, Op::kFsubs, Op::kFsubd,
+                        Op::kFmuls, Op::kFmuld, Op::kFdivs, Op::kFdivd};
+  const Op one_src[] = {Op::kFmovs, Op::kFnegs, Op::kFabss, Op::kFsqrts,
+                        Op::kFsqrtd, Op::kFitos, Op::kFitod, Op::kFstoi,
+                        Op::kFdtoi, Op::kFstod, Op::kFdtos};
+  for (int i = 0; i < 100; ++i) {
+    const auto rd = static_cast<std::uint8_t>(rng() % 32);
+    const auto rs1 = static_cast<std::uint8_t>(rng() % 32);
+    const auto rs2 = static_cast<std::uint8_t>(rng() % 32);
+    expect_roundtrip(
+        isa::enc_fp(two_src[rng() % std::size(two_src)], rd, rs1, rs2));
+    expect_roundtrip(isa::enc_fp(one_src[rng() % std::size(one_src)], rd, 0,
+                                 rs2));
+    expect_roundtrip(isa::enc_fp(rng() % 2 ? Op::kFcmpd : Op::kFcmps, 0,
+                                 rs1, rs2));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DisasmRoundTrip,
+                         ::testing::Values(1u, 42u, 20150615u));
+
+}  // namespace
+}  // namespace nfp::asmkit

@@ -1,0 +1,93 @@
+#include "board/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.h"
+#include "sim/memmap.h"
+
+namespace nfp::board {
+namespace {
+
+class MonitorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cfg_.enable_meter_noise = false;
+    board_ = std::make_unique<Board>(cfg_);
+    board_->load(asmkit::assemble(R"(
+_start: mov 5, %l0
+loop:   subcc %l0, 1, %l0
+        bne loop
+        nop
+        mov 77, %o0
+        ta 0
+)",
+                                  sim::kTextBase));
+    monitor_ = std::make_unique<DebugMonitor>(*board_);
+  }
+
+  BoardConfig cfg_;
+  std::unique_ptr<Board> board_;
+  std::unique_ptr<DebugMonitor> monitor_;
+};
+
+TEST_F(MonitorTest, RegDumpShowsPcAndRegisters) {
+  const std::string out = monitor_->command("reg");
+  EXPECT_NE(out.find("%g0 0x00000000"), std::string::npos);
+  EXPECT_NE(out.find("pc 0x40000000"), std::string::npos);
+  EXPECT_NE(out.find("icc:"), std::string::npos);
+}
+
+TEST_F(MonitorTest, StepAdvancesOneInstruction) {
+  monitor_->command("step");
+  EXPECT_EQ(board_->cpu().pc, sim::kTextBase + 4);
+  EXPECT_EQ(board_->cpu().r[16], 5u);  // %l0
+  monitor_->command("step 3");
+  EXPECT_EQ(board_->cpu().instret, 4u);
+}
+
+TEST_F(MonitorTest, DisassemblesAtPc) {
+  const std::string out = monitor_->command("dis");
+  EXPECT_NE(out.find("or %g0, 5, %l0"), std::string::npos);
+  EXPECT_NE(out.find("subcc %l0, 1, %l0"), std::string::npos);
+  EXPECT_NE(out.find('>'), std::string::npos);  // current-pc marker
+}
+
+TEST_F(MonitorTest, BreakpointStopsRun) {
+  // Break on the final mov at _start+16.
+  const std::uint32_t target = sim::kTextBase + 16;
+  monitor_->command("break " + std::to_string(target));
+  const std::string out = monitor_->command("run");
+  EXPECT_NE(out.find("breakpoint hit"), std::string::npos);
+  EXPECT_EQ(board_->cpu().pc, target);
+  EXPECT_FALSE(board_->cpu().halted);
+  // Continue to completion.
+  monitor_->command("delete " + std::to_string(target));
+  const std::string done = monitor_->command("run");
+  EXPECT_NE(done.find("halted with exit code 77"), std::string::npos);
+}
+
+TEST_F(MonitorTest, MemDumpReadsRam) {
+  const std::string out =
+      monitor_->command("mem " + std::to_string(sim::kTextBase) + " 4");
+  // First word is `mov 5, %l0` == or %g0,5,%l0 == 0xa0102005.
+  EXPECT_NE(out.find("0xa0102005"), std::string::npos);
+}
+
+TEST_F(MonitorTest, InfoReportsNfpState) {
+  monitor_->command("run");
+  const std::string out = monitor_->command("info");
+  EXPECT_NE(out.find("cycles"), std::string::npos);
+  EXPECT_NE(out.find("energy"), std::string::npos);
+  EXPECT_NE(out.find("branches"), std::string::npos);
+}
+
+TEST_F(MonitorTest, UnknownCommandIsGraceful) {
+  EXPECT_NE(monitor_->command("explode").find("unknown command"),
+            std::string::npos);
+  EXPECT_NE(monitor_->command("help").find("commands:"), std::string::npos);
+  EXPECT_EQ(monitor_->command(""), "");
+  EXPECT_NE(monitor_->command("mem").find("usage"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp::board

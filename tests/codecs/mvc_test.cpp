@@ -1,0 +1,158 @@
+// MVC codec: encoder <-> golden decoder consistency and quality.
+#include "codecs/mvc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "codecs/bitio.h"
+#include "codecs/sequence_gen.h"
+
+namespace nfp::codec {
+namespace {
+
+std::vector<Frame> test_sequence(int kind = 0, int frames = 4) {
+  return make_sequence(48, 48, frames, static_cast<SequenceKind>(kind), 7);
+}
+
+TEST(BitWriter, ExpGolombEncoding) {
+  BitWriter bw;
+  bw.ue(0);  // "1"
+  bw.ue(1);  // "010"
+  bw.ue(2);  // "011"
+  bw.ue(6);  // "00111"
+  EXPECT_EQ(bw.bit_count(), 1u + 3 + 3 + 5);
+  // First byte: 1 010 011 0 -> 0xA6.
+  EXPECT_EQ(bw.bytes()[0], 0xA6);
+}
+
+TEST(BitWriter, SignedMapping) {
+  // se: 0->ue0, 1->ue1, -1->ue2, 2->ue3, -2->ue4.
+  BitWriter a, b;
+  a.se(-2);
+  b.ue(4);
+  EXPECT_EQ(a.bytes(), b.bytes());
+  BitWriter c, d;
+  c.se(3);
+  d.ue(5);
+  EXPECT_EQ(c.bytes(), d.bytes());
+}
+
+class MvcConfigs : public ::testing::TestWithParam<Config> {};
+
+// The golden decoder must reproduce the encoder's closed-loop
+// reconstruction bit-exactly — this validates the whole format.
+TEST_P(MvcConfigs, DecoderMatchesEncoderReconstruction) {
+  const auto frames = test_sequence();
+  for (const int qp : {10, 32, 45}) {
+    const auto enc = encode(frames, 48, 48, qp, GetParam());
+    const auto dec = golden_decode(enc.stream);
+    ASSERT_EQ(dec.status, 0);
+    ASSERT_EQ(dec.frames.size(), enc.reconstruction.size());
+    for (std::size_t f = 0; f < dec.frames.size(); ++f) {
+      EXPECT_EQ(dec.frames[f], enc.reconstruction[f])
+          << "config=" << to_string(GetParam()) << " qp=" << qp
+          << " frame=" << f;
+    }
+  }
+}
+
+TEST_P(MvcConfigs, QualityReasonableAtLowQp) {
+  const auto frames = test_sequence(2);
+  const auto enc = encode(frames, 48, 48, 10, GetParam());
+  const auto dec = golden_decode(enc.stream);
+  ASSERT_EQ(dec.status, 0);
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    EXPECT_GT(psnr(frames[f], dec.frames[f]), 32.0) << "frame " << f;
+  }
+}
+
+TEST_P(MvcConfigs, HigherQpCompressesMore) {
+  const auto frames = test_sequence(1);
+  const auto lo = encode(frames, 48, 48, 10, GetParam());
+  const auto hi = encode(frames, 48, 48, 45, GetParam());
+  EXPECT_LT(hi.stream.payload.size(), lo.stream.payload.size());
+  // ... and quality degrades.
+  const auto dec_lo = golden_decode(lo.stream);
+  const auto dec_hi = golden_decode(hi.stream);
+  double p_lo = 0, p_hi = 0;
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    p_lo += psnr(frames[f], dec_lo.frames[f]);
+    p_hi += psnr(frames[f], dec_hi.frames[f]);
+  }
+  EXPECT_GT(p_lo, p_hi);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllConfigs, MvcConfigs,
+                         ::testing::Values(Config::kIntra, Config::kLowdelay,
+                                           Config::kLowdelayP,
+                                           Config::kRandomaccess),
+                         [](const auto& info) {
+                           return std::string(to_string(info.param)) == "lowdelay_P"
+                                      ? "lowdelayP"
+                                      : to_string(info.param);
+                         });
+
+TEST(Mvc, InterBeatsIntraOnStaticContent) {
+  // A panning sequence should compress better with motion compensation.
+  const auto frames = make_sequence(48, 48, 5, SequenceKind::kPanningTexture, 3);
+  const auto intra = encode(frames, 48, 48, 32, Config::kIntra);
+  const auto inter = encode(frames, 48, 48, 32, Config::kLowdelayP);
+  EXPECT_LT(inter.stream.payload.size(), intra.stream.payload.size());
+}
+
+TEST(Mvc, StatsProduced) {
+  const auto frames = test_sequence();
+  const auto enc = encode(frames, 48, 48, 32, Config::kLowdelay);
+  const auto dec = golden_decode(enc.stream);
+  EXPECT_GT(dec.rms_activity, 1.0);   // RMS of 8-bit video
+  EXPECT_LT(dec.rms_activity, 256.0);
+}
+
+TEST(Mvc, InputBlobLayout) {
+  const auto frames = test_sequence(0, 2);
+  const auto enc = encode(frames, 48, 48, 32, Config::kIntra);
+  const auto blob = enc.stream.to_input_blob();
+  ASSERT_GE(blob.size(), 28u);
+  EXPECT_EQ(blob[0], 0x4D);  // 'M'
+  EXPECT_EQ(blob[3], 0x31);  // '1'
+  // width at word 1, big endian.
+  EXPECT_EQ(blob[7], 48);
+  EXPECT_EQ(blob.size(), 28u + enc.stream.payload.size());
+}
+
+TEST(Mvc, RejectsBadParameters) {
+  const auto frames = test_sequence(0, 1);
+  EXPECT_THROW(encode(frames, 48, 48, 99, Config::kIntra),
+               std::invalid_argument);
+  EXPECT_THROW(encode(frames, 47, 48, 10, Config::kIntra),
+               std::invalid_argument);
+  EXPECT_THROW(encode(frames, 128, 48, 10, Config::kIntra),
+               std::invalid_argument);
+}
+
+TEST(Mvc, QstepTableMatchesFormula) {
+  // The Micro-C decoder's quantiser table is round(16 * 2^((qp-4)/6));
+  // pin every entry through the dequantiser: dequant(level, qp) =
+  // (level * qstep + 8) >> 4.
+  for (int qp = 0; qp <= 51; ++qp) {
+    const int qstep =
+        static_cast<int>(16.0 * std::pow(2.0, (qp - 4) / 6.0) + 0.5);
+    EXPECT_EQ(dequant_probe(1, qp), (qstep + 8) >> 4) << "qp " << qp;
+    EXPECT_EQ(dequant_probe(5, qp), (5 * qstep + 8) >> 4) << "qp " << qp;
+    EXPECT_EQ(dequant_probe(-3, qp), (-3 * qstep + 8) >> 4) << "qp " << qp;
+  }
+}
+
+TEST(SequenceGen, DeterministicDistinctKinds) {
+  const auto a = make_sequence(48, 48, 3, SequenceKind::kBouncingBlocks, 5);
+  const auto b = make_sequence(48, 48, 3, SequenceKind::kBouncingBlocks, 5);
+  const auto c = make_sequence(48, 48, 3, SequenceKind::kPanningTexture, 5);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a[0], c[0]);
+  // Motion: consecutive frames differ.
+  EXPECT_NE(a[0], a[1]);
+}
+
+}  // namespace
+}  // namespace nfp::codec

@@ -1,0 +1,173 @@
+// Host FSE reference: FFT properties and extrapolation quality.
+#include "fse/fse_ref.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <random>
+
+#include "fse/image_gen.h"
+
+namespace nfp::fse {
+namespace {
+
+using cd = std::complex<double>;
+
+TEST(Fft, InverseRoundTrip) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<cd> data(64);
+  for (auto& v : data) v = cd(dist(rng), dist(rng));
+  auto copy = data;
+  fft_inplace(copy, false);
+  fft_inplace(copy, true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    // Unscaled transforms: round trip multiplies by N.
+    EXPECT_NEAR(copy[i].real(), data[i].real() * 64.0, 1e-9);
+    EXPECT_NEAR(copy[i].imag(), data[i].imag() * 64.0, 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::mt19937_64 rng(8);
+  std::uniform_real_distribution<double> dist(-2.0, 2.0);
+  std::vector<cd> data(128);
+  double spatial_energy = 0.0;
+  for (auto& v : data) {
+    v = cd(dist(rng), dist(rng));
+    spatial_energy += std::norm(v);
+  }
+  fft_inplace(data, false);
+  double freq_energy = 0.0;
+  for (const auto& v : data) freq_energy += std::norm(v);
+  EXPECT_NEAR(freq_energy, spatial_energy * 128.0, 1e-6);
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  std::vector<cd> data(16, cd(0.0, 0.0));
+  data[0] = cd(1.0, 0.0);
+  fft_inplace(data, false);
+  for (const auto& v : data) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<cd> data(12);
+  EXPECT_THROW(fft_inplace(data, false), std::invalid_argument);
+}
+
+TEST(Fft2, SeparableMatchesDirectDft) {
+  // Small 4x4 against a brute-force 2D DFT.
+  const int n = 4;
+  std::mt19937_64 rng(11);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<cd> data(16);
+  for (auto& v : data) v = cd(dist(rng), 0.0);
+  auto fast = data;
+  fft2_inplace(fast, n, false);
+  for (int ky = 0; ky < n; ++ky) {
+    for (int kx = 0; kx < n; ++kx) {
+      cd acc{};
+      for (int y = 0; y < n; ++y) {
+        for (int x = 0; x < n; ++x) {
+          const double angle =
+              -2.0 * M_PI * (kx * x + ky * y) / static_cast<double>(n);
+          acc += data[y * n + x] * cd(std::cos(angle), std::sin(angle));
+        }
+      }
+      EXPECT_NEAR(fast[ky * n + kx].real(), acc.real(), 1e-9);
+      EXPECT_NEAR(fast[ky * n + kx].imag(), acc.imag(), 1e-9);
+    }
+  }
+}
+
+TEST(FseRef, ResidualEnergyNonIncreasing) {
+  for (const std::uint64_t seed : {1u, 5u, 9u}) {
+    const auto img = make_image(16, seed);
+    const auto mask = make_mask(16, seed, MaskKind::kBlock);
+    auto distorted = img;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) distorted[i] = 0.0;
+    }
+    const auto trace = residual_energy_trace(distorted, mask);
+    for (std::size_t i = 1; i < trace.size(); ++i) {
+      EXPECT_LE(trace[i], trace[i - 1] * (1.0 + 1e-12)) << "iteration " << i;
+    }
+    EXPECT_LT(trace.back(), trace.front());
+  }
+}
+
+TEST(FseRef, KnownSamplesAreKept) {
+  const auto img = make_image(16, 3);
+  const auto mask = make_mask(16, 3, MaskKind::kScatter);
+  auto distorted = img;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) distorted[i] = 0.0;
+  }
+  const auto out = extrapolate(distorted, mask);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    if (!mask[i]) EXPECT_EQ(out[i], distorted[i]);
+  }
+}
+
+TEST(FseRef, ExtrapolationBeatsZeroFill) {
+  // Reconstruction quality on the masked samples must clearly beat leaving
+  // them at zero, across mask kinds.
+  for (int k = 0; k < 6; ++k) {
+    const auto img = make_image(16, 100 + k);
+    const auto mask = make_mask(16, 100 + k, static_cast<MaskKind>(k % 3));
+    auto distorted = img;
+    for (std::size_t i = 0; i < mask.size(); ++i) {
+      if (mask[i]) distorted[i] = 0.0;
+    }
+    const auto out = extrapolate(distorted, mask);
+    const double psnr_zero = masked_psnr(img, distorted, mask);
+    const double psnr_fse = masked_psnr(img, out, mask);
+    EXPECT_GT(psnr_fse, psnr_zero + 6.0)
+        << "kernel " << k << ": " << psnr_zero << " -> " << psnr_fse;
+  }
+}
+
+TEST(FseRef, MoreIterationsDoNotHurt) {
+  const auto img = make_image(16, 55);
+  const auto mask = make_mask(16, 55, MaskKind::kStripes);
+  auto distorted = img;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (mask[i]) distorted[i] = 0.0;
+  }
+  FseParams few;
+  few.iterations = 8;
+  FseParams many;
+  many.iterations = 64;
+  const double p_few = masked_psnr(img, extrapolate(distorted, mask, few), mask);
+  const double p_many =
+      masked_psnr(img, extrapolate(distorted, mask, many), mask);
+  EXPECT_GT(p_many, p_few - 0.5);  // allow tiny non-monotonicity
+}
+
+TEST(ImageGen, DeterministicAndInRange) {
+  const auto a = make_image(16, 9);
+  const auto b = make_image(16, 9);
+  const auto c = make_image(16, 10);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  for (const double v : a) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 255.0);
+  }
+}
+
+TEST(ImageGen, MasksLoseSomeButNotAll) {
+  for (int k = 0; k < 3; ++k) {
+    const auto mask = make_mask(16, 77 + k, static_cast<MaskKind>(k));
+    int lost = 0;
+    for (const int m : mask) lost += m != 0;
+    EXPECT_GT(lost, 8) << k;
+    EXPECT_LT(lost, 200) << k;
+  }
+}
+
+}  // namespace
+}  // namespace nfp::fse

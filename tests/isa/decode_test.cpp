@@ -1,0 +1,183 @@
+#include "isa/decode.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/encode.h"
+
+namespace nfp::isa {
+namespace {
+
+TEST(Decode, AddRegReg) {
+  // add %g1, %g2, %g3
+  const DecodedInsn d = decode(enc_alu(Op::kAdd, 3, 1, 2));
+  EXPECT_EQ(d.op, Op::kAdd);
+  EXPECT_EQ(d.rd, 3);
+  EXPECT_EQ(d.rs1, 1);
+  EXPECT_EQ(d.rs2, 2);
+  EXPECT_FALSE(d.has_imm);
+}
+
+TEST(Decode, AddImmNegative) {
+  const DecodedInsn d = decode(enc_alu_imm(Op::kAdd, 3, 1, -42));
+  EXPECT_EQ(d.op, Op::kAdd);
+  EXPECT_TRUE(d.has_imm);
+  EXPECT_EQ(d.imm, -42);
+}
+
+TEST(Decode, SethiAndNop) {
+  const DecodedInsn s = decode(enc_sethi(1, 0x12345400u));
+  EXPECT_EQ(s.op, Op::kSethi);
+  EXPECT_EQ(s.rd, 1);
+  EXPECT_EQ(static_cast<std::uint32_t>(s.imm), 0x12345400u);
+
+  const DecodedInsn n = decode(enc_nop());
+  EXPECT_EQ(n.op, Op::kNop);
+}
+
+TEST(Decode, BranchDisplacement) {
+  const DecodedInsn fwd = decode(enc_bicc(Cond::kNe, false, 64));
+  EXPECT_EQ(fwd.op, Op::kBicc);
+  EXPECT_EQ(fwd.cond, static_cast<std::uint8_t>(Cond::kNe));
+  EXPECT_EQ(fwd.imm, 64);
+  EXPECT_FALSE(fwd.annul);
+
+  const DecodedInsn bwd = decode(enc_bicc(Cond::kA, true, -128));
+  EXPECT_EQ(bwd.imm, -128);
+  EXPECT_TRUE(bwd.annul);
+}
+
+TEST(Decode, Call) {
+  const DecodedInsn d = decode(enc_call(-4096));
+  EXPECT_EQ(d.op, Op::kCall);
+  EXPECT_EQ(d.imm, -4096);
+}
+
+TEST(Decode, MemoryForms) {
+  const DecodedInsn ld = decode(enc_mem_imm(Op::kLd, 5, 14, 8));
+  EXPECT_EQ(ld.op, Op::kLd);
+  EXPECT_EQ(ld.rd, 5);
+  EXPECT_EQ(ld.rs1, 14);
+  EXPECT_EQ(ld.imm, 8);
+
+  const DecodedInsn st = decode(enc_mem(Op::kStb, 7, 2, 3));
+  EXPECT_EQ(st.op, Op::kStb);
+  EXPECT_EQ(st.rs2, 3);
+}
+
+TEST(Decode, FpuOps) {
+  const DecodedInsn d = decode(enc_fp(Op::kFaddd, 4, 2, 6));
+  EXPECT_EQ(d.op, Op::kFaddd);
+  EXPECT_EQ(d.rd, 4);
+  EXPECT_EQ(d.rs1, 2);
+  EXPECT_EQ(d.rs2, 6);
+
+  const DecodedInsn c = decode(enc_fp(Op::kFcmpd, 0, 0, 2));
+  EXPECT_EQ(c.op, Op::kFcmpd);
+}
+
+TEST(Decode, TrapAlways) {
+  const DecodedInsn d = decode(enc_ta(0));
+  EXPECT_EQ(d.op, Op::kTicc);
+  EXPECT_EQ(d.cond, 8);
+  EXPECT_TRUE(d.has_imm);
+  EXPECT_EQ(d.imm, 0);
+}
+
+TEST(Decode, InvalidWordsRejected) {
+  EXPECT_EQ(decode(0x00000000u).op, Op::kInvalid);   // UNIMP
+  EXPECT_EQ(decode(0xFFFFFFFFu).op, Op::kInvalid);
+}
+
+// Round-trip: every encodable op survives encode->decode.
+class AluRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(AluRoundTrip, RegisterForm) {
+  const Op op = GetParam();
+  const DecodedInsn d = decode(enc_alu(op, 9, 10, 11));
+  EXPECT_EQ(d.op, op);
+  EXPECT_EQ(d.rd, 9);
+  EXPECT_EQ(d.rs1, 10);
+  EXPECT_EQ(d.rs2, 11);
+}
+
+TEST_P(AluRoundTrip, ImmediateForm) {
+  const Op op = GetParam();
+  const DecodedInsn d = decode(enc_alu_imm(op, 9, 10, 4095));
+  EXPECT_EQ(d.op, op);
+  EXPECT_TRUE(d.has_imm);
+  EXPECT_EQ(d.imm, 4095);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllAlu, AluRoundTrip,
+    ::testing::Values(Op::kAdd, Op::kAddcc, Op::kAddx, Op::kAddxcc, Op::kSub,
+                      Op::kSubcc, Op::kSubx, Op::kSubxcc, Op::kAnd, Op::kAndcc,
+                      Op::kAndn, Op::kAndncc, Op::kOr, Op::kOrcc, Op::kOrn,
+                      Op::kOrncc, Op::kXor, Op::kXorcc, Op::kXnor, Op::kXnorcc,
+                      Op::kSll, Op::kSrl, Op::kSra, Op::kUmul, Op::kUmulcc,
+                      Op::kSmul, Op::kSmulcc, Op::kUdiv, Op::kUdivcc,
+                      Op::kSdiv, Op::kSdivcc, Op::kJmpl, Op::kSave,
+                      Op::kRestore));
+
+class MemRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(MemRoundTrip, Forms) {
+  const Op op = GetParam();
+  const DecodedInsn reg = decode(enc_mem(op, 8, 9, 10));
+  EXPECT_EQ(reg.op, op);
+  const DecodedInsn imm = decode(enc_mem_imm(op, 8, 9, -4096));
+  EXPECT_EQ(imm.op, op);
+  EXPECT_EQ(imm.imm, -4096);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllMem, MemRoundTrip,
+    ::testing::Values(Op::kLd, Op::kLdub, Op::kLdsb, Op::kLduh, Op::kLdsh,
+                      Op::kLdd, Op::kSt, Op::kStb, Op::kSth, Op::kStd,
+                      Op::kLdf, Op::kLddf, Op::kStf, Op::kStdf));
+
+class FpRoundTrip : public ::testing::TestWithParam<Op> {};
+
+TEST_P(FpRoundTrip, Forms) {
+  const Op op = GetParam();
+  const DecodedInsn d = decode(enc_fp(op, 2, 4, 6));
+  EXPECT_EQ(d.op, op);
+  EXPECT_EQ(d.rd, 2);
+  EXPECT_EQ(d.rs2, 6);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFp, FpRoundTrip,
+    ::testing::Values(Op::kFadds, Op::kFaddd, Op::kFsubs, Op::kFsubd,
+                      Op::kFmuls, Op::kFmuld, Op::kFdivs, Op::kFdivd,
+                      Op::kFsqrts, Op::kFsqrtd, Op::kFmovs, Op::kFnegs,
+                      Op::kFabss, Op::kFitos, Op::kFitod, Op::kFstoi,
+                      Op::kFdtoi, Op::kFstod, Op::kFdtos, Op::kFcmps,
+                      Op::kFcmpd));
+
+TEST(Categories, PaperTableIMapping) {
+  EXPECT_EQ(default_category(Op::kAdd), Category::kIntArith);
+  EXPECT_EQ(default_category(Op::kUmul), Category::kIntArith);
+  EXPECT_EQ(default_category(Op::kBicc), Category::kJump);
+  EXPECT_EQ(default_category(Op::kCall), Category::kJump);
+  EXPECT_EQ(default_category(Op::kLd), Category::kMemLoad);
+  EXPECT_EQ(default_category(Op::kLddf), Category::kMemLoad);
+  EXPECT_EQ(default_category(Op::kSt), Category::kMemStore);
+  EXPECT_EQ(default_category(Op::kStdf), Category::kMemStore);
+  EXPECT_EQ(default_category(Op::kNop), Category::kNop);
+  EXPECT_EQ(default_category(Op::kSethi), Category::kOther);
+  EXPECT_EQ(default_category(Op::kFaddd), Category::kFpuArith);
+  EXPECT_EQ(default_category(Op::kFmuld), Category::kFpuArith);
+  EXPECT_EQ(default_category(Op::kFdivd), Category::kFpuDiv);
+  EXPECT_EQ(default_category(Op::kFsqrtd), Category::kFpuSqrt);
+}
+
+TEST(Categories, EveryOpHasACategory) {
+  for (std::size_t i = 1; i < kOpCount; ++i) {
+    const auto cat = default_category(static_cast<Op>(i));
+    EXPECT_LT(static_cast<std::size_t>(cat), kCategoryCount);
+  }
+}
+
+}  // namespace
+}  // namespace nfp::isa

@@ -1,0 +1,63 @@
+#include "isa/disasm.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/decode.h"
+#include "isa/encode.h"
+
+namespace nfp::isa {
+namespace {
+
+TEST(Disasm, BasicForms) {
+  EXPECT_EQ(disassemble_word(enc_alu(Op::kAdd, 3, 1, 2), 0), "add %g1, %g2, %g3");
+  EXPECT_EQ(disassemble_word(enc_alu_imm(Op::kSub, 8, 8, 1), 0),
+            "sub %o0, 1, %o0");
+  EXPECT_EQ(disassemble_word(enc_nop(), 0), "nop");
+  EXPECT_EQ(disassemble_word(enc_mem_imm(Op::kLd, 16, 14, 8), 0),
+            "ld [%o6+8], %l0");
+  EXPECT_EQ(disassemble_word(enc_mem_imm(Op::kSt, 16, 14, -4), 0),
+            "st %l0, [%o6-4]");
+  EXPECT_EQ(disassemble_word(enc_fp(Op::kFaddd, 4, 0, 2), 0),
+            "faddd %f0, %f2, %f4");
+  EXPECT_EQ(disassemble_word(enc_fp(Op::kFsqrtd, 4, 0, 2), 0),
+            "fsqrtd %f2, %f4");
+  EXPECT_EQ(disassemble_word(enc_fp(Op::kFcmpd, 0, 0, 2), 0),
+            "fcmpd %f0, %f2");
+}
+
+TEST(Disasm, BranchTargets) {
+  EXPECT_EQ(disassemble_word(enc_bicc(Cond::kNe, false, 16), 0x40000000),
+            "bne 0x40000010");
+  EXPECT_EQ(disassemble_word(enc_bicc(Cond::kA, true, -8), 0x40000100),
+            "ba,a 0x400000f8");
+  EXPECT_EQ(disassemble_word(enc_call(0x100), 0x40000000), "call 0x40000100");
+}
+
+TEST(Disasm, InvalidWord) {
+  EXPECT_EQ(disassemble_word(0, 0), "<invalid 0x00000000>");
+}
+
+// Every encodable instruction must disassemble without crashing and never
+// report <invalid>.
+TEST(Disasm, TotalOverEncodableOps) {
+  for (std::size_t i = 1; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    if (op == Op::kNop || op == Op::kBicc || op == Op::kFbfcc ||
+        op == Op::kCall || op == Op::kSethi || op == Op::kTicc) {
+      continue;  // exercised above
+    }
+    std::uint32_t word;
+    if (is_load(op) || is_store(op)) {
+      word = enc_mem_imm(op, 2, 1, 4);
+    } else if (is_fpu(op)) {
+      word = enc_fp(op, 2, 4, 6);
+    } else {
+      word = enc_alu(op, 2, 1, 3);
+    }
+    const std::string text = disassemble_word(word, 0x1000);
+    EXPECT_EQ(text.find("<invalid"), std::string::npos) << text;
+  }
+}
+
+}  // namespace
+}  // namespace nfp::isa

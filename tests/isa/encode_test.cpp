@@ -1,0 +1,43 @@
+#include "isa/encode.h"
+
+#include <gtest/gtest.h>
+
+namespace nfp::isa {
+namespace {
+
+// Spot checks against independently hand-assembled SPARC V8 words.
+TEST(Encode, KnownWords) {
+  // add %g1, %g2, %g3  -> 10 00011 000000 00001 0 00000000 00010
+  EXPECT_EQ(enc_alu(Op::kAdd, 3, 1, 2), 0x86004002u);
+  // sub %o0, 1, %o0 (imm) -> rd=8 op3=000100 rs1=8 i=1 simm=1
+  EXPECT_EQ(enc_alu_imm(Op::kSub, 8, 8, 1), 0x90222001u);
+  // nop == sethi 0, %g0
+  EXPECT_EQ(enc_nop(), 0x01000000u);
+  // ld [%sp], %l0: op=11 rd=16 op3=000000 rs1=14 i=1 simm=0
+  EXPECT_EQ(enc_mem_imm(Op::kLd, 16, 14, 0), 0xE003A000u);
+  // ba +8 -> 00 0 1000 010 disp22=2
+  EXPECT_EQ(enc_bicc(Cond::kA, false, 8), 0x10800002u);
+  // call +16 -> 01 disp30=4
+  EXPECT_EQ(enc_call(16), 0x40000004u);
+  // faddd %f0, %f2, %f4 -> op=10 rd=4 op3=110100 rs1=0 opf=0x42 rs2=2
+  EXPECT_EQ(enc_fp(Op::kFaddd, 4, 0, 2), 0x89A00842u);
+}
+
+TEST(Encode, Simm13Boundaries) {
+  EXPECT_EQ((enc_alu_imm(Op::kAdd, 1, 1, 4095) & 0x1FFF), 4095u);
+  EXPECT_EQ((enc_alu_imm(Op::kAdd, 1, 1, -4096) & 0x1FFF), 0x1000u);
+  EXPECT_EQ((enc_alu_imm(Op::kAdd, 1, 1, -1) & 0x1FFF), 0x1FFFu);
+}
+
+TEST(Encode, BranchDisplacementBoundaries) {
+  // Maximum forward / backward 22-bit word displacements.
+  const std::int32_t max_fwd = ((1 << 21) - 1) * 4;
+  const std::int32_t max_bwd = -(1 << 21) * 4;
+  EXPECT_EQ((enc_bicc(Cond::kA, false, max_fwd) & 0x3FFFFF),
+            static_cast<std::uint32_t>((1 << 21) - 1));
+  EXPECT_EQ((enc_bicc(Cond::kA, false, max_bwd) & 0x3FFFFF),
+            static_cast<std::uint32_t>(1 << 21));
+}
+
+}  // namespace
+}  // namespace nfp::isa

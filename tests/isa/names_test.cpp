@@ -1,0 +1,63 @@
+#include "isa/names.h"
+
+#include <gtest/gtest.h>
+
+namespace nfp::isa {
+namespace {
+
+TEST(Names, MnemonicRoundTrip) {
+  for (std::size_t i = 1; i < kOpCount; ++i) {
+    const Op op = static_cast<Op>(i);
+    if (op == Op::kBicc || op == Op::kFbfcc || op == Op::kNop) continue;
+    const std::string_view name = mnemonic(op);
+    ASSERT_NE(name, "<invalid>") << i;
+    // rd/wr/ta share mnemonics with their canonical ops.
+    const Op back = op_from_mnemonic(name);
+    EXPECT_EQ(back, op) << name;
+  }
+  EXPECT_EQ(op_from_mnemonic("bogus"), Op::kInvalid);
+}
+
+TEST(Names, RegisterNamesAndParsing) {
+  EXPECT_EQ(reg_name(0), "%g0");
+  EXPECT_EQ(reg_name(14), "%o6");
+  EXPECT_EQ(reg_name(16), "%l0");
+  EXPECT_EQ(reg_name(31), "%i7");
+  for (int r = 0; r < 32; ++r) {
+    const auto parsed = parse_reg(reg_name(static_cast<std::uint8_t>(r)));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, r);
+  }
+  EXPECT_EQ(*parse_reg("%sp"), kRegSp);
+  EXPECT_EQ(*parse_reg("%fp"), kRegFp);
+  EXPECT_FALSE(parse_reg("%x3").has_value());
+  EXPECT_FALSE(parse_reg("%g8").has_value());
+  EXPECT_FALSE(parse_reg("g3").has_value());
+}
+
+TEST(Names, FloatRegisterParsing) {
+  for (int f = 0; f < 32; ++f) {
+    const auto parsed = parse_freg("%f" + std::to_string(f));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(parse_freg("%f32").has_value());
+  EXPECT_FALSE(parse_freg("%f-1").has_value());
+  EXPECT_FALSE(parse_freg("%f").has_value());
+}
+
+TEST(Names, ConditionCodes) {
+  EXPECT_EQ(cond_name(Cond::kNe), "ne");
+  EXPECT_EQ(cond_name(Cond::kA), "a");
+  EXPECT_EQ(*cond_from_name("ne"), Cond::kNe);
+  EXPECT_EQ(*cond_from_name("gu"), Cond::kGu);
+  // gas aliases
+  EXPECT_EQ(*cond_from_name("z"), Cond::kE);
+  EXPECT_EQ(*cond_from_name("geu"), Cond::kCc);
+  EXPECT_FALSE(cond_from_name("xyz").has_value());
+  EXPECT_EQ(*fcond_from_name("ule"), FCond::kUle);
+  EXPECT_FALSE(fcond_from_name("zz").has_value());
+}
+
+}  // namespace
+}  // namespace nfp::isa

@@ -1,0 +1,387 @@
+// Micro-C compiler: integer-language tests (both ABIs share this path).
+#include <gtest/gtest.h>
+
+#include "mcc/lexer.h"
+#include "support/mc_run.h"
+
+namespace nfp::mcc {
+namespace {
+
+using nfp::test::mc_exit;
+using nfp::test::mc_run;
+
+TEST(MccBasic, ReturnsConstant) {
+  EXPECT_EQ(mc_exit("int main() { return 42; }"), 42u);
+}
+
+TEST(MccBasic, ArithmeticPrecedence) {
+  EXPECT_EQ(mc_exit("int main() { return 2 + 3 * 4 - 6 / 2; }"), 11u);
+  EXPECT_EQ(mc_exit("int main() { return (2 + 3) * 4; }"), 20u);
+  EXPECT_EQ(mc_exit("int main() { return 17 % 5; }"), 2u);
+}
+
+TEST(MccBasic, SignedDivisionTruncates) {
+  EXPECT_EQ(mc_exit("int main() { return -7 / 2 + 10; }"), 10u - 3u);
+  EXPECT_EQ(mc_exit("int main() { return -7 % 2 + 10; }"), 10u - 1u);
+  EXPECT_EQ(mc_exit("int main() { return 7 / -2 + 10; }"), 10u - 3u);
+}
+
+TEST(MccBasic, UnsignedDivision) {
+  EXPECT_EQ(mc_exit("unsigned main() { unsigned a = 0xFFFFFFF0u;"
+                    " return a / 16u; }"),
+            0x0FFFFFFFu);
+  EXPECT_EQ(mc_exit("unsigned main() { unsigned a = 0x80000001u;"
+                    " return a % 7u; }"),
+            0x80000001u % 7u);
+}
+
+TEST(MccBasic, BitOperations) {
+  EXPECT_EQ(mc_exit("int main() { return (0xF0 | 0x0F) ^ 0x3C; }"),
+            (0xF0u | 0x0Fu) ^ 0x3Cu);
+  EXPECT_EQ(mc_exit("int main() { return ~0 + 2; }"), 1u);
+  EXPECT_EQ(mc_exit("int main() { return 1 << 10; }"), 1024u);
+  EXPECT_EQ(mc_exit("int main() { return -16 >> 2; }"),
+            static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(mc_exit("int main() { unsigned x = 0x80000000u;"
+                    " return (int)(x >> 28); }"),
+            8u);
+}
+
+TEST(MccBasic, ComparisonsSignedUnsigned) {
+  EXPECT_EQ(mc_exit("int main() { return -1 < 1; }"), 1u);
+  EXPECT_EQ(mc_exit("int main() { unsigned a = 0xFFFFFFFFu;"
+                    " return a > 1u; }"),
+            1u);
+  EXPECT_EQ(mc_exit("int main() { return (3 <= 3) + (3 < 3) + (4 >= 5); }"),
+            1u);
+}
+
+TEST(MccBasic, ShortCircuit) {
+  // The right side of && must not run when the left is false.
+  EXPECT_EQ(mc_exit(R"(
+int g;
+int boom() { g = 99; return 1; }
+int main() { g = 1; if (0 && boom()) { g = 50; } return g; }
+)"),
+            1u);
+  EXPECT_EQ(mc_exit(R"(
+int g;
+int boom() { g = 99; return 1; }
+int main() { g = 1; if (1 || boom()) { return g; } return 0; }
+)"),
+            1u);
+  EXPECT_EQ(mc_exit("int main() { return (2 && 3) + (0 || 7 ? 10 : 20); }"),
+            11u);
+}
+
+TEST(MccBasic, ControlFlow) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int sum = 0;
+  for (int i = 1; i <= 10; i++) sum += i;
+  return sum;
+}
+)"),
+            55u);
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int n = 0;
+  int i = 0;
+  while (i < 20) {
+    i = i + 1;
+    if (i % 2 == 0) continue;
+    if (i > 15) break;
+    n = n + i;
+  }
+  return n;  /* 1+3+5+7+9+11+13+15 = 64 */
+}
+)"),
+            64u);
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int x = 0;
+  do { x++; } while (x < 5);
+  return x;
+}
+)"),
+            5u);
+}
+
+TEST(MccBasic, FunctionsAndRecursion) {
+  EXPECT_EQ(mc_exit(R"(
+int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+int main() { return fib(12); }
+)"),
+            144u);
+  EXPECT_EQ(mc_exit(R"(
+int add3(int a, int b, int c) { return a + b + c; }
+int twice(int x) { return x + x; }
+int main() { return add3(twice(1), twice(2), twice(3)); }
+)"),
+            12u);
+}
+
+TEST(MccBasic, ManyArguments) {
+  EXPECT_EQ(mc_exit(R"(
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+  return a + b + c + d + e + f + g + h;
+}
+int main() { return sum8(1, 2, 3, 4, 5, 6, 7, 8); }
+)"),
+            36u);
+}
+
+TEST(MccBasic, GlobalsAndArrays) {
+  EXPECT_EQ(mc_exit(R"(
+int table[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+int main() {
+  int sum = 0;
+  for (int i = 0; i < 8; i++) sum += table[i];
+  return sum;
+}
+)"),
+            36u);
+  EXPECT_EQ(mc_exit(R"(
+int counter = 100;
+int bump() { counter += 5; return counter; }
+int main() { bump(); bump(); return counter; }
+)"),
+            110u);
+}
+
+TEST(MccBasic, TwoDimensionalArrays) {
+  EXPECT_EQ(mc_exit(R"(
+int m[3][4];
+int main() {
+  for (int r = 0; r < 3; r++)
+    for (int c = 0; c < 4; c++)
+      m[r][c] = r * 10 + c;
+  return m[2][3] + m[1][0];
+}
+)"),
+            23u + 10u);
+}
+
+TEST(MccBasic, PointersAndAddressOf) {
+  EXPECT_EQ(mc_exit(R"(
+void set(int* p, int v) { *p = v; }
+int main() {
+  int x = 1;
+  set(&x, 77);
+  return x;
+}
+)"),
+            77u);
+  EXPECT_EQ(mc_exit(R"(
+int a[5] = {10, 20, 30, 40, 50};
+int main() {
+  int* p = a;
+  p = p + 2;
+  int* q = &a[4];
+  return *p + (int)(q - p);  /* 30 + 2 */
+}
+)"),
+            32u);
+}
+
+TEST(MccBasic, CharAndShortTypes) {
+  EXPECT_EQ(mc_exit(R"(
+unsigned char bytes[4];
+int main() {
+  bytes[0] = 250;
+  bytes[1] = bytes[0] + 10;   /* wraps to 4 */
+  char c = -3;
+  short s = -2;
+  unsigned short us = 65535;
+  return bytes[1] + c + s + (us == 65535);  /* 4 - 3 - 2 + 1 */
+}
+)"),
+            0u);
+  EXPECT_EQ(mc_exit(R"(
+short h[3] = {-1, 300, -300};
+int main() { return h[0] + h[1] + h[2] + 1; }
+)"),
+            0u);
+}
+
+TEST(MccBasic, IncDecSemantics) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int i = 5;
+  int a = i++;
+  int b = ++i;
+  int c = i--;
+  int d = --i;
+  return a * 1000 + b * 100 + c * 10 + d;  /* 5,7,7,5 */
+}
+)"),
+            5u * 1000 + 7 * 100 + 7 * 10 + 5);
+  EXPECT_EQ(mc_exit(R"(
+int a[4] = {1, 2, 3, 4};
+int main() {
+  int i = 0;
+  int x = a[i++];
+  int y = a[i++];
+  return x * 10 + y + i;  /* 12 + 2 */
+}
+)"),
+            14u);
+}
+
+TEST(MccBasic, CompoundAssignEvaluatesLvalueOnce) {
+  EXPECT_EQ(mc_exit(R"(
+int a[4] = {1, 2, 3, 4};
+int idx;
+int next() { idx = idx + 1; return idx - 1; }
+int main() {
+  idx = 0;
+  a[next()] += 100;  /* must bump a[0] exactly once */
+  return a[0] * 10 + idx;
+}
+)"),
+            1010u + 1u);
+}
+
+TEST(MccBasic, TernaryAndNestedCalls) {
+  EXPECT_EQ(mc_exit(R"(
+int maxi(int a, int b) { return a > b ? a : b; }
+int main() { return maxi(maxi(3, 9), maxi(7, 2)); }
+)"),
+            9u);
+}
+
+TEST(MccBasic, SizeofAndCasts) {
+  EXPECT_EQ(mc_exit("int main() { return sizeof(int) + sizeof(double) +"
+                    " sizeof(char) + sizeof(int*); }"),
+            4u + 8 + 1 + 4);
+  EXPECT_EQ(mc_exit("int main() { return (char)300; }"),
+            static_cast<std::uint32_t>(static_cast<char>(300)));
+  EXPECT_EQ(mc_exit("int main() { return (unsigned char)300; }"), 44u);
+}
+
+TEST(MccBasic, PreprocessorDefinesAndConditionals) {
+  EXPECT_EQ(mc_exit(R"(
+#define BASE 40
+#define TOTAL (BASE + 2)
+int main() {
+#ifdef MC_TARGET
+  return TOTAL;
+#else
+  return 0;
+#endif
+}
+)"),
+            42u);
+  EXPECT_EQ(mc_exit(R"(
+#ifndef NOT_DEFINED
+#define V 7
+#else
+#define V 9
+#endif
+int main() { return V; }
+)"),
+            7u);
+}
+
+TEST(MccBasic, UartOutputViaIntrinsic) {
+  const auto run = mc_run(R"(
+void print(char* s) {
+  int i = 0;
+  while (s[i] != 0) { mc_putc(s[i]); i++; }
+}
+int main() { print("hello\n"); return 0; }
+)");
+  EXPECT_EQ(run.uart, "hello\n");
+}
+
+TEST(MccBasic, UmulhiIntrinsic) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  unsigned a = 0x10000u;
+  return (int)mc_umulhi(a * 16u, a);  /* (2^20 * 2^16) >> 32 = 16 */
+}
+)"),
+            16u);
+}
+
+TEST(MccBasic, MemoryMappedIoPointers) {
+  // Input/output window access through casted constant pointers.
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int* out = (int*)0x40C00000;
+  out[0] = 123;
+  out[1] = out[0] + 1;
+  return out[1];
+}
+)"),
+            124u);
+}
+
+TEST(MccBasic, StackedLocalArrays) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int buf[16];
+  for (int i = 0; i < 16; i++) buf[i] = i * i;
+  int sum = 0;
+  for (int i = 0; i < 16; i++) sum += buf[i];
+  return sum;  /* 1240 */
+}
+)"),
+            1240u);
+}
+
+TEST(MccBasic, ScopesAndShadowing) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int x = 1;
+  {
+    int x = 2;
+    { x = x + 5; }
+    if (x != 7) return 100;
+  }
+  return x;
+}
+)"),
+            1u);
+}
+
+TEST(MccBasic, WhileWithComplexCondition) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int i = 0;
+  int j = 10;
+  while (i < 5 && j > 6) { i++; j--; }
+  return i * 10 + j;  /* stops when j==6: i=4, j=6 */
+}
+)"),
+            46u);
+}
+
+TEST(MccBasic, CompileErrors) {
+  mcc::Compiler comp;
+  EXPECT_THROW(comp.compile({"int main() { return x; }"}), CompileError);
+  EXPECT_THROW(comp.compile({"int main() { return f(1); }"}), CompileError);
+  EXPECT_THROW(comp.compile({"int f(int a); int main() { return f(1, 2); }"
+                             " int f(int a) { return a; }"}),
+               CompileError);
+  EXPECT_THROW(comp.compile({"int main() { int x = 1 }"}), CompileError);
+  EXPECT_THROW(comp.compile({"int x; double x; int main() { return 0; }"}),
+               CompileError);
+  EXPECT_THROW(comp.compile({"int f() { return 1; }"}), CompileError);  // no main
+  EXPECT_THROW(comp.compile({"int main() { break; }"}), CompileError);
+}
+
+TEST(MccBasic, PrototypesAllowForwardCalls) {
+  EXPECT_EQ(mc_exit(R"(
+int helper(int x);
+int main() { return helper(20); }
+int helper(int x) { return x * 2 + 2; }
+)"),
+            42u);
+}
+
+}  // namespace
+}  // namespace nfp::mcc

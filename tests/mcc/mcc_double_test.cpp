@@ -1,0 +1,270 @@
+// Micro-C compiler: double-precision tests, run under BOTH float ABIs.
+// The paper's key compilation property: -msoft-float changes instruction
+// mixes, never results ("the output matches exactly").
+#include <gtest/gtest.h>
+
+#include "support/mc_run.h"
+
+namespace nfp::mcc {
+namespace {
+
+using nfp::test::mc_exit;
+using nfp::test::mc_run;
+
+class MccDouble : public ::testing::TestWithParam<FloatAbi> {
+ protected:
+  std::uint32_t run(const std::string& src) { return mc_exit(src, GetParam()); }
+};
+
+TEST_P(MccDouble, BasicArithmetic) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double a = 1.5;
+  double b = 2.25;
+  double c = a + b * 2.0 - 1.0;   /* 5.0 */
+  return (int)c;
+}
+)"),
+            5u);
+}
+
+TEST_P(MccDouble, DivisionAndComparison) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double x = 10.0 / 4.0;          /* 2.5 */
+  if (x > 2.4 && x < 2.6) return 1;
+  return 0;
+}
+)"),
+            1u);
+}
+
+TEST_P(MccDouble, IntDoubleConversions) {
+  EXPECT_EQ(run(R"(
+int main() {
+  int n = 7;
+  double d = n;                    /* implicit */
+  d = d / 2.0;                     /* 3.5 */
+  int back = (int)d;               /* 3, truncation */
+  double neg = -7.0 / 2.0;         /* -3.5 */
+  return back * 10 + ((int)neg + 4);  /* 30 + 1 */
+}
+)"),
+            31u);
+}
+
+TEST_P(MccDouble, UnsignedToDouble) {
+  EXPECT_EQ(run(R"(
+int main() {
+  unsigned big = 0xF0000000u;      /* 4026531840 */
+  double d = (double)big;
+  d = d / 4294967296.0;            /* 0.9375 */
+  return (int)(d * 16.0);          /* 15 */
+}
+)"),
+            15u);
+}
+
+TEST_P(MccDouble, SqrtIntrinsic) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double r = mc_sqrt(2.0);
+  /* r^2 should be ~2 within 1 ulp; scale to check digits */
+  int scaled = (int)(r * 1000000.0);
+  return scaled == 1414213 ? 1 : 0;
+}
+)"),
+            1u);
+}
+
+TEST_P(MccDouble, NegationAndAbs) {
+  EXPECT_EQ(run(R"(
+double dabs(double x) { return x < 0.0 ? -x : x; }
+int main() {
+  double a = -3.75;
+  return (int)(dabs(a) * 4.0);    /* 15 */
+}
+)"),
+            15u);
+}
+
+TEST_P(MccDouble, DoubleGlobalsAndArrays) {
+  EXPECT_EQ(run(R"(
+double weights[4] = {0.5, 1.5, 2.5, 3.5};
+double bias = 2.0;
+int main() {
+  double sum = bias;
+  for (int i = 0; i < 4; i++) sum += weights[i];
+  return (int)sum;                 /* 10 */
+}
+)"),
+            10u);
+}
+
+TEST_P(MccDouble, DoubleFunctionArgsAndReturn) {
+  EXPECT_EQ(run(R"(
+double mix(double a, double b, double t) { return a + (b - a) * t; }
+int main() {
+  double v = mix(2.0, 6.0, 0.25);  /* 3.0 */
+  return (int)v;
+}
+)"),
+            3u);
+}
+
+TEST_P(MccDouble, DoublePointers) {
+  EXPECT_EQ(run(R"(
+void scale(double* p, int n, double k) {
+  for (int i = 0; i < n; i++) p[i] = p[i] * k;
+}
+double data[3] = {1.0, 2.0, 3.0};
+int main() {
+  scale(data, 3, 2.0);
+  return (int)(data[0] + data[1] + data[2]);  /* 12 */
+}
+)"),
+            12u);
+}
+
+TEST_P(MccDouble, CompoundAssignOnDoubles) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double acc = 1.0;
+  acc += 2.5;
+  acc *= 2.0;   /* 7 */
+  acc -= 1.0;   /* 6 */
+  acc /= 3.0;   /* 2 */
+  return (int)acc;
+}
+)"),
+            2u);
+}
+
+TEST_P(MccDouble, MixedIntDoubleExpressions) {
+  EXPECT_EQ(run(R"(
+int main() {
+  int n = 3;
+  double d = 2.5;
+  double r = n * d + n / 2;     /* 7.5 + 1 = 8.5 */
+  return (int)(r * 2.0);         /* 17 */
+}
+)"),
+            17u);
+}
+
+TEST_P(MccDouble, BitsIntrinsics) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double one = mc_bits2d(0x3FF00000u, 0u);
+  if (one != 1.0) return 1;
+  if (mc_dhi(2.0) != 0x40000000u) return 2;
+  if (mc_dlo(2.0) != 0u) return 3;
+  return 42;
+}
+)"),
+            42u);
+}
+
+TEST_P(MccDouble, DeepExpression) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double r = ((((1.0 + 2.0) * (3.0 + 4.0)) - ((5.0 - 2.0) * 2.0)) /
+              ((2.0 + 1.0)));  /* (21 - 6) / 3 = 5 */
+  return (int)r;
+}
+)"),
+            5u);
+}
+
+TEST_P(MccDouble, LoopAccumulation) {
+  EXPECT_EQ(run(R"(
+int main() {
+  double sum = 0.0;
+  for (int i = 1; i <= 100; i++) sum += 0.25;
+  return (int)sum;  /* 25 */
+}
+)"),
+            25u);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothAbis, MccDouble,
+                         ::testing::Values(FloatAbi::kHard, FloatAbi::kSoft),
+                         [](const auto& info) {
+                           return info.param == FloatAbi::kHard ? "hard"
+                                                                : "soft";
+                         });
+
+// The soft-float build must produce BIT-IDENTICAL results to the hard-float
+// build (paper: identical outputs under -msoft-float).
+TEST(MccDoubleEquivalence, HardAndSoftMatchBitExactly) {
+  const char* src = R"(
+double chaos(double x, int rounds) {
+  double acc = x;
+  for (int i = 0; i < rounds; i++) {
+    acc = acc * 1.0625 + 0.1;
+    acc = acc / 1.5 - 0.01;
+    acc = acc + mc_sqrt(acc);
+  }
+  return acc;
+}
+int main() {
+  double r = chaos(0.7, 40);
+  int* out = (int*)0x40C00000;
+  out[0] = (int)mc_dhi(r);
+  out[1] = (int)mc_dlo(r);
+  return 0;
+}
+)";
+  std::uint32_t words[2][2];
+  for (const auto abi : {FloatAbi::kHard, FloatAbi::kSoft}) {
+    mcc::CompileOptions opts;
+    opts.float_abi = abi;
+    const auto program = mcc::Compiler(opts).compile({src});
+    sim::Iss iss;
+    iss.load(program);
+    const auto result = iss.run(500'000'000);
+    ASSERT_TRUE(result.halted);
+    const int idx = abi == FloatAbi::kHard ? 0 : 1;
+    words[idx][0] = iss.bus().read_u32(sim::kOutputBase);
+    words[idx][1] = iss.bus().read_u32(sim::kOutputBase + 4);
+  }
+  EXPECT_EQ(words[0][0], words[1][0]);
+  EXPECT_EQ(words[0][1], words[1][1]);
+}
+
+// Instruction-mix sanity: the soft build uses no FPU ops and far more
+// integer work; the hard build uses FPU arithmetic.
+TEST(MccDoubleEquivalence, AbisChangeInstructionMixNotResults) {
+  const char* src = R"(
+int main() {
+  double acc = 0.0;
+  for (int i = 0; i < 50; i++) acc += 1.25;
+  return (int)acc;
+}
+)";
+  std::uint64_t fpu_ops[2] = {0, 0};
+  std::uint64_t total[2] = {0, 0};
+  for (const auto abi : {FloatAbi::kHard, FloatAbi::kSoft}) {
+    mcc::CompileOptions opts;
+    opts.float_abi = abi;
+    const auto program = mcc::Compiler(opts).compile({src});
+    sim::Iss iss;
+    iss.load(program);
+    const auto result = iss.run();
+    ASSERT_TRUE(result.halted);
+    EXPECT_EQ(result.exit_code, 62u);
+    const int idx = abi == FloatAbi::kHard ? 0 : 1;
+    total[idx] = result.instret;
+    for (std::size_t op = 0; op < isa::kOpCount; ++op) {
+      if (isa::is_fpu(static_cast<isa::Op>(op))) {
+        fpu_ops[idx] += iss.counters().counts[op];
+      }
+    }
+  }
+  EXPECT_GT(fpu_ops[0], 0u);
+  EXPECT_EQ(fpu_ops[1], 0u);
+  EXPECT_GT(total[1], total[0]);  // soft-float does much more work
+}
+
+}  // namespace
+}  // namespace nfp::mcc

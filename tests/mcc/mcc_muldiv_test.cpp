@@ -1,0 +1,128 @@
+// Micro-C compiler: the -msoft-muldiv ABI. Programs using *, /, % and
+// mc_umulhi must behave identically with hardware and software mul/div,
+// and the soft build must emit no mul/div instructions at all.
+#include <gtest/gtest.h>
+
+#include "isa/names.h"
+#include "mcc/compiler.h"
+#include "sim/iss.h"
+
+namespace nfp::mcc {
+namespace {
+
+struct AbiRun {
+  std::uint32_t exit_code;
+  std::uint64_t muldiv_ops;
+  std::uint64_t instret;
+};
+
+AbiRun run_with(const std::string& src, MulDivAbi muldiv,
+                FloatAbi fp = FloatAbi::kHard) {
+  CompileOptions opts;
+  opts.float_abi = fp;
+  opts.muldiv_abi = muldiv;
+  const auto program = Compiler(opts).compile({src});
+  sim::Iss iss;
+  iss.load(program);
+  const auto result = iss.run(500'000'000ull);
+  EXPECT_TRUE(result.halted);
+  AbiRun out{result.exit_code, 0, result.instret};
+  for (const auto op : {isa::Op::kUmul, isa::Op::kUmulcc, isa::Op::kSmul,
+                        isa::Op::kSmulcc, isa::Op::kUdiv, isa::Op::kUdivcc,
+                        isa::Op::kSdiv, isa::Op::kSdivcc}) {
+    out.muldiv_ops += iss.counters().counts[static_cast<std::size_t>(op)];
+  }
+  return out;
+}
+
+void expect_same_result(const std::string& src) {
+  const auto hard = run_with(src, MulDivAbi::kHard);
+  const auto soft = run_with(src, MulDivAbi::kSoft);
+  EXPECT_EQ(hard.exit_code, soft.exit_code);
+  EXPECT_GT(hard.muldiv_ops, 0u);
+  EXPECT_EQ(soft.muldiv_ops, 0u);
+  EXPECT_GT(soft.instret, hard.instret);  // emulation costs instructions
+}
+
+TEST(MccMulDiv, Multiplication) {
+  expect_same_result("int main() { return 123 * 45 % 251; }");
+  expect_same_result(R"(
+int main() {
+  int acc = 1;
+  for (int i = 1; i <= 10; i++) acc = acc * i % 10007;
+  return acc;
+}
+)");
+}
+
+TEST(MccMulDiv, SignedDivision) {
+  expect_same_result("int main() { return (-1000 / 7) + 200; }");
+  expect_same_result("int main() { return (-1000 % 7) + 200; }");
+  expect_same_result("int main() { return (1000 / -7) + 200; }");
+}
+
+TEST(MccMulDiv, UnsignedDivision) {
+  expect_same_result(R"(
+unsigned main() {
+  unsigned a = 0xDEADBEEFu;
+  return (a / 1000u) % 251u + (a % 13u);
+}
+)");
+}
+
+TEST(MccMulDiv, UmulhiIntrinsic) {
+  expect_same_result(R"(
+int main() {
+  unsigned h = mc_umulhi(0x89ABCDEFu, 0x12345678u);
+  return (int)(h % 251u);
+}
+)");
+}
+
+TEST(MccMulDiv, NonPowerOfTwoArrayScaling) {
+  // int[3] rows have a 12-byte stride: indexing needs a multiply.
+  expect_same_result(R"(
+int m[5][3];
+int main() {
+  for (int r = 0; r < 5; r++)
+    for (int c = 0; c < 3; c++)
+      m[r][c] = r * 3 + c;
+  int* a = &m[1][0];
+  int* b = &m[4][0];
+  return m[3][2] + (int)(b - a);  /* 11 + 9... pointer diff over rows */
+}
+)");
+}
+
+TEST(MccMulDiv, CombinedWithSoftFloat) {
+  // The minimal CPU: no FPU, no MUL/DIV. Soft-float internally multiplies
+  // and uses mc_umulhi, all of which must route through __mc_*.
+  const char* src = R"(
+int main() {
+  double a = 3.25;
+  double b = -1.5;
+  double c = a * b + mc_sqrt(2.0) / b;
+  return (int)(c * -100.0);  /* 4.875 + (-0.9428) = ... -> 582 */
+}
+)";
+  const auto full = run_with(src, MulDivAbi::kHard, FloatAbi::kSoft);
+  const auto minimal = run_with(src, MulDivAbi::kSoft, FloatAbi::kSoft);
+  EXPECT_EQ(full.exit_code, minimal.exit_code);
+  EXPECT_EQ(minimal.muldiv_ops, 0u);
+  EXPECT_GT(minimal.instret, full.instret);
+}
+
+TEST(MccMulDiv, SoftRuntimeNotLinkedWhenUnused) {
+  CompileOptions hard;
+  CompileOptions soft;
+  soft.muldiv_abi = MulDivAbi::kSoft;
+  const std::string src = "int main() { return 6 * 7; }";
+  const auto ph = Compiler(hard).compile({src});
+  const auto ps = Compiler(soft).compile({src});
+  EXPECT_GT(ps.size(), ph.size());  // runtime linked in the soft build
+  EXPECT_TRUE(ps.find_symbol("F___mc_imul").has_value());
+  EXPECT_FALSE(ph.find_symbol("F___mc_imul").has_value());
+}
+
+}  // namespace
+}  // namespace nfp::mcc

@@ -1,0 +1,281 @@
+// Micro-C compiler stress battery: deeper programs exercising interactions
+// between language features (the kind of combinations the workloads use).
+#include <gtest/gtest.h>
+
+#include "support/mc_run.h"
+
+namespace nfp::mcc {
+namespace {
+
+using nfp::test::mc_exit;
+using nfp::test::mc_run;
+
+TEST(MccStress, DeepRecursionUsesStackFrames) {
+  EXPECT_EQ(mc_exit(R"(
+int depth(int n) {
+  int local[4];
+  local[0] = n;
+  local[3] = n + 1;
+  if (n == 0) return 0;
+  return depth(n - 1) + local[3] - local[0];  /* +1 per level */
+}
+int main() { return depth(200); }
+)"),
+            200u);
+}
+
+TEST(MccStress, MutualRecursion) {
+  EXPECT_EQ(mc_exit(R"(
+int is_odd(int n);
+int is_even(int n) { if (n == 0) return 1; return is_odd(n - 1); }
+int is_odd(int n) { if (n == 0) return 0; return is_even(n - 1); }
+int main() { return is_even(100) * 10 + is_odd(77); }
+)"),
+            11u);
+}
+
+TEST(MccStress, NestedLoopsWithBreakContinue) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int count = 0;
+  for (int i = 0; i < 10; i++) {
+    if (i % 3 == 0) continue;
+    for (int j = 0; j < 10; j++) {
+      if (j > i) break;
+      count++;
+    }
+  }
+  return count;
+}
+)"),
+            // i in {1,2,4,5,7,8}: inner runs i+1 times -> 2+3+5+6+8+9 = 33
+            33u);
+}
+
+TEST(MccStress, OperatorPrecedenceBattery) {
+  // Mirror of host-evaluated expressions.
+#define CHECK_EXPR(expr)                                          \
+  EXPECT_EQ(mc_exit("int main() { return (" #expr ") & 0xFF; }"), \
+            static_cast<std::uint32_t>((expr) & 0xFF))            \
+      << #expr
+  CHECK_EXPR(1 + 2 * 3 - 4 / 2);
+  CHECK_EXPR(5 & 3 | 4 ^ 1);
+  CHECK_EXPR(1 << 3 >> 1);
+  CHECK_EXPR(10 - 3 - 2);
+  CHECK_EXPR((7 & 12) == 4 ? 100 : 50);
+  CHECK_EXPR(~5 & 0x3F);
+  CHECK_EXPR(3 < 5 == 1);
+  CHECK_EXPR(-7 % 3 + 10);
+#undef CHECK_EXPR
+}
+
+TEST(MccStress, CharStringProcessing) {
+  const auto run = mc_run(R"(
+int mc_strlen(char* s) {
+  int n = 0;
+  while (s[n] != 0) n++;
+  return n;
+}
+void reverse_print(char* s) {
+  for (int i = mc_strlen(s) - 1; i >= 0; i--) mc_putc(s[i]);
+}
+int main() {
+  reverse_print("stressed");
+  return mc_strlen("hello") * 10;
+}
+)");
+  EXPECT_EQ(run.uart, "desserts");
+  EXPECT_EQ(run.exit_code, 50u);
+}
+
+TEST(MccStress, ByteBufferManipulation) {
+  EXPECT_EQ(mc_exit(R"(
+unsigned char buf[64];
+int main() {
+  /* fill, then checksum with rotation */
+  for (int i = 0; i < 64; i++) buf[i] = (unsigned char)(i * 7 + 3);
+  unsigned sum = 0;
+  for (int i = 0; i < 64; i++) {
+    sum = ((sum << 5) | (sum >> 27)) ^ buf[i];
+  }
+  return (int)(sum & 0xFF);
+}
+)"),
+            [] {
+              unsigned char buf[64];
+              for (int i = 0; i < 64; ++i) {
+                buf[i] = static_cast<unsigned char>(i * 7 + 3);
+              }
+              unsigned sum = 0;
+              for (int i = 0; i < 64; ++i) {
+                sum = ((sum << 5) | (sum >> 27)) ^ buf[i];
+              }
+              return sum & 0xFF;
+            }());
+}
+
+TEST(MccStress, ThreeDimensionalArray) {
+  EXPECT_EQ(mc_exit(R"(
+int cube[3][4][5];
+int main() {
+  for (int a = 0; a < 3; a++)
+    for (int b = 0; b < 4; b++)
+      for (int c = 0; c < 5; c++)
+        cube[a][b][c] = a * 100 + b * 10 + c;
+  return cube[2][3][4] + cube[1][0][0];  /* 234 + 100 */
+}
+)"),
+            334u);
+}
+
+TEST(MccStress, PointerToPointer) {
+  EXPECT_EQ(mc_exit(R"(
+int value;
+void set_through(int** pp, int v) { **pp = v; }
+int main() {
+  int* p = &value;
+  set_through(&p, 99);
+  return value;
+}
+)"),
+            99u);
+}
+
+TEST(MccStress, GlobalPointerInitialisedAtRuntime) {
+  EXPECT_EQ(mc_exit(R"(
+int data[4] = {5, 6, 7, 8};
+int* cursor;
+int next() { int v = *cursor; cursor = cursor + 1; return v; }
+int main() {
+  cursor = data;
+  return next() * 100 + next() * 10 + next();
+}
+)"),
+            567u);
+}
+
+TEST(MccStress, SwitchLikeChainedElse) {
+  EXPECT_EQ(mc_exit(R"(
+int classify(int x) {
+  if (x < 0) return 0;
+  else if (x == 0) return 1;
+  else if (x < 10) return 2;
+  else if (x < 100) return 3;
+  else return 4;
+}
+int main() {
+  return classify(-5) + classify(0) * 10 + classify(5) * 100 +
+         classify(50) * 1000 + classify(500) * 10000;
+}
+)"),
+            0u + 10u + 200u + 3000u + 40000u);
+}
+
+TEST(MccStress, LargeLocalFrame) {
+  // Locals beyond the simm13 frame offset range exercise large-offset
+  // addressing.
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int big[1500];
+  for (int i = 0; i < 1500; i++) big[i] = i;
+  int other = 7;
+  return big[1499] % 256 + other;  /* 1499 % 256 = 219; +7 */
+}
+)"),
+            226u);
+}
+
+TEST(MccStress, MixedSignednessArithmetic) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int s = -10;
+  unsigned u = 3;
+  /* usual conversions: s converts to unsigned */
+  unsigned r = s + u;              /* 0xFFFFFFF9 */
+  int cmp1 = s < (int)u;           /* signed: 1 */
+  int cmp2 = (unsigned)s < u;      /* unsigned: 0 */
+  return (int)(r >> 28) * 100 + cmp1 * 10 + cmp2;  /* 15*... */
+}
+)"),
+            [] {
+              int s = -10;
+              unsigned u = 3;
+              unsigned r = s + u;
+              int cmp1 = s < (int)u;
+              int cmp2 = (unsigned)s < u;
+              return static_cast<std::uint32_t>((int)(r >> 28) * 100 +
+                                                cmp1 * 10 + cmp2);
+            }());
+}
+
+TEST(MccStress, HexFloatLiteralsAreBitExact) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  double x = 0x1.8p1;    /* 3.0 */
+  double y = 0x1p-2;     /* 0.25 */
+  if (mc_dhi(x) != 0x40080000u) return 1;
+  if (x * y != 0.75) return 2;
+  return 42;
+}
+)"),
+            42u);
+}
+
+TEST(MccStress, ConditionalExpressionNesting) {
+  EXPECT_EQ(mc_exit(R"(
+int main() {
+  int x = 7;
+  int r = x > 10 ? 1 : x > 5 ? (x > 6 ? 2 : 3) : 4;
+  return r;
+}
+)"),
+            2u);
+}
+
+TEST(MccStress, SideEffectsInConditions) {
+  EXPECT_EQ(mc_exit(R"(
+int calls;
+int bump() { calls++; return calls; }
+int main() {
+  calls = 0;
+  while (bump() < 5) { }
+  if (calls != 5) return 1;
+  for (calls = 0; bump() < 3;) { }
+  return calls * 10;  /* 30 */
+}
+)"),
+            30u);
+}
+
+TEST(MccStress, WorkloadStyleBitReader) {
+  // The MVC decoder's bit-reader pattern distilled.
+  EXPECT_EQ(mc_exit(R"(
+unsigned char stream[4] = {0xA6, 0x70, 0x00, 0x00};
+int pos;
+int rbit() {
+  int b = (stream[pos >> 3] >> (7 - (pos & 7))) & 1;
+  pos = pos + 1;
+  return b;
+}
+int rue() {
+  int zeros = 0;
+  while (rbit() == 0) zeros++;
+  int v = 0;
+  for (int i = 0; i < zeros; i++) v = (v << 1) | rbit();
+  return (1 << zeros) - 1 + v;
+}
+int main() {
+  pos = 0;
+  /* 0xA6 0x40 encodes ue(0) ue(1) ue(2) ue(6): see bitio test */
+  int a = rue();
+  int b = rue();
+  int c = rue();
+  int d = rue();
+  return a * 1000 + b * 100 + c * 10 + d;
+}
+)"),
+            126u);
+}
+
+}  // namespace
+}  // namespace nfp::mcc

@@ -1,0 +1,150 @@
+// Peephole optimiser: pattern-level unit tests plus semantic-preservation
+// checks through the full compile-and-run pipeline.
+#include "mcc/peephole.h"
+
+#include <gtest/gtest.h>
+
+#include "mcc/compiler.h"
+#include "sim/iss.h"
+
+namespace nfp::mcc {
+namespace {
+
+TEST(Peephole, StoreLoadSameRegisterDropsLoad) {
+  PeepholeStats stats;
+  const std::string out = peephole_optimize(
+      "        st %l0, [%sp+24]\n"
+      "        ld [%sp+24], %l0\n"
+      "        add %l0, 1, %l0",
+      &stats);
+  EXPECT_EQ(stats.removed_loads, 1);
+  EXPECT_EQ(out.find("ld [%sp+24]"), std::string::npos);
+  EXPECT_NE(out.find("st %l0, [%sp+24]"), std::string::npos);
+}
+
+TEST(Peephole, StoreLoadDifferentRegisterBecomesMove) {
+  PeepholeStats stats;
+  const std::string out = peephole_optimize(
+      "        st %g1, [%sp+32]\n"
+      "        ld [%sp+32], %l3",
+      &stats);
+  EXPECT_EQ(stats.removed_loads, 1);
+  EXPECT_NE(out.find("mov %g1, %l3"), std::string::npos);
+  EXPECT_EQ(out.find("ld "), std::string::npos);
+}
+
+TEST(Peephole, LabelBlocksForwarding) {
+  PeepholeStats stats;
+  const std::string src =
+      "        st %l0, [%sp+24]\n"
+      ".L1:\n"
+      "        ld [%sp+24], %l0";
+  EXPECT_EQ(peephole_optimize(src, &stats), src);
+  EXPECT_EQ(stats.removed_loads, 0);
+}
+
+TEST(Peephole, DifferentSlotUntouched) {
+  PeepholeStats stats;
+  const std::string src =
+      "        st %l0, [%sp+24]\n"
+      "        ld [%sp+28], %l0";
+  EXPECT_EQ(peephole_optimize(src, &stats), src);
+  EXPECT_EQ(stats.removed_loads, 0);
+}
+
+TEST(Peephole, FallthroughBranchRemoved) {
+  PeepholeStats stats;
+  const std::string out = peephole_optimize(
+      "        ba .L7\n"
+      "        nop\n"
+      ".L7:\n"
+      "        add %l0, 1, %l0",
+      &stats);
+  EXPECT_EQ(stats.removed_branches, 1);
+  EXPECT_EQ(out.find("ba .L7"), std::string::npos);
+  EXPECT_NE(out.find(".L7:"), std::string::npos);
+}
+
+TEST(Peephole, NonFallthroughBranchKept) {
+  PeepholeStats stats;
+  const std::string src =
+      "        ba .L9\n"
+      "        nop\n"
+      ".L8:\n"
+      "        add %l0, 1, %l0";
+  EXPECT_EQ(peephole_optimize(src, &stats), src);
+  EXPECT_EQ(stats.removed_branches, 0);
+}
+
+// Semantic preservation: a battery of programs must produce identical exit
+// codes with and without the optimiser, while never getting larger.
+class PeepholePrograms : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PeepholePrograms, SameResultNeverSlower) {
+  const std::string src = GetParam();
+  CompileOptions plain;
+  CompileOptions optimised;
+  optimised.peephole = true;
+
+  sim::Iss iss_plain;
+  iss_plain.load(Compiler(plain).compile({src}));
+  const auto run_plain = iss_plain.run(100'000'000);
+  ASSERT_TRUE(run_plain.halted);
+
+  sim::Iss iss_opt;
+  iss_opt.load(Compiler(optimised).compile({src}));
+  const auto run_opt = iss_opt.run(100'000'000);
+  ASSERT_TRUE(run_opt.halted);
+
+  EXPECT_EQ(run_plain.exit_code, run_opt.exit_code);
+  EXPECT_LE(run_opt.instret, run_plain.instret);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Battery, PeepholePrograms,
+    ::testing::Values(
+        "int main() { int s = 0; for (int i = 0; i < 50; i++) s += i * 3; "
+        "return s & 0xFF; }",
+        R"(
+int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+int main() { return fib(15) & 0xFF; }
+)",
+        R"(
+double acc;
+int main() {
+  acc = 0.0;
+  for (int i = 0; i < 20; i++) acc += 0.5 * (double)i;
+  return (int)acc;
+}
+)",
+        R"(
+unsigned char buf[32];
+int main() {
+  for (int i = 0; i < 32; i++) buf[i] = (unsigned char)(i ^ 0x5A);
+  int x = 0;
+  for (int i = 0; i < 32; i++) x += buf[i];
+  return x & 0xFF;
+}
+)"));
+
+TEST(Peephole, ReducesMemoryTraffic) {
+  // The forwarding window should retire fewer loads on real code.
+  const char* src = R"(
+int grid[64];
+int main() {
+  int acc = 0;
+  for (int i = 0; i < 64; i++) grid[i] = i;
+  for (int i = 1; i < 63; i++) acc += grid[i - 1] + 2 * grid[i] + grid[i + 1];
+  return acc & 0xFF;
+}
+)";
+  CompileOptions plain;
+  CompileOptions optimised;
+  optimised.peephole = true;
+  const std::string before = Compiler(plain).compile_to_asm({src});
+  const std::string after = Compiler(optimised).compile_to_asm({src});
+  EXPECT_LT(after.size(), before.size());
+}
+
+}  // namespace
+}  // namespace nfp::mcc

@@ -1,0 +1,130 @@
+#include "nfp/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include "board/cost_model.h"
+
+namespace nfp::model {
+namespace {
+
+CalibrationPlan small_plan() {
+  // Small but still dominated by the tested instructions.
+  return CalibrationPlan{.loops = 20'000, .per_loop = 32};
+}
+
+TEST(Calibration, KernelPairsFollowTableTwo) {
+  Calibrator cal(CategoryScheme::paper(), small_plan());
+  const auto pair = cal.make_kernels(0);  // Integer Arithmetic
+  EXPECT_EQ(pair.n_test, 20'000u * 32u);
+  // The reference kernel is the test kernel minus the tested body.
+  EXPECT_LT(pair.ref_asm.size(), pair.test_asm.size());
+  EXPECT_NE(pair.test_asm.find("add %l1, %l2, %l5"), std::string::npos);
+  EXPECT_EQ(pair.ref_asm.find("add %l1, %l2, %l5"), std::string::npos);
+  // Both share the loop scaffold.
+  EXPECT_NE(pair.ref_asm.find("subcc %l0, 1, %l0"), std::string::npos);
+  EXPECT_NE(pair.test_asm.find("subcc %l0, 1, %l0"), std::string::npos);
+}
+
+// Property: with a noise-free, variation-free board, Eq. 2 recovers the
+// configured cost-model values essentially exactly.
+TEST(Calibration, RecoversTrueCostsOnIdealBoard) {
+  board::BoardConfig cfg;
+  cfg.enable_variation = false;
+  cfg.enable_meter_noise = false;
+  Calibrator cal(CategoryScheme::paper(), small_plan());
+  const auto result = cal.run(cfg);
+  ASSERT_EQ(result.details.size(), 9u);
+
+  const board::CostModel cost;
+  const double tick_ns = 1e9 / cfg.clock_hz;
+  const struct {
+    std::size_t cat;
+    isa::Op op;
+  } probes[] = {
+      {0, isa::Op::kAdd},    {2, isa::Op::kLd},     {3, isa::Op::kSt},
+      {4, isa::Op::kNop},    {6, isa::Op::kFaddd},  {7, isa::Op::kFdivd},
+      {8, isa::Op::kFsqrtd},
+  };
+  for (const auto& probe : probes) {
+    const auto& oc = cost.of(probe.op);
+    EXPECT_NEAR(result.costs.time_ns[probe.cat], oc.cycles * tick_ns,
+                oc.cycles * tick_ns * 0.03)
+        << "category " << probe.cat;
+    EXPECT_NEAR(result.costs.energy_nj[probe.cat], oc.energy_nj,
+                oc.energy_nj * 0.03)
+        << "category " << probe.cat;
+  }
+  // Jump category: taken branches.
+  EXPECT_NEAR(result.costs.time_ns[1], cost.of(isa::Op::kBicc).cycles * tick_ns,
+              cost.of(isa::Op::kBicc).cycles * tick_ns * 0.05);
+}
+
+// With realistic board behaviour the calibrated values stay within a few
+// percent of the truth and reproduce the Table-I ordering.
+TEST(Calibration, RealisticBoardReproducesTableOneShape) {
+  board::BoardConfig cfg;  // defaults: variation + meter noise on
+  Calibrator cal(CategoryScheme::paper(), small_plan());
+  const auto result = cal.run(cfg);
+  const auto& t = result.costs.time_ns;
+  const auto& e = result.costs.energy_nj;
+  // Shape (paper Table I): load >> store >> jump >> int ~ nop ~ fpu-arith;
+  // fdiv and fsqrt far above fpu-arith.
+  EXPECT_GT(t[2], t[3]);      // load > store
+  EXPECT_GT(t[3], t[1]);      // store > jump
+  EXPECT_GT(t[1], t[0] * 3);  // jump >> int
+  EXPECT_GT(t[7], t[6] * 5);  // fdiv >> fpu arith
+  EXPECT_GT(t[8], t[6] * 5);  // fsqrt >> fpu arith
+  EXPECT_GT(e[2], e[3]);      // load energy > store energy
+  EXPECT_GT(e[7], e[8]);      // fdiv energy > fsqrt energy
+  // Magnitudes in the right ballpark (paper: 45/238/700/376 ns...).
+  EXPECT_NEAR(t[0], 40.0, 8.0);
+  EXPECT_NEAR(t[2], 700.0, 60.0);
+  EXPECT_NEAR(e[0], 15.0, 3.0);
+  EXPECT_NEAR(e[2], 229.0, 25.0);
+}
+
+TEST(Calibration, FpuCategoriesSkippedWithoutFpu) {
+  board::BoardConfig cfg;
+  cfg.has_fpu = false;
+  Calibrator cal(CategoryScheme::paper(), small_plan());
+  const auto result = cal.run(cfg);
+  EXPECT_EQ(result.details.size(), 6u);  // only the integer-unit categories
+  EXPECT_EQ(result.costs.energy_nj[6], 0.0);
+  EXPECT_EQ(result.costs.energy_nj[7], 0.0);
+  EXPECT_EQ(result.costs.energy_nj[8], 0.0);
+  EXPECT_GT(result.costs.energy_nj[0], 0.0);
+}
+
+TEST(Calibration, AdaptationScalesCosts) {
+  board::BoardConfig cfg;
+  cfg.enable_variation = false;
+  cfg.enable_meter_noise = false;
+  Calibrator cal(CategoryScheme::paper(), small_plan());
+  Adaptation adapt;
+  adapt.energy_scale.assign(9, 1.0);
+  adapt.energy_scale[0] = 2.0;
+  const auto base = cal.run(cfg);
+  const auto adapted = cal.run(cfg, adapt);
+  EXPECT_NEAR(adapted.costs.energy_nj[0], 2.0 * base.costs.energy_nj[0],
+              1e-9);
+  EXPECT_DOUBLE_EQ(adapted.costs.energy_nj[1], base.costs.energy_nj[1]);
+}
+
+TEST(Calibration, AlternativeSchemesCalibratable) {
+  board::BoardConfig cfg;
+  cfg.enable_variation = false;
+  cfg.enable_meter_noise = false;
+  for (const auto* scheme :
+       {&CategoryScheme::coarse(), &CategoryScheme::fine()}) {
+    Calibrator cal(*scheme, small_plan());
+    const auto result = cal.run(cfg);
+    EXPECT_EQ(result.costs.energy_nj.size(), scheme->size());
+    for (const auto& d : result.details) {
+      EXPECT_GT(d.specific_energy_nj, 0.0) << scheme->name() << d.category;
+      EXPECT_GT(d.specific_time_ns, 0.0) << scheme->name() << d.category;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nfp::model

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "nfp/dse.h"
+#include "nfp/error.h"
+#include "nfp/estimator.h"
+#include "nfp/report.h"
+#include "nfp/scheme.h"
+
+namespace nfp::model {
+namespace {
+
+using isa::Op;
+
+TEST(Scheme, PaperSchemeHasNineCategories) {
+  const auto& s = CategoryScheme::paper();
+  EXPECT_EQ(s.size(), 9u);
+  EXPECT_EQ(s.category_name(0), "Integer Arithmetic");
+  EXPECT_EQ(s.category_of(Op::kAdd), 0u);
+  EXPECT_EQ(s.category_of(Op::kFdivd), 7u);
+}
+
+TEST(Scheme, AggregationSumsPerOpCounts) {
+  OpCounts counts{};
+  counts[static_cast<std::size_t>(Op::kAdd)] = 10;
+  counts[static_cast<std::size_t>(Op::kSub)] = 5;
+  counts[static_cast<std::size_t>(Op::kLd)] = 7;
+  counts[static_cast<std::size_t>(Op::kFaddd)] = 2;
+  const auto agg = CategoryScheme::paper().aggregate(counts);
+  EXPECT_EQ(agg[0], 15u);  // int arith
+  EXPECT_EQ(agg[2], 7u);   // load
+  EXPECT_EQ(agg[6], 2u);   // fpu arith
+}
+
+TEST(Scheme, TotalCountPreservedAcrossSchemes) {
+  OpCounts counts{};
+  for (std::size_t i = 1; i < isa::kOpCount; ++i) counts[i] = i;
+  for (const auto* scheme :
+       {&CategoryScheme::paper(), &CategoryScheme::coarse(),
+        &CategoryScheme::fine()}) {
+    std::uint64_t total = 0;
+    for (const auto n : scheme->aggregate(counts)) total += n;
+    std::uint64_t expected = 0;
+    for (const auto n : counts) expected += n;
+    EXPECT_EQ(total, expected) << scheme->name();
+  }
+}
+
+TEST(Scheme, FineSchemeSplitsMulDiv) {
+  const auto& s = CategoryScheme::fine();
+  EXPECT_NE(s.category_of(Op::kUmul), s.category_of(Op::kAdd));
+  EXPECT_NE(s.category_of(Op::kUdiv), s.category_of(Op::kUmul));
+  EXPECT_NE(s.category_of(Op::kFcmpd), s.category_of(Op::kFaddd));
+}
+
+TEST(Estimator, LinearInCounts) {
+  CategoryCosts costs;
+  costs.energy_nj = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  costs.time_ns = {9, 8, 7, 6, 5, 4, 3, 2, 1};
+  CategoryCounts a(9, 10);
+  CategoryCounts b(9, 30);
+  const auto ea = estimate(a, costs);
+  const auto eb = estimate(b, costs);
+  EXPECT_DOUBLE_EQ(eb.energy_nj, 3.0 * ea.energy_nj);
+  EXPECT_DOUBLE_EQ(eb.time_s, 3.0 * ea.time_s);
+}
+
+TEST(Estimator, MatchesHandComputation) {
+  CategoryCosts costs;
+  costs.energy_nj = {15, 76};
+  costs.time_ns = {45, 238};
+  const auto e = estimate(CategoryCounts{100, 10}, costs);
+  EXPECT_DOUBLE_EQ(e.energy_nj, 100 * 15.0 + 10 * 76.0);
+  EXPECT_DOUBLE_EQ(e.time_s, (100 * 45.0 + 10 * 238.0) * 1e-9);
+}
+
+TEST(Estimator, SizeMismatchThrows) {
+  CategoryCosts costs;
+  costs.energy_nj = {1.0};
+  costs.time_ns = {1.0};
+  EXPECT_THROW(estimate(CategoryCounts{1, 2}, costs), std::invalid_argument);
+}
+
+TEST(ErrorStats, MatchesEquationThree) {
+  // est 103 vs meas 100 -> +3%; est 95 vs 100 -> -5%.
+  const auto stats = error_stats({103, 95}, {100, 100});
+  EXPECT_NEAR(stats.per_kernel[0], 0.03, 1e-12);
+  EXPECT_NEAR(stats.per_kernel[1], -0.05, 1e-12);
+  EXPECT_NEAR(stats.mean_abs_percent(), 4.0, 1e-9);
+  EXPECT_NEAR(stats.max_abs_percent(), 5.0, 1e-9);
+}
+
+TEST(ErrorStats, RejectsDegenerateInput) {
+  EXPECT_THROW(error_stats({}, {}), std::invalid_argument);
+  EXPECT_THROW(error_stats({1.0}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(error_stats({1.0, 2.0}, {1.0}), std::invalid_argument);
+}
+
+TEST(Dse, FpuImpactMeansPerKernelChanges) {
+  // Kernel 1: FPU halves energy; kernel 2: FPU quarters it.
+  std::vector<Estimate> with_fpu = {{50, 0.5}, {25, 0.25}};
+  std::vector<Estimate> soft = {{100, 1.0}, {100, 1.0}};
+  const auto impact = fpu_impact("toy", with_fpu, soft);
+  EXPECT_NEAR(impact.energy_change_percent, (-50.0 + -75.0) / 2, 1e-9);
+  EXPECT_NEAR(impact.time_change_percent, (-50.0 + -75.0) / 2, 1e-9);
+  EXPECT_NEAR(impact.area_change_percent, 109.0, 1.0);
+}
+
+TEST(Report, RendersAlignedTable) {
+  TextTable t({"Category", "Value"});
+  t.add_row({"Integer", "15"});
+  t.add_row({"Load", "229"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| Category |"), std::string::npos);
+  EXPECT_NE(s.find("| Load     |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nfp::model

@@ -1,0 +1,238 @@
+// Differential test of the Micro-C soft-float runtime against host hardware
+// IEEE-754 arithmetic. The runtime source is #included directly (the same
+// bytes mcc compiles for the target), with intrinsics shimmed.
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <random>
+
+#include "support/mc_host.h"
+
+namespace sf {
+#include "rtlib/mc/softfloat.c"
+}  // namespace sf
+
+namespace {
+
+std::uint64_t bits_of(double d) { return std::bit_cast<std::uint64_t>(d); }
+double from_bits(std::uint64_t b) { return std::bit_cast<double>(b); }
+
+// NaNs compare equal as long as both are NaN (we canonicalise to one qNaN).
+void expect_same(double got, double want, const std::string& what) {
+  if (std::isnan(want)) {
+    EXPECT_TRUE(std::isnan(got)) << what;
+    return;
+  }
+  EXPECT_EQ(bits_of(got), bits_of(want))
+      << what << ": got " << got << " want " << want;
+}
+
+const double kInterestingValues[] = {
+    0.0, -0.0, 1.0, -1.0, 2.0, 0.5, 1.5, -2.25, 3.141592653589793,
+    1e-300, -1e-300, 1e300, -1e300, 255.0, 1e-8, 123456789.0,
+    0.1, 0.2, 0.3, 1.0 / 3.0,
+    std::numeric_limits<double>::min(),          // smallest normal
+    std::numeric_limits<double>::denorm_min(),   // smallest subnormal
+    std::numeric_limits<double>::max(),
+    std::numeric_limits<double>::infinity(),
+    -std::numeric_limits<double>::infinity(),
+    std::numeric_limits<double>::quiet_NaN(),
+    4.9406564584124654e-324, 2.2250738585072009e-308,  // subnormal boundary
+    9007199254740992.0,   // 2^53
+    9007199254740993.0,   // 2^53 + 1 (not representable; rounds)
+};
+
+TEST(Softfloat, AddDirectedCases) {
+  for (const double a : kInterestingValues) {
+    for (const double b : kInterestingValues) {
+      expect_same(sf::__sf_dadd(a, b), a + b,
+                  "add " + std::to_string(a) + " + " + std::to_string(b));
+    }
+  }
+}
+
+TEST(Softfloat, SubDirectedCases) {
+  for (const double a : kInterestingValues) {
+    for (const double b : kInterestingValues) {
+      expect_same(sf::__sf_dsub(a, b), a - b, "sub");
+    }
+  }
+}
+
+TEST(Softfloat, MulDirectedCases) {
+  for (const double a : kInterestingValues) {
+    for (const double b : kInterestingValues) {
+      expect_same(sf::__sf_dmul(a, b), a * b, "mul");
+    }
+  }
+}
+
+TEST(Softfloat, DivDirectedCases) {
+  for (const double a : kInterestingValues) {
+    for (const double b : kInterestingValues) {
+      expect_same(sf::__sf_ddiv(a, b), a / b, "div");
+    }
+  }
+}
+
+TEST(Softfloat, SqrtDirectedCases) {
+  for (const double a : kInterestingValues) {
+    expect_same(sf::__sf_dsqrt(a), std::sqrt(a), "sqrt");
+  }
+}
+
+TEST(Softfloat, CancellationNearMisses) {
+  // Catastrophic cancellation and guard-bit paths.
+  const double pairs[][2] = {
+      {1.0, -0.9999999999999999}, {1.0, -0.9999999999999998},
+      {1e16, -1e16 + 2}, {1.0000000000000002, -1.0},
+      {3.0, -2.9999999999999996},
+  };
+  for (const auto& p : pairs) {
+    expect_same(sf::__sf_dadd(p[0], p[1]), p[0] + p[1], "cancellation");
+  }
+}
+
+// Random sweeps over several operand regimes.
+class SoftfloatRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+double random_double(std::mt19937_64& rng, int regime) {
+  switch (regime) {
+    case 0: {  // uniform bit patterns (includes NaNs, infs, subnormals)
+      return from_bits(rng());
+    }
+    case 1: {  // "image processing"-like magnitudes
+      std::uniform_real_distribution<double> d(-1000.0, 1000.0);
+      return d(rng);
+    }
+    case 2: {  // wide exponent range, finite
+      const std::uint64_t mant = rng() & 0x000FFFFFFFFFFFFFull;
+      const std::uint64_t exp = 1 + rng() % 0x7FD;
+      const std::uint64_t sign = rng() & 0x8000000000000000ull;
+      return from_bits(sign | (exp << 52) | mant);
+    }
+    default: {  // near-1 magnitudes (rounding boundaries)
+      std::uniform_real_distribution<double> d(0.5, 2.0);
+      return d(rng);
+    }
+  }
+}
+
+TEST_P(SoftfloatRandom, AllOpsMatchHardware) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 4000; ++i) {
+    const int regime = i % 4;
+    const double a = random_double(rng, regime);
+    const double b = random_double(rng, regime);
+    expect_same(sf::__sf_dadd(a, b), a + b, "add");
+    expect_same(sf::__sf_dsub(a, b), a - b, "sub");
+    expect_same(sf::__sf_dmul(a, b), a * b, "mul");
+    expect_same(sf::__sf_ddiv(a, b), a / b, "div");
+    if (!std::signbit(a)) {
+      expect_same(sf::__sf_dsqrt(a), std::sqrt(a), "sqrt");
+    }
+    if (i > 3000) break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SoftfloatRandom,
+                         ::testing::Values(1u, 2u, 3u, 20150407u));
+
+TEST(Softfloat, Conversions) {
+  const int ints[] = {0, 1, -1, 42, -42, 2147483647, -2147483647 - 1,
+                      1 << 30, -(1 << 30), 999999999};
+  for (const int v : ints) {
+    expect_same(sf::__sf_i2d(v), static_cast<double>(v), "i2d");
+  }
+  const unsigned uints[] = {0u, 1u, 0x7FFFFFFFu, 0x80000000u, 0xFFFFFFFFu,
+                            0xDEADBEEFu};
+  for (const unsigned v : uints) {
+    expect_same(sf::__sf_u2d(v), static_cast<double>(v), "u2d");
+  }
+  // d2i truncates toward zero; saturates out of range.
+  EXPECT_EQ(sf::__sf_d2i(3.99), 3);
+  EXPECT_EQ(sf::__sf_d2i(-3.99), -3);
+  EXPECT_EQ(sf::__sf_d2i(0.0), 0);
+  EXPECT_EQ(sf::__sf_d2i(-0.5), 0);
+  EXPECT_EQ(sf::__sf_d2i(2147483646.5), 2147483646);
+  EXPECT_EQ(sf::__sf_d2i(1e10), 2147483647);
+  EXPECT_EQ(sf::__sf_d2i(-1e10), std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(sf::__sf_d2i(-2147483648.0),
+            std::numeric_limits<std::int32_t>::min());
+  EXPECT_EQ(sf::__sf_d2u(3.99), 3u);
+  EXPECT_EQ(sf::__sf_d2u(4294967295.0), 4294967295u);
+  EXPECT_EQ(sf::__sf_d2u(1e12), 4294967295u);
+  EXPECT_EQ(sf::__sf_d2u(-1.0), 0u);
+}
+
+TEST(Softfloat, RandomConversionSweep) {
+  std::mt19937_64 rng(77);
+  for (int i = 0; i < 20000; ++i) {
+    const auto v = static_cast<std::int32_t>(rng());
+    expect_same(sf::__sf_i2d(v), static_cast<double>(v), "i2d rand");
+    expect_same(sf::__sf_u2d(static_cast<std::uint32_t>(v)),
+                static_cast<double>(static_cast<std::uint32_t>(v)),
+                "u2d rand");
+    std::uniform_real_distribution<double> d(-2.2e9, 2.2e9);
+    const double x = d(rng);
+    const std::int32_t want =
+        x >= 2147483648.0
+            ? std::numeric_limits<std::int32_t>::max()
+            : (x < -2147483648.0 ? std::numeric_limits<std::int32_t>::min()
+                                 : static_cast<std::int32_t>(x));
+    EXPECT_EQ(sf::__sf_d2i(x), want) << x;
+  }
+}
+
+TEST(Softfloat, Comparison) {
+  EXPECT_EQ(sf::__sf_dcmp(1.0, 2.0), -1);
+  EXPECT_EQ(sf::__sf_dcmp(2.0, 1.0), 1);
+  EXPECT_EQ(sf::__sf_dcmp(1.0, 1.0), 0);
+  EXPECT_EQ(sf::__sf_dcmp(0.0, -0.0), 0);
+  EXPECT_EQ(sf::__sf_dcmp(-1.0, 1.0), -1);
+  EXPECT_EQ(sf::__sf_dcmp(-1.0, -2.0), 1);
+  EXPECT_EQ(sf::__sf_dcmp(-0.0, 1.0), -1);
+  EXPECT_EQ(sf::__sf_dcmp(1e-320, 0.0), 1);  // subnormal vs zero
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_EQ(sf::__sf_dcmp(nan, 1.0), 2);
+  EXPECT_EQ(sf::__sf_dcmp(1.0, nan), 2);
+
+  std::mt19937_64 rng(99);
+  for (int i = 0; i < 20000; ++i) {
+    std::uniform_real_distribution<double> d(-1e6, 1e6);
+    const double a = d(rng);
+    const double b = i % 7 == 0 ? a : d(rng);
+    const int want = a < b ? -1 : (a > b ? 1 : 0);
+    EXPECT_EQ(sf::__sf_dcmp(a, b), want);
+  }
+}
+
+TEST(Softfloat, NegIsSignFlip) {
+  expect_same(sf::__sf_dneg(1.5), -1.5, "neg");
+  expect_same(sf::__sf_dneg(-0.0), 0.0, "neg");
+  EXPECT_EQ(bits_of(sf::__sf_dneg(0.0)), bits_of(-0.0));
+}
+
+// Property: a+b == b+a, a*b == b*a bit-exactly (IEEE commutativity).
+TEST(Softfloat, CommutativityProperty) {
+  std::mt19937_64 rng(123);
+  for (int i = 0; i < 5000; ++i) {
+    const double a = random_double(rng, i % 4);
+    const double b = random_double(rng, (i + 1) % 4);
+    const double ab = sf::__sf_dadd(a, b);
+    const double ba = sf::__sf_dadd(b, a);
+    if (!std::isnan(ab) || !std::isnan(ba)) {
+      EXPECT_EQ(bits_of(ab), bits_of(ba));
+    }
+    const double m1 = sf::__sf_dmul(a, b);
+    const double m2 = sf::__sf_dmul(b, a);
+    if (!std::isnan(m1) || !std::isnan(m2)) {
+      EXPECT_EQ(bits_of(m1), bits_of(m2));
+    }
+  }
+}
+
+}  // namespace

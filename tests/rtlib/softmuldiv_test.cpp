@@ -1,0 +1,70 @@
+// Differential test of the Micro-C software mul/div runtime against host
+// integer arithmetic (same dual-compilation scheme as the soft-float test).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <random>
+
+#include "support/mc_host.h"
+
+namespace smd {
+#include "rtlib/mc/softmuldiv.c"
+}  // namespace smd
+
+namespace {
+
+TEST(SoftMulDiv, MultiplyDirected) {
+  EXPECT_EQ(smd::__mc_umul(0u, 0u), 0u);
+  EXPECT_EQ(smd::__mc_umul(1u, 0xFFFFFFFFu), 0xFFFFFFFFu);
+  EXPECT_EQ(smd::__mc_umul(0x10000u, 0x10000u), 0u);  // wraps
+  EXPECT_EQ(smd::__mc_imul(-3, 7), -21);
+  EXPECT_EQ(smd::__mc_imul(-3, -7), 21);
+  EXPECT_EQ(smd::__mc_imul(123456, 789), 123456 * 789);
+}
+
+TEST(SoftMulDiv, UmulhiDirected) {
+  EXPECT_EQ(smd::__mc_umulhi(0u, 0xFFFFFFFFu), 0u);
+  EXPECT_EQ(smd::__mc_umulhi(0xFFFFFFFFu, 0xFFFFFFFFu), 0xFFFFFFFEu);
+  EXPECT_EQ(smd::__mc_umulhi(0x10000u, 0x10000u), 1u);
+  EXPECT_EQ(smd::__mc_umulhi(0x80000000u, 2u), 1u);
+}
+
+TEST(SoftMulDiv, DivideDirected) {
+  EXPECT_EQ(smd::__mc_udiv(100u, 7u), 14u);
+  EXPECT_EQ(smd::__mc_urem(100u, 7u), 2u);
+  EXPECT_EQ(smd::__mc_udiv(0xFFFFFFFFu, 1u), 0xFFFFFFFFu);
+  EXPECT_EQ(smd::__mc_udiv(5u, 10u), 0u);
+  // C truncation semantics for signed operands.
+  EXPECT_EQ(smd::__mc_sdiv(-7, 2), -3);
+  EXPECT_EQ(smd::__mc_srem(-7, 2), -1);
+  EXPECT_EQ(smd::__mc_sdiv(7, -2), -3);
+  EXPECT_EQ(smd::__mc_srem(7, -2), 1);
+  EXPECT_EQ(smd::__mc_sdiv(-7, -2), 3);
+  EXPECT_EQ(smd::__mc_srem(-7, -2), -1);
+}
+
+TEST(SoftMulDiv, RandomSweepMatchesHardware) {
+  std::mt19937_64 rng(2015);
+  for (int i = 0; i < 50000; ++i) {
+    const auto a = static_cast<std::uint32_t>(rng());
+    auto b = static_cast<std::uint32_t>(rng());
+    EXPECT_EQ(smd::__mc_umul(a, b), a * b);
+    EXPECT_EQ(smd::__mc_imul(static_cast<int>(a), static_cast<int>(b)),
+              static_cast<int>(a * b));
+    EXPECT_EQ(smd::__mc_umulhi(a, b),
+              static_cast<std::uint32_t>(
+                  (static_cast<std::uint64_t>(a) * b) >> 32));
+    if (b == 0) b = 1;
+    EXPECT_EQ(smd::__mc_udiv(a, b), a / b);
+    EXPECT_EQ(smd::__mc_urem(a, b), a % b);
+    const auto sa = static_cast<std::int32_t>(a);
+    auto sb = static_cast<std::int32_t>(b);
+    if (sb == 0) sb = 1;
+    if (!(sa == std::numeric_limits<std::int32_t>::min() && sb == -1)) {
+      EXPECT_EQ(smd::__mc_sdiv(sa, sb), sa / sb);
+      EXPECT_EQ(smd::__mc_srem(sa, sb), sa % sb);
+    }
+  }
+}
+
+}  // namespace

@@ -1,0 +1,58 @@
+#include "sim/bus.h"
+
+#include <gtest/gtest.h>
+
+namespace nfp::sim {
+namespace {
+
+TEST(Bus, BigEndianWordAccess) {
+  Bus bus;
+  bus.store32(kRamBase, 0x11223344u);
+  EXPECT_EQ(bus.load8(kRamBase), 0x11);
+  EXPECT_EQ(bus.load8(kRamBase + 3), 0x44);
+  EXPECT_EQ(bus.load16(kRamBase), 0x1122);
+  EXPECT_EQ(bus.load16(kRamBase + 2), 0x3344);
+  EXPECT_EQ(bus.load32(kRamBase), 0x11223344u);
+}
+
+TEST(Bus, DoubleRoundTrip) {
+  Bus bus;
+  bus.write_f64(kRamBase + 64, -3.25);
+  EXPECT_EQ(bus.read_f64(kRamBase + 64), -3.25);
+  // High word first (big-endian doubles).
+  EXPECT_EQ(bus.load32(kRamBase + 64) >> 31, 1u);  // sign bit in first word
+}
+
+TEST(Bus, BlockTransfer) {
+  Bus bus;
+  const std::vector<std::uint8_t> data = {1, 2, 3, 4, 5};
+  bus.write_block(kInputBase, data.data(), data.size());
+  EXPECT_EQ(bus.read_block(kInputBase, 5), data);
+}
+
+TEST(Bus, UartCollectsOutput) {
+  Bus bus;
+  bus.store32(kUartTx, 'o');
+  bus.store32(kUartTx, 'k');
+  EXPECT_EQ(bus.uart_output(), "ok");
+  bus.clear_uart();
+  EXPECT_TRUE(bus.uart_output().empty());
+}
+
+TEST(Bus, TimerUsesTimeSource) {
+  Bus bus;
+  std::uint64_t now = 0x1'2345'6789ull;
+  bus.set_time_source([&now] { return now; });
+  EXPECT_EQ(bus.load32(kTimerLo), 0x23456789u);
+  EXPECT_EQ(bus.load32(kTimerHi), 1u);
+}
+
+TEST(Bus, OutOfRangeAccessThrows) {
+  Bus bus;
+  EXPECT_THROW(bus.load32(0x10000000u), SimError);
+  EXPECT_THROW(bus.store32(0x90000000u, 1), SimError);
+  EXPECT_THROW(bus.write_block(kRamEnd - 2, nullptr, 4), SimError);
+}
+
+}  // namespace
+}  // namespace nfp::sim

@@ -1,0 +1,255 @@
+// Condition-code and control-transfer edge cases of the execution core.
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.h"
+#include "sim/iss.h"
+#include "sim/memmap.h"
+
+namespace nfp::sim {
+namespace {
+
+std::uint32_t run_exit(const std::string& body) {
+  Iss iss;
+  iss.load(asmkit::assemble(body, kTextBase));
+  const auto result = iss.run(1'000'000);
+  EXPECT_TRUE(result.halted);
+  return result.exit_code;
+}
+
+TEST(ExecutorFlags, AddccOverflow) {
+  // 0x7FFFFFFF + 1 overflows: V set, N set, C clear.
+  EXPECT_EQ(run_exit(R"(
+_start: set 0x7FFFFFFC, %l0
+        add %l0, 3, %l0
+        addcc %l0, 1, %l1
+        mov 0, %o0
+        bvs v_set
+        nop
+        ta 0
+v_set:  bneg n_set
+        nop
+        mov 1, %o0
+        ta 0
+n_set:  bcc done          ! carry must be clear
+        nop
+        mov 2, %o0
+        ta 0
+done:   mov 42, %o0
+        ta 0
+)"),
+            42u);
+}
+
+TEST(ExecutorFlags, AddccCarryWithoutOverflow) {
+  // 0xFFFFFFFF + 1 = 0: C set, Z set, V clear.
+  EXPECT_EQ(run_exit(R"(
+_start: mov -1, %l0
+        addcc %l0, 1, %l1
+        mov 0, %o0
+        bcs c_set
+        nop
+        ta 0
+c_set:  be z_set
+        nop
+        mov 1, %o0
+        ta 0
+z_set:  bvc done
+        nop
+        mov 2, %o0
+        ta 0
+done:   mov 42, %o0
+        ta 0
+)"),
+            42u);
+}
+
+TEST(ExecutorFlags, SubccBorrow) {
+  // 3 - 5: borrow (C set for subcc), negative.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 3, %l0
+        subcc %l0, 5, %l1
+        mov 0, %o0
+        bcs borrow
+        nop
+        ta 0
+borrow: bneg done
+        nop
+        mov 1, %o0
+        ta 0
+done:   mov 42, %o0
+        ta 0
+)"),
+            42u);
+}
+
+TEST(ExecutorFlags, AddxChainPropagatesCarry) {
+  // 64-bit add: 0xFFFFFFFF:FFFFFFFF + 0:1 = 1:0.
+  EXPECT_EQ(run_exit(R"(
+_start: mov -1, %l0          ! low a
+        mov -1, %l1          ! high a
+        addcc %l0, 1, %l2    ! low sum, sets carry
+        addx %l1, 0, %l3     ! high sum with carry
+        mov %l3, %o0         ! 0 expected... -1 + carry = 0
+        ta 0
+)"),
+            0u);
+}
+
+TEST(ExecutorFlags, SubxChainPropagatesBorrow) {
+  // 64-bit subtract: 1:0 - 0:1 = 0:FFFFFFFF.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %l0           ! low a
+        mov 1, %l1           ! high a
+        subcc %l0, 1, %l2    ! low diff, borrow set
+        subx %l1, 0, %l3     ! high diff minus borrow
+        mov %l3, %o0
+        ta 0
+)"),
+            0u);
+}
+
+TEST(ExecutorFlags, LogicalCcClearsOverflowAndCarry) {
+  EXPECT_EQ(run_exit(R"(
+_start: set 0x7FFFFFFC, %l0
+        addcc %l0, 100, %l1  ! sets V
+        andcc %l1, %l1, %g0  ! logical cc clears V and C
+        mov 0, %o0
+        bvc ok
+        nop
+        ta 0
+ok:     mov 42, %o0
+        ta 0
+)"),
+            42u);
+}
+
+TEST(ExecutorFlags, ConditionalBranchMatrix) {
+  // One canonical value pair per condition; result accumulates bits.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        cmp %g0, 0           ! equal
+        be t0
+        nop
+        ba f0
+        nop
+t0:     or %o0, 1, %o0
+f0:     mov -5, %l0
+        cmp %l0, 3           ! -5 < 3 signed
+        bl t1
+        nop
+        ba f1
+        nop
+t1:     or %o0, 2, %o0
+f1:     cmp %l0, 3           ! 0xFFFFFFFB > 3 unsigned
+        bgu t2
+        nop
+        ba f2
+        nop
+t2:     or %o0, 4, %o0
+f2:     cmp %l0, %l0
+        bge t3               ! equal satisfies >=
+        nop
+        ba f3
+        nop
+t3:     or %o0, 8, %o0
+f3:     ta 0
+)"),
+            15u);
+}
+
+TEST(ExecutorFlags, FPConditionMatrix) {
+  EXPECT_EQ(run_exit(R"(
+_start: set vals, %g1
+        lddf [%g1], %f0      ! 1.5
+        lddf [%g1+8], %f2    ! 2.5
+        mov 0, %o0
+        fcmpd %f0, %f2
+        nop
+        fbl t0
+        nop
+        ba f0
+        nop
+t0:     or %o0, 1, %o0
+f0:     fcmpd %f2, %f0
+        nop
+        fbg t1
+        nop
+        ba f1
+        nop
+t1:     or %o0, 2, %o0
+f1:     fcmpd %f0, %f0
+        nop
+        fbe t2
+        nop
+        ba f2
+        nop
+t2:     or %o0, 4, %o0
+f2:     fcmpd %f0, %f2
+        nop
+        fbne t3
+        nop
+        ba f3
+        nop
+t3:     or %o0, 8, %o0
+f3:     ta 0
+        .data
+        .align 8
+vals:   .double 1.5, 2.5
+)"),
+            15u);
+}
+
+TEST(ExecutorFlags, AnnulledTakenConditionalExecutesDelay) {
+  // b<cond>,a with the branch TAKEN executes the delay slot.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        cmp %g0, 0
+        be,a target
+        add %o0, 1, %o0      ! taken + annul -> still executes
+        add %o0, 100, %o0
+target: ta 0
+)"),
+            1u);
+}
+
+TEST(ExecutorFlags, BackwardBranchLoopsPreciseCount) {
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        mov 7, %l0
+loop:   add %o0, 2, %o0
+        subcc %l0, 1, %l0
+        bg loop
+        nop
+        ta 0
+)"),
+            14u);
+}
+
+TEST(ExecutorFlags, JmplIndirectTarget) {
+  EXPECT_EQ(run_exit(R"(
+_start: set dest, %l0
+        jmpl %l0, %g0
+        nop
+        mov 1, %o0
+        ta 0
+dest:   mov 42, %o0
+        ta 0
+)"),
+            42u);
+}
+
+TEST(ExecutorFlags, CallStoresReturnAddressInO7) {
+  EXPECT_EQ(run_exit(R"(
+_start: call func
+        nop
+after:  sub %o7, %g6, %o0   ! %o7 == address of the call == _start
+        ta 0
+func:   set _start, %g6
+        retl
+        nop
+)"),
+            0u);
+}
+
+}  // namespace
+}  // namespace nfp::sim

@@ -1,0 +1,357 @@
+#include "sim/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.h"
+#include "sim/iss.h"
+#include "sim/memmap.h"
+
+namespace nfp::sim {
+namespace {
+
+RunResult run_asm(const std::string& body, Iss& iss,
+                  std::uint64_t max_insns = 1'000'000) {
+  const auto prog = asmkit::assemble(body, kTextBase);
+  iss.load(prog);
+  return iss.run(max_insns);
+}
+
+std::uint32_t run_exit(const std::string& body) {
+  Iss iss;
+  const auto result = run_asm(body, iss);
+  EXPECT_TRUE(result.halted);
+  return result.exit_code;
+}
+
+TEST(Executor, ArithmeticAndFlags) {
+  EXPECT_EQ(run_exit(R"(
+_start: mov 7, %o0
+        add %o0, 5, %o0
+        ta 0
+)"),
+            12u);
+  // subcc sets Z; be taken.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 3, %l0
+        subcc %l0, 3, %g0
+        be yes
+        nop
+        mov 0, %o0
+        ta 0
+yes:    mov 1, %o0
+        ta 0
+)"),
+            1u);
+}
+
+TEST(Executor, SignedUnsignedCompares) {
+  // -1 < 1 signed, but 0xFFFFFFFF > 1 unsigned.
+  EXPECT_EQ(run_exit(R"(
+_start: mov -1, %l0
+        cmp %l0, 1
+        bl signed_less
+        nop
+        mov 0, %o0
+        ta 0
+signed_less:
+        cmp %l0, 1
+        bgu unsigned_greater
+        nop
+        mov 1, %o0
+        ta 0
+unsigned_greater:
+        mov 2, %o0
+        ta 0
+)"),
+            2u);
+}
+
+TEST(Executor, ShiftSemantics) {
+  EXPECT_EQ(run_exit(R"(
+_start: mov -8, %l0
+        sra %l0, 1, %o0
+        ta 0
+)"),
+            static_cast<std::uint32_t>(-4));
+  EXPECT_EQ(run_exit(R"(
+_start: mov -8, %l0
+        srl %l0, 28, %o0
+        ta 0
+)"),
+            0xFu);
+}
+
+TEST(Executor, MulDivWithYRegister) {
+  // umul writes high bits to %y.
+  EXPECT_EQ(run_exit(R"(
+_start: set 0x10000, %l0
+        umul %l0, %l0, %g1   ! 2^32: low word 0, y = 1
+        rd %y, %o0
+        ta 0
+)"),
+            1u);
+  // sdiv with sign-extended Y: -100 / 7 = -14.
+  EXPECT_EQ(run_exit(R"(
+_start: mov -100, %l0
+        sra %l0, 31, %l1
+        wr %l1, 0, %y
+        sdiv %l0, 7, %o0
+        ta 0
+)"),
+            static_cast<std::uint32_t>(-14));
+  // udiv: (1<<32 | 0) / 2^16 with y=1 -> 0x10000.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 1, %l1
+        wr %l1, 0, %y
+        mov 0, %l0
+        set 0x10000, %l2
+        udiv %l0, %l2, %o0
+        ta 0
+)"),
+            0x10000u);
+}
+
+TEST(Executor, MemoryBytesHalfwordsWords) {
+  EXPECT_EQ(run_exit(R"(
+_start: set buf, %g1
+        mov 0x7F, %l0
+        stb %l0, [%g1]
+        mov -2, %l1
+        stb %l1, [%g1+1]
+        ldsb [%g1+1], %l2    ! -2 sign extended
+        ldub [%g1+1], %l3    ! 0xFE
+        add %l2, %l3, %o0    ! -2 + 254 = 252
+        ta 0
+        .data
+buf:    .word 0
+)"),
+            252u);
+  EXPECT_EQ(run_exit(R"(
+_start: set buf, %g1
+        set 0x12345678, %l0
+        st %l0, [%g1]
+        lduh [%g1], %l1      ! big endian: high half first
+        ldsh [%g1+2], %l2
+        sub %l1, %l2, %o0    ! 0x1234 - 0x5678
+        ta 0
+        .data
+buf:    .word 0
+)"),
+            static_cast<std::uint32_t>(0x1234 - 0x5678));
+}
+
+TEST(Executor, DoubleWordMemory) {
+  EXPECT_EQ(run_exit(R"(
+_start: set buf, %g1
+        mov 1, %l0
+        mov 2, %l1
+        std %l0, [%g1]
+        ldd [%g1], %l2      ! l2=1 l3=2
+        add %l2, %l3, %o0
+        ta 0
+        .data
+        .align 8
+buf:    .word 0, 0
+)"),
+            3u);
+}
+
+TEST(Executor, DelaySlotSemantics) {
+  // Delay slot of a taken branch executes.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        ba target
+        add %o0, 1, %o0     ! delay slot: executes
+        add %o0, 100, %o0   ! skipped
+target: ta 0
+)"),
+            1u);
+  // Annulled delay slot of an untaken conditional branch does not execute.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        cmp %o0, 1
+        be,a target
+        add %o0, 1, %o0     ! annulled: branch not taken
+        add %o0, 10, %o0
+target: ta 0
+)"),
+            10u);
+  // ba,a always annuls its delay slot.
+  EXPECT_EQ(run_exit(R"(
+_start: mov 0, %o0
+        ba,a target
+        add %o0, 1, %o0     ! annulled
+target: ta 0
+)"),
+            0u);
+}
+
+TEST(Executor, CallAndReturn) {
+  EXPECT_EQ(run_exit(R"(
+_start: call func
+        nop
+        add %o0, 1, %o0
+        ta 0
+func:   retl
+        mov 41, %o0
+)"),
+            42u);
+}
+
+TEST(Executor, FpuDoubleArithmetic) {
+  EXPECT_EQ(run_exit(R"(
+_start: set a, %g1
+        lddf [%g1], %f0
+        lddf [%g1+8], %f2
+        faddd %f0, %f2, %f4   ! 1.5 + 2.25 = 3.75
+        fmuld %f4, %f2, %f6   ! 3.75 * 2.25 = 8.4375
+        fdivd %f6, %f0, %f8   ! 8.4375 / 1.5 = 5.625
+        fsqrtd %f2, %f10      ! 1.5
+        fdtoi %f8, %f12
+        stf %f12, [%g1+16]
+        ld [%g1+16], %o0      ! trunc(5.625) = 5
+        ta 0
+        .data
+        .align 8
+a:      .double 1.5, 2.25
+        .word 0, 0
+)"),
+            5u);
+}
+
+TEST(Executor, FpuCompareAndBranch) {
+  EXPECT_EQ(run_exit(R"(
+_start: set a, %g1
+        lddf [%g1], %f0
+        lddf [%g1+8], %f2
+        fcmpd %f0, %f2
+        nop
+        fbl less
+        nop
+        mov 0, %o0
+        ta 0
+less:   mov 1, %o0
+        ta 0
+)"
+                     R"(
+        .data
+        .align 8
+a:      .double 1.0, 2.0
+)"),
+            1u);
+}
+
+TEST(Executor, FitodRoundTrip) {
+  EXPECT_EQ(run_exit(R"(
+_start: set buf, %g1
+        mov -123, %l0
+        st %l0, [%g1]
+        ldf [%g1], %f0
+        fitod %f0, %f2
+        fnegs %f2, %f2        ! negate sign of high word => 123.0
+        fdtoi %f2, %f4
+        stf %f4, [%g1]
+        ld [%g1], %o0
+        ta 0
+        .data
+        .align 8
+buf:    .word 0
+)"),
+            123u);
+}
+
+TEST(Executor, UartOutput) {
+  Iss iss;
+  const auto result = run_asm(R"(
+_start: set 0x80000000, %g1
+        mov 72, %l0          ! 'H'
+        st %l0, [%g1]
+        mov 105, %l0         ! 'i'
+        st %l0, [%g1]
+        ta 0
+)",
+                              iss);
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(iss.bus().uart_output(), "Hi");
+}
+
+TEST(Executor, CountersMatchExecution) {
+  Iss iss;
+  // Loop of 10: each iteration subcc + bne + nop(delay) => 10 subcc,
+  // 10 bne, 10 nops; plus mov at start, final mov+ta.
+  const auto result = run_asm(R"(
+_start: mov 10, %l0
+loop:   subcc %l0, 1, %l0
+        bne loop
+        nop
+        mov 0, %o0
+        ta 0
+)",
+                              iss);
+  EXPECT_TRUE(result.halted);
+  const auto& counts = iss.counters().counts;
+  using isa::Op;
+  EXPECT_EQ(counts[static_cast<std::size_t>(Op::kSubcc)], 10u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Op::kBicc)], 10u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Op::kNop)], 10u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(Op::kOr)], 2u);  // two movs
+  EXPECT_EQ(counts[static_cast<std::size_t>(Op::kTicc)], 1u);
+  EXPECT_EQ(iss.counters().total(), result.instret);
+}
+
+TEST(Executor, DivisionByZeroFaults) {
+  Iss iss;
+  EXPECT_THROW(run_asm(R"(
+_start: mov 0, %l1
+        wr %l1, 0, %y
+        mov 1, %l0
+        udiv %l0, %g0, %o0
+        ta 0
+)",
+                       iss),
+               SimError);
+}
+
+TEST(Executor, MisalignedAccessFaults) {
+  Iss iss;
+  EXPECT_THROW(run_asm(R"(
+_start: set 0x40000002, %g1
+        ld [%g1], %o0
+        ta 0
+)",
+                       iss),
+               SimError);
+}
+
+TEST(Executor, IllegalInstructionFaults) {
+  Iss iss;
+  EXPECT_THROW(run_asm(R"(
+_start: .word 0
+        ta 0
+)",
+                       iss),
+               SimError);
+}
+
+TEST(Executor, MaxInsnBudgetStopsRunawayLoop) {
+  Iss iss;
+  const auto result = run_asm(R"(
+_start: ba _start
+        nop
+)",
+                              iss, 1000);
+  EXPECT_FALSE(result.halted);
+  EXPECT_EQ(result.instret, 1000u);
+}
+
+TEST(Executor, G0IsAlwaysZero) {
+  EXPECT_EQ(run_exit(R"(
+_start: mov 55, %g0
+        mov %g0, %o0
+        ta 0
+)"),
+            0u);
+}
+
+}  // namespace
+}  // namespace nfp::sim

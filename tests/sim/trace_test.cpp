@@ -1,0 +1,53 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include "asmkit/assembler.h"
+#include "sim/memmap.h"
+
+namespace nfp::sim {
+namespace {
+
+TEST(Trace, CapturesDisassembledStream) {
+  TraceSim tracer(100);
+  tracer.load(asmkit::assemble(R"(
+_start: mov 2, %l0
+loop:   subcc %l0, 1, %l0
+        bne loop
+        nop
+        ta 0
+)",
+                               kTextBase));
+  const std::string trace = tracer.run();
+  EXPECT_NE(trace.find("or %g0, 2, %l0"), std::string::npos);
+  EXPECT_NE(trace.find("subcc %l0, 1, %l0"), std::string::npos);
+  EXPECT_NE(trace.find("ta 0"), std::string::npos);
+  // Two loop iterations: subcc appears twice.
+  const auto first = trace.find("subcc");
+  EXPECT_NE(trace.find("subcc", first + 1), std::string::npos);
+  // Addresses are present.
+  EXPECT_NE(trace.find("40000000"), std::string::npos);
+}
+
+TEST(Trace, RespectsLimit) {
+  TraceSim tracer(5);
+  tracer.load(asmkit::assemble(R"(
+_start: mov 100, %l0
+loop:   subcc %l0, 1, %l0
+        bne loop
+        nop
+        ta 0
+)",
+                               kTextBase));
+  const std::string trace = tracer.run();
+  EXPECT_NE(trace.find("trace limit reached"), std::string::npos);
+  // 5 instruction lines + the limit marker.
+  int lines = 0;
+  for (const char c : trace) lines += c == '\n';
+  EXPECT_EQ(lines, 6);
+  // The program still ran to completion.
+  EXPECT_TRUE(tracer.cpu().halted);
+}
+
+}  // namespace
+}  // namespace nfp::sim

@@ -1,0 +1,8 @@
+// Host-side shims for Micro-C intrinsics (shared implementation).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+
+#include "workloads/mc_shims.h"

@@ -1,0 +1,41 @@
+// Test helper: compile a Micro-C source and run it on the counting ISS.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mcc/compiler.h"
+#include "sim/iss.h"
+
+namespace nfp::test {
+
+struct McRun {
+  std::uint32_t exit_code = 0;
+  std::string uart;
+  std::uint64_t instret = 0;
+};
+
+inline McRun mc_run(const std::string& source,
+                    mcc::FloatAbi abi = mcc::FloatAbi::kHard,
+                    std::uint64_t max_insns = 200'000'000) {
+  mcc::CompileOptions opts;
+  opts.float_abi = abi;
+  const auto program = mcc::Compiler(opts).compile({source});
+  sim::Iss iss;
+  iss.load(program);
+  const auto result = iss.run(max_insns);
+  EXPECT_TRUE(result.halted) << "program did not halt";
+  McRun run;
+  run.exit_code = result.exit_code;
+  run.uart = iss.bus().uart_output();
+  run.instret = result.instret;
+  return run;
+}
+
+inline std::uint32_t mc_exit(const std::string& source,
+                             mcc::FloatAbi abi = mcc::FloatAbi::kHard) {
+  return mc_run(source, abi).exit_code;
+}
+
+}  // namespace nfp::test

@@ -1,0 +1,237 @@
+// End-to-end differential tests: the Micro-C workloads compiled by mcc and
+// executed on the simulated SPARC must reproduce the host-native (golden)
+// results bit-exactly, in both float ABIs.
+#include "workloads/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include "codecs/sequence_gen.h"
+#include "isa/names.h"
+#include "sim/iss.h"
+#include "sim/memmap.h"
+
+namespace nfp::workloads {
+namespace {
+
+sim::RunResult run_job(sim::Iss& iss, const model::KernelJob& job) {
+  iss.load(job.program);
+  for (const auto& [addr, bytes] : job.inputs) {
+    iss.bus().write_block(addr, bytes.data(), bytes.size());
+  }
+  return iss.run(2'000'000'000ull);
+}
+
+TEST(FseOnSim, MatchesHostGoldenBitExactly) {
+  FseKernelParams params;
+  params.iterations = 24;
+  params.count = 2;
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_fse_jobs(abi, params);
+    for (int k = 0; k < params.count; ++k) {
+      sim::Iss iss;
+      const auto result = run_job(iss, jobs[k]);
+      ASSERT_TRUE(result.halted) << jobs[k].name;
+      ASSERT_EQ(result.exit_code, 0u) << jobs[k].name;
+
+      const auto data = fse_kernel_data(k);
+      const auto golden =
+          fse_golden(data.signal, data.mask, params.iterations, params.rho);
+      for (int i = 0; i < 256; ++i) {
+        const double got = iss.bus().read_f64(sim::kOutputBase + 8 * i);
+        EXPECT_EQ(got, golden[i])
+            << jobs[k].name << " sample " << i;
+        if (got != golden[i]) return;  // avoid error spam
+      }
+    }
+  }
+}
+
+TEST(FseOnSim, HardAndSoftProduceIdenticalOutput) {
+  FseKernelParams params;
+  params.iterations = 16;
+  params.count = 1;
+  std::vector<std::vector<std::uint8_t>> outputs;
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_fse_jobs(abi, params);
+    sim::Iss iss;
+    const auto result = run_job(iss, jobs[0]);
+    ASSERT_TRUE(result.halted);
+    ASSERT_EQ(result.exit_code, 0u);
+    outputs.push_back(iss.bus().read_block(sim::kOutputBase, 256 * 8));
+  }
+  EXPECT_EQ(outputs[0], outputs[1]);
+}
+
+TEST(FseOnSim, SoftFloatUsesNoFpuInstructions) {
+  FseKernelParams params;
+  params.iterations = 8;
+  params.count = 1;
+  const auto jobs = make_fse_jobs(mcc::FloatAbi::kSoft, params);
+  sim::Iss iss;
+  const auto result = run_job(iss, jobs[0]);
+  ASSERT_TRUE(result.halted);
+  for (std::size_t op = 0; op < isa::kOpCount; ++op) {
+    if (isa::is_fpu(static_cast<isa::Op>(op))) {
+      EXPECT_EQ(iss.counters().counts[op], 0u)
+          << isa::mnemonic(static_cast<isa::Op>(op));
+    }
+  }
+}
+
+TEST(MvcOnSim, MatchesGoldenDecoderBitExactly) {
+  MvcKernelParams params;
+  params.frames = 3;
+  params.qps = {32};
+  const auto streams = mvc_streams(params);
+  const std::size_t frame_bytes =
+      static_cast<std::size_t>(params.width) * params.height;
+
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_mvc_jobs(abi, params);
+    ASSERT_EQ(jobs.size(), streams.size());
+    // One stream per config suffices for the per-ABI differential check.
+    for (const std::size_t idx : {0u, 3u, 6u, 9u}) {
+      sim::Iss iss;
+      const auto result = run_job(iss, jobs[idx]);
+      ASSERT_TRUE(result.halted) << jobs[idx].name;
+      ASSERT_EQ(result.exit_code, 0u) << jobs[idx].name;
+
+      const auto golden = codec::golden_decode(streams[idx]);
+      ASSERT_EQ(golden.status, 0);
+      for (int f = 0; f < params.frames; ++f) {
+        const auto got = iss.bus().read_block(
+            sim::kOutputBase + f * frame_bytes, frame_bytes);
+        EXPECT_EQ(got, std::vector<std::uint8_t>(golden.frames[f]))
+            << jobs[idx].name << " frame " << f;
+      }
+      // Stats doubles after the frames (8-aligned).
+      const std::uint32_t stats_at =
+          sim::kOutputBase +
+          ((static_cast<std::uint32_t>(frame_bytes) * params.frames + 7u) &
+           ~7u);
+      EXPECT_EQ(iss.bus().read_f64(stats_at), golden.rms_activity)
+          << jobs[idx].name;
+    }
+  }
+}
+
+TEST(MvcOnSim, FloatVariantUsesFpuFixedDoesNot) {
+  MvcKernelParams params;
+  params.frames = 2;
+  params.qps = {32};
+  std::uint64_t fpu_counts[2] = {0, 0};
+  std::uint64_t totals[2] = {0, 0};
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_mvc_jobs(abi, params);
+    sim::Iss iss;
+    const auto result = run_job(iss, jobs[0]);
+    ASSERT_TRUE(result.halted);
+    const int idx = abi == mcc::FloatAbi::kHard ? 0 : 1;
+    totals[idx] = result.instret;
+    for (std::size_t op = 0; op < isa::kOpCount; ++op) {
+      if (isa::is_fpu(static_cast<isa::Op>(op))) {
+        fpu_counts[idx] += iss.counters().counts[op];
+      }
+    }
+  }
+  EXPECT_GT(fpu_counts[0], 100u);
+  EXPECT_EQ(fpu_counts[1], 0u);
+  EXPECT_GT(totals[1], totals[0]);
+}
+
+TEST(FseOnSim, MinimalCpuConfigurationStillBitExact) {
+  // Soft-float AND soft-muldiv: every double op and every multiply/divide
+  // is emulated, yet results must stay bit-identical.
+  FseKernelParams params;
+  params.iterations = 8;
+  params.count = 1;
+  const auto jobs = make_fse_jobs(mcc::FloatAbi::kSoft, params,
+                                  mcc::MulDivAbi::kSoft);
+  sim::Iss iss;
+  const auto result = run_job(iss, jobs[0]);
+  ASSERT_TRUE(result.halted);
+  ASSERT_EQ(result.exit_code, 0u);
+  // Not a single FPU or MUL/DIV instruction retired.
+  for (const auto op : {isa::Op::kUmul, isa::Op::kSmul, isa::Op::kUdiv,
+                        isa::Op::kSdiv, isa::Op::kFaddd, isa::Op::kFmuld}) {
+    EXPECT_EQ(iss.counters().counts[static_cast<std::size_t>(op)], 0u);
+  }
+  const auto data = fse_kernel_data(0);
+  const auto golden =
+      fse_golden(data.signal, data.mask, params.iterations, params.rho);
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_EQ(iss.bus().read_f64(sim::kOutputBase + 8 * i), golden[i])
+        << "sample " << i;
+  }
+}
+
+TEST(SobelOnSim, MatchesHostGoldenExactly) {
+  SobelKernelParams params;
+  params.count = 2;
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_sobel_jobs(abi, params);
+    for (int k = 0; k < params.count; ++k) {
+      sim::Iss iss;
+      const auto result = run_job(iss, jobs[k]);
+      ASSERT_TRUE(result.halted) << jobs[k].name;
+      ASSERT_EQ(result.exit_code, 0u) << jobs[k].name;
+
+      const auto image = sobel_kernel_image(k, params);
+      const auto golden = sobel_golden(image, params.width, params.height);
+      const std::size_t pixels = image.size();
+      EXPECT_EQ(iss.bus().read_block(sim::kOutputBase, pixels),
+                golden.edges)
+          << jobs[k].name;
+      const std::uint32_t hist_at =
+          sim::kOutputBase + ((static_cast<std::uint32_t>(pixels) + 3u) & ~3u);
+      for (int bin = 0; bin < 64; ++bin) {
+        EXPECT_EQ(static_cast<int>(iss.bus().read_u32(hist_at + 4 * bin)),
+                  golden.histogram[bin])
+            << "bin " << bin;
+      }
+    }
+  }
+}
+
+TEST(SobelOnSim, PureIntegerWorkloadIsAbiInvariant) {
+  SobelKernelParams params;
+  params.count = 1;
+  std::uint64_t instret[2];
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    const auto jobs = make_sobel_jobs(abi, params);
+    sim::Iss iss;
+    const auto result = run_job(iss, jobs[0]);
+    ASSERT_TRUE(result.halted);
+    instret[abi == mcc::FloatAbi::kHard ? 0 : 1] = result.instret;
+    for (std::size_t op = 0; op < isa::kOpCount; ++op) {
+      if (isa::is_fpu(static_cast<isa::Op>(op))) {
+        EXPECT_EQ(iss.counters().counts[op], 0u);
+      }
+    }
+  }
+  // No floating point anywhere: the executed stream is ABI-independent.
+  EXPECT_EQ(instret[0], instret[1]);
+}
+
+TEST(Kernels, PaperTestSetSizes) {
+  // 4 configs x 3 QPs x 3 sequences = 36; 24 FSE kernels.
+  EXPECT_EQ(make_mvc_jobs(mcc::FloatAbi::kHard).size(), 36u);
+  EXPECT_EQ(make_fse_jobs(mcc::FloatAbi::kHard).size(), 24u);
+  // Distinct names.
+  const auto jobs = make_mvc_jobs(mcc::FloatAbi::kSoft);
+  for (std::size_t i = 1; i < jobs.size(); ++i) {
+    EXPECT_NE(jobs[i].name, jobs[0].name);
+  }
+}
+
+TEST(Kernels, ProgramsAreCachedPerAbi) {
+  const auto& a = fse_program(mcc::FloatAbi::kHard);
+  const auto& b = fse_program(mcc::FloatAbi::kHard);
+  EXPECT_EQ(&a, &b);
+  const auto& c = fse_program(mcc::FloatAbi::kSoft);
+  EXPECT_NE(&a, &c);
+  EXPECT_GT(c.size(), a.size());  // soft build links the runtime
+}
+
+}  // namespace
+}  // namespace nfp::workloads

@@ -1,0 +1,149 @@
+// nfpc — command-line front end: compile Micro-C sources, run them on the
+// simulated platform, and estimate their non-functional properties.
+//
+// Usage:
+//   nfpc [options] file.c [more.c ...]
+//     --soft-float      compile with the soft-float ABI (-msoft-float)
+//     --asm             print the generated SPARC assembly and exit
+//     --trace[=N]       print the first N executed instructions (default 64)
+//     --estimate        calibrate the NFP model and print Ê / T̂ (Eq. 1)
+//     --board           also run on the measurement board and compare
+//     --counts          print per-category instruction counts
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "board/board.h"
+#include "mcc/compiler.h"
+#include "nfp/calibration.h"
+#include "nfp/estimator.h"
+#include "nfp/report.h"
+#include "sim/iss.h"
+#include "sim/trace.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "nfpc: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool soft = false, want_asm = false, want_estimate = false;
+  bool want_board = false, want_counts = false;
+  std::size_t trace_limit = 0;
+  std::vector<std::string> sources;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--soft-float") {
+      soft = true;
+    } else if (arg == "--asm") {
+      want_asm = true;
+    } else if (arg == "--estimate") {
+      want_estimate = true;
+    } else if (arg == "--board") {
+      want_board = true;
+    } else if (arg == "--counts") {
+      want_counts = true;
+    } else if (arg.rfind("--trace", 0) == 0) {
+      trace_limit = 64;
+      if (arg.size() > 8 && arg[7] == '=') {
+        trace_limit = std::strtoull(arg.c_str() + 8, nullptr, 0);
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
+                  "[--estimate] [--board] [--counts] file.c ...\n");
+      return 0;
+    } else {
+      sources.push_back(read_file(arg));
+    }
+  }
+  if (sources.empty()) {
+    std::fprintf(stderr, "nfpc: no input files (try --help)\n");
+    return 2;
+  }
+
+  nfp::mcc::CompileOptions opts;
+  opts.float_abi =
+      soft ? nfp::mcc::FloatAbi::kSoft : nfp::mcc::FloatAbi::kHard;
+  const nfp::mcc::Compiler compiler(opts);
+
+  try {
+    if (want_asm) {
+      std::fputs(compiler.compile_to_asm(sources).c_str(), stdout);
+      return 0;
+    }
+    const auto program = compiler.compile(sources);
+    std::printf("nfpc: %u bytes at 0x%08x (%s ABI)\n", program.size(),
+                program.base(), soft ? "soft-float" : "hard-float");
+
+    if (trace_limit > 0) {
+      nfp::sim::TraceSim tracer(trace_limit);
+      tracer.load(program);
+      std::fputs(tracer.run().c_str(), stdout);
+    }
+
+    nfp::sim::Iss iss;
+    iss.load(program);
+    const auto run = iss.run();
+    if (!iss.bus().uart_output().empty()) {
+      std::printf("--- uart ---\n%s--- end uart ---\n",
+                  iss.bus().uart_output().c_str());
+    }
+    std::printf("exit code %u after %llu instructions%s\n", run.exit_code,
+                static_cast<unsigned long long>(run.instret),
+                run.halted ? "" : " (DID NOT HALT)");
+    if (!run.halted) return 1;
+
+    const auto& scheme = nfp::model::CategoryScheme::paper();
+    if (want_counts) {
+      const auto agg = scheme.aggregate(iss.counters().counts);
+      nfp::model::TextTable table({"Category", "count", "share"});
+      for (std::size_t c = 0; c < scheme.size(); ++c) {
+        table.add_row({scheme.category_name(c), std::to_string(agg[c]),
+                       nfp::model::TextTable::fmt(
+                           100.0 * static_cast<double>(agg[c]) /
+                               static_cast<double>(run.instret)) +
+                           "%"});
+      }
+      std::fputs(table.to_string().c_str(), stdout);
+    }
+
+    if (want_estimate || want_board) {
+      nfp::board::BoardConfig cfg;
+      std::printf("calibrating NFP model...\n");
+      const auto calibration = nfp::model::Calibrator().run(cfg);
+      const auto est = nfp::model::estimate(iss.counters().counts, scheme,
+                                            calibration.costs);
+      std::printf("estimated: %.4f ms, %.3f uJ\n", est.time_s * 1e3,
+                  est.energy_nj * 1e-3);
+      if (want_board) {
+        nfp::board::Board board(cfg);
+        board.load(program);
+        board.run();
+        const auto meas = board.measure("nfpc");
+        std::printf("measured:  %.4f ms, %.3f uJ  (error: time %+.2f%%, "
+                    "energy %+.2f%%)\n",
+                    meas.time_s * 1e3, meas.energy_nj * 1e-3,
+                    (est.time_s - meas.time_s) / meas.time_s * 100.0,
+                    (est.energy_nj - meas.energy_nj) / meas.energy_nj * 100.0);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nfpc: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

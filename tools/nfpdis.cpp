@@ -1,0 +1,86 @@
+// nfpdis — assemble a SPARC assembly file and print an annotated listing,
+// or disassemble the text section of a compiled Micro-C program.
+//
+// Usage: nfpdis file.s            (assembly listing)
+//        nfpdis --mc file.c ...   (compile Micro-C, then disassemble)
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "asmkit/assembler.h"
+#include "isa/disasm.h"
+#include "mcc/compiler.h"
+#include "sim/memmap.h"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "nfpdis: cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void listing(const nfp::asmkit::Program& program) {
+  // Invert the symbol table for annotation.
+  for (std::uint32_t off = 0; off + 4 <= program.size(); off += 4) {
+    const std::uint32_t addr = program.base() + off;
+    for (const auto& [name, sym_addr] : program.symbols()) {
+      if (sym_addr == addr) std::printf("%s:\n", name.c_str());
+    }
+    const auto& b = program.bytes();
+    const std::uint32_t word = (std::uint32_t{b[off]} << 24) |
+                               (std::uint32_t{b[off + 1]} << 16) |
+                               (std::uint32_t{b[off + 2]} << 8) | b[off + 3];
+    std::printf("  %08x:  %08x  %s\n", addr, word,
+                nfp::isa::disassemble_word(word, addr).c_str());
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool micro_c = false;
+  bool soft = false;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--mc") == 0) {
+      micro_c = true;
+    } else if (std::strcmp(argv[i], "--soft-float") == 0) {
+      soft = true;
+    } else {
+      files.push_back(argv[i]);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "usage: nfpdis [--mc [--soft-float]] file [file...]\n");
+    return 2;
+  }
+
+  try {
+    if (micro_c) {
+      std::vector<std::string> sources;
+      for (const auto& f : files) sources.push_back(read_file(f));
+      nfp::mcc::CompileOptions opts;
+      opts.float_abi =
+          soft ? nfp::mcc::FloatAbi::kSoft : nfp::mcc::FloatAbi::kHard;
+      listing(nfp::mcc::Compiler(opts).compile(sources));
+    } else {
+      for (const auto& f : files) {
+        listing(nfp::asmkit::assemble(read_file(f), nfp::sim::kTextBase));
+      }
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "nfpdis: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}
