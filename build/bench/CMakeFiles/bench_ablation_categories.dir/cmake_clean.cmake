@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_categories.dir/bench_ablation_categories.cpp.o"
+  "CMakeFiles/bench_ablation_categories.dir/bench_ablation_categories.cpp.o.d"
+  "bench_ablation_categories"
+  "bench_ablation_categories.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_categories.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

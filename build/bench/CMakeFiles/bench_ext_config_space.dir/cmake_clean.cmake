@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_config_space.dir/bench_ext_config_space.cpp.o"
+  "CMakeFiles/bench_ext_config_space.dir/bench_ext_config_space.cpp.o.d"
+  "bench_ext_config_space"
+  "bench_ext_config_space.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_config_space.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_further_algorithms.dir/bench_ext_further_algorithms.cpp.o"
+  "CMakeFiles/bench_ext_further_algorithms.dir/bench_ext_further_algorithms.cpp.o.d"
+  "bench_ext_further_algorithms"
+  "bench_ext_further_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_further_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_fpu.dir/bench_table4_fpu.cpp.o"
+  "CMakeFiles/bench_table4_fpu.dir/bench_table4_fpu.cpp.o.d"
+  "bench_table4_fpu"
+  "bench_table4_fpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_fpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

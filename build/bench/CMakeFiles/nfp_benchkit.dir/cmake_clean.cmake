@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_benchkit.dir/support.cpp.o"
+  "CMakeFiles/nfp_benchkit.dir/support.cpp.o.d"
+  "libnfp_benchkit.a"
+  "libnfp_benchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fse_demo.dir/fse_demo.cpp.o"
+  "CMakeFiles/fse_demo.dir/fse_demo.cpp.o.d"
+  "fse_demo"
+  "fse_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fse_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_decode_energy.dir/video_decode_energy.cpp.o"
+  "CMakeFiles/video_decode_energy.dir/video_decode_energy.cpp.o.d"
+  "video_decode_energy"
+  "video_decode_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_decode_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_asmkit.dir/assembler.cpp.o"
+  "CMakeFiles/nfp_asmkit.dir/assembler.cpp.o.d"
+  "libnfp_asmkit.a"
+  "libnfp_asmkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

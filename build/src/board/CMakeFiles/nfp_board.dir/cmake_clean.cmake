@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_board.dir/board.cpp.o"
+  "CMakeFiles/nfp_board.dir/board.cpp.o.d"
+  "CMakeFiles/nfp_board.dir/cost_model.cpp.o"
+  "CMakeFiles/nfp_board.dir/cost_model.cpp.o.d"
+  "CMakeFiles/nfp_board.dir/monitor.cpp.o"
+  "CMakeFiles/nfp_board.dir/monitor.cpp.o.d"
+  "libnfp_board.a"
+  "libnfp_board.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_board.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_codecs.dir/mvc.cpp.o"
+  "CMakeFiles/nfp_codecs.dir/mvc.cpp.o.d"
+  "CMakeFiles/nfp_codecs.dir/sequence_gen.cpp.o"
+  "CMakeFiles/nfp_codecs.dir/sequence_gen.cpp.o.d"
+  "libnfp_codecs.a"
+  "libnfp_codecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_codecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnfp_codecs.a"
+)

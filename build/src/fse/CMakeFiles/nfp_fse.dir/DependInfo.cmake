@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fse/fse_ref.cpp" "src/fse/CMakeFiles/nfp_fse.dir/fse_ref.cpp.o" "gcc" "src/fse/CMakeFiles/nfp_fse.dir/fse_ref.cpp.o.d"
+  "/root/repo/src/fse/image_gen.cpp" "src/fse/CMakeFiles/nfp_fse.dir/image_gen.cpp.o" "gcc" "src/fse/CMakeFiles/nfp_fse.dir/image_gen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/nfp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

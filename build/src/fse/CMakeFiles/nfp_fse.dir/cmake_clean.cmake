@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_fse.dir/fse_ref.cpp.o"
+  "CMakeFiles/nfp_fse.dir/fse_ref.cpp.o.d"
+  "CMakeFiles/nfp_fse.dir/image_gen.cpp.o"
+  "CMakeFiles/nfp_fse.dir/image_gen.cpp.o.d"
+  "libnfp_fse.a"
+  "libnfp_fse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_fse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_isa.dir/decode.cpp.o"
+  "CMakeFiles/nfp_isa.dir/decode.cpp.o.d"
+  "CMakeFiles/nfp_isa.dir/disasm.cpp.o"
+  "CMakeFiles/nfp_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/nfp_isa.dir/encode.cpp.o"
+  "CMakeFiles/nfp_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/nfp_isa.dir/names.cpp.o"
+  "CMakeFiles/nfp_isa.dir/names.cpp.o.d"
+  "libnfp_isa.a"
+  "libnfp_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mcc/codegen.cpp" "src/mcc/CMakeFiles/nfp_mcc.dir/codegen.cpp.o" "gcc" "src/mcc/CMakeFiles/nfp_mcc.dir/codegen.cpp.o.d"
+  "/root/repo/src/mcc/compiler.cpp" "src/mcc/CMakeFiles/nfp_mcc.dir/compiler.cpp.o" "gcc" "src/mcc/CMakeFiles/nfp_mcc.dir/compiler.cpp.o.d"
+  "/root/repo/src/mcc/lexer.cpp" "src/mcc/CMakeFiles/nfp_mcc.dir/lexer.cpp.o" "gcc" "src/mcc/CMakeFiles/nfp_mcc.dir/lexer.cpp.o.d"
+  "/root/repo/src/mcc/parser.cpp" "src/mcc/CMakeFiles/nfp_mcc.dir/parser.cpp.o" "gcc" "src/mcc/CMakeFiles/nfp_mcc.dir/parser.cpp.o.d"
+  "/root/repo/src/mcc/peephole.cpp" "src/mcc/CMakeFiles/nfp_mcc.dir/peephole.cpp.o" "gcc" "src/mcc/CMakeFiles/nfp_mcc.dir/peephole.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlib/CMakeFiles/nfp_rtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

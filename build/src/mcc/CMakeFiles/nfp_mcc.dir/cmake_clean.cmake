@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_mcc.dir/codegen.cpp.o"
+  "CMakeFiles/nfp_mcc.dir/codegen.cpp.o.d"
+  "CMakeFiles/nfp_mcc.dir/compiler.cpp.o"
+  "CMakeFiles/nfp_mcc.dir/compiler.cpp.o.d"
+  "CMakeFiles/nfp_mcc.dir/lexer.cpp.o"
+  "CMakeFiles/nfp_mcc.dir/lexer.cpp.o.d"
+  "CMakeFiles/nfp_mcc.dir/parser.cpp.o"
+  "CMakeFiles/nfp_mcc.dir/parser.cpp.o.d"
+  "CMakeFiles/nfp_mcc.dir/peephole.cpp.o"
+  "CMakeFiles/nfp_mcc.dir/peephole.cpp.o.d"
+  "libnfp_mcc.a"
+  "libnfp_mcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nfp/calibration.cpp" "src/nfp/CMakeFiles/nfp_model.dir/calibration.cpp.o" "gcc" "src/nfp/CMakeFiles/nfp_model.dir/calibration.cpp.o.d"
+  "/root/repo/src/nfp/campaign.cpp" "src/nfp/CMakeFiles/nfp_model.dir/campaign.cpp.o" "gcc" "src/nfp/CMakeFiles/nfp_model.dir/campaign.cpp.o.d"
+  "/root/repo/src/nfp/report.cpp" "src/nfp/CMakeFiles/nfp_model.dir/report.cpp.o" "gcc" "src/nfp/CMakeFiles/nfp_model.dir/report.cpp.o.d"
+  "/root/repo/src/nfp/scheme.cpp" "src/nfp/CMakeFiles/nfp_model.dir/scheme.cpp.o" "gcc" "src/nfp/CMakeFiles/nfp_model.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/board/CMakeFiles/nfp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/nfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

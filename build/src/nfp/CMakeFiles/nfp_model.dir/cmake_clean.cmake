@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_model.dir/calibration.cpp.o"
+  "CMakeFiles/nfp_model.dir/calibration.cpp.o.d"
+  "CMakeFiles/nfp_model.dir/campaign.cpp.o"
+  "CMakeFiles/nfp_model.dir/campaign.cpp.o.d"
+  "CMakeFiles/nfp_model.dir/report.cpp.o"
+  "CMakeFiles/nfp_model.dir/report.cpp.o.d"
+  "CMakeFiles/nfp_model.dir/scheme.cpp.o"
+  "CMakeFiles/nfp_model.dir/scheme.cpp.o.d"
+  "libnfp_model.a"
+  "libnfp_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

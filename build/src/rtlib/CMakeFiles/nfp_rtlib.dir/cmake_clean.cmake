@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_rtlib.dir/softfloat_embedded.cpp.o"
+  "CMakeFiles/nfp_rtlib.dir/softfloat_embedded.cpp.o.d"
+  "CMakeFiles/nfp_rtlib.dir/softmuldiv_embedded.cpp.o"
+  "CMakeFiles/nfp_rtlib.dir/softmuldiv_embedded.cpp.o.d"
+  "libnfp_rtlib.a"
+  "libnfp_rtlib.pdb"
+  "softfloat_embedded.cpp"
+  "softmuldiv_embedded.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_rtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

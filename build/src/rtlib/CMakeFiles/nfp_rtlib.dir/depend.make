@@ -1,0 +1,2 @@
+# Empty dependencies file for nfp_rtlib.
+# This may be replaced when dependencies are built.

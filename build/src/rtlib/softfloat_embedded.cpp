@@ -1,0 +1,634 @@
+// Generated from /root/repo/src/rtlib/mc/softfloat.c -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view kSoftfloatSource;
+const std::string_view kSoftfloatSource = R"MCSRC(/* IEEE-754 binary64 soft-float runtime for Micro-C (-msoft-float).
+ *
+ * Written in the dual-compilable Micro-C dialect: integer-only arithmetic on
+ * the two 32-bit halves of a double, with three compiler intrinsics:
+ *   mc_dhi(d) / mc_dlo(d)  -- extract the high/low word of a double
+ *   mc_bits2d(hi, lo)      -- assemble a double from raw words
+ *   mc_umulhi(a, b)        -- high 32 bits of the 64-bit unsigned product
+ * On the simulated target these are register-level no-ops or single
+ * instructions; on the host they are provided by tests/support/mc_host.h so
+ * this exact file can be verified against hardware IEEE-754 arithmetic.
+ *
+ * All operations round to nearest-even and handle zeros, subnormals,
+ * infinities and NaNs (quiet NaN 0x7FF8...0). The only deliberate deviation:
+ * __sf_dcmp reports "unordered" as 2, which maps NaN comparisons to the same
+ * results as hardware for <, <=, ==, != (the workloads never compare NaNs).
+ */
+
+#ifndef MC_TARGET
+/* Host build: intrinsics provided by the including translation unit. */
+#endif
+
+/* ---- small helpers ------------------------------------------------------ */
+
+static int sf_clz(unsigned x) {
+  int n;
+  if (x == 0u) return 32;
+  n = 0;
+  if ((x & 0xFFFF0000u) == 0u) { n = n + 16; x = x << 16; }
+  if ((x & 0xFF000000u) == 0u) { n = n + 8; x = x << 8; }
+  if ((x & 0xF0000000u) == 0u) { n = n + 4; x = x << 4; }
+  if ((x & 0xC0000000u) == 0u) { n = n + 2; x = x << 2; }
+  if ((x & 0x80000000u) == 0u) { n = n + 1; }
+  return n;
+}
+
+/* (h,l) << n for 0 <= n <= 63; result via out[0]=h, out[1]=l. */
+static void sf_shl64(unsigned h, unsigned l, int n, unsigned* out) {
+  if (n == 0) {
+    out[0] = h; out[1] = l;
+  } else if (n < 32) {
+    out[0] = (h << n) | (l >> (32 - n));
+    out[1] = l << n;
+  } else {
+    out[0] = l << (n - 32);
+    out[1] = 0u;
+  }
+}
+
+/* (h,l) >> n with the shifted-out bits ORed into bit 0 (sticky). */
+static void sf_shr64_sticky(unsigned h, unsigned l, int n, unsigned* out) {
+  unsigned sticky;
+  if (n == 0) {
+    out[0] = h; out[1] = l;
+    return;
+  }
+  if (n >= 64) {
+    sticky = (h | l) != 0u ? 1u : 0u;
+    out[0] = 0u;
+    out[1] = sticky;
+    return;
+  }
+  if (n < 32) {
+    sticky = (l << (32 - n)) != 0u ? 1u : 0u;
+    out[0] = h >> n;
+    out[1] = (h << (32 - n)) | (l >> n) | sticky;
+  } else if (n == 32) {
+    sticky = l != 0u ? 1u : 0u;
+    out[0] = 0u;
+    out[1] = h | sticky;
+  } else {
+    sticky = (l != 0u || (h << (64 - n)) != 0u) ? 1u : 0u;
+    out[0] = 0u;
+    out[1] = (h >> (n - 32)) | sticky;
+  }
+}
+
+/* out = (ah,al) + (bh,bl). */
+static void sf_add64(unsigned ah, unsigned al, unsigned bh, unsigned bl,
+                     unsigned* out) {
+  unsigned l = al + bl;
+  unsigned carry = l < al ? 1u : 0u;
+  out[0] = ah + bh + carry;
+  out[1] = l;
+}
+
+/* out = (ah,al) - (bh,bl); caller guarantees a >= b. */
+static void sf_sub64(unsigned ah, unsigned al, unsigned bh, unsigned bl,
+                     unsigned* out) {
+  unsigned borrow = al < bl ? 1u : 0u;
+  out[1] = al - bl;
+  out[0] = ah - bh - borrow;
+}
+
+/* unsigned 64-bit compare: -1, 0, 1. */
+static int sf_cmp64(unsigned ah, unsigned al, unsigned bh, unsigned bl) {
+  if (ah < bh) return -1;
+  if (ah > bh) return 1;
+  if (al < bl) return -1;
+  if (al > bl) return 1;
+  return 0;
+}
+
+/* ---- unpack / pack ------------------------------------------------------ */
+
+/* Value classes. */
+#define SF_FINITE 0
+#define SF_ZERO 1
+#define SF_INF 2
+#define SF_NAN 3
+
+/* Unpacks (h,l). out[0]=sign, out[1]=biased exp, out[2]=mh, out[3]=ml where
+ * (mh,ml) is the 53-bit mantissa with the implicit bit at overall bit 52
+ * (mh bit 20). Subnormal inputs are normalised (exp goes <= 0). */
+static int sf_unpack(unsigned h, unsigned l, unsigned* out) {
+  unsigned sign = h >> 31;
+  int exp = (int)((h >> 20) & 0x7FFu);
+  unsigned mh = h & 0xFFFFFu;
+  unsigned ml = l;
+  unsigned tmp[2];
+  int shift;
+  out[0] = sign;
+  if (exp == 0x7FF) {
+    out[1] = (unsigned)exp;
+    out[2] = mh;
+    out[3] = ml;
+    if ((mh | ml) != 0u) return SF_NAN;
+    return SF_INF;
+  }
+  if (exp == 0) {
+    if ((mh | ml) == 0u) {
+      out[1] = 0u;
+      out[2] = 0u;
+      out[3] = 0u;
+      return SF_ZERO;
+    }
+    /* Subnormal: normalise so the top bit lands at position 52. */
+    if (mh != 0u) {
+      shift = sf_clz(mh) - 11;
+    } else {
+      shift = 21 + sf_clz(ml);
+    }
+    sf_shl64(mh, ml, shift, tmp);
+    mh = tmp[0];
+    ml = tmp[1];
+    exp = 1 - shift;
+  } else {
+    mh = mh | 0x100000u;  /* implicit bit */
+  }
+  out[1] = (unsigned)exp;
+  out[2] = mh;
+  out[3] = ml;
+  return SF_FINITE;
+}
+
+static double sf_nan(void) { return mc_bits2d(0x7FF80000u, 0u); }
+static double sf_inf(unsigned sign) {
+  return mc_bits2d((sign << 31) | 0x7FF00000u, 0u);
+}
+static double sf_zero(unsigned sign) { return mc_bits2d(sign << 31, 0u); }
+
+/* Rounds and packs. (mh,ml) carries the result in the "<<3 domain": the
+ * implicit bit at overall position 55 (mh bit 23), 52 mantissa bits below
+ * it, and guard/round/sticky in bits 2..0. `exp` is the biased exponent.
+ * Handles overflow to infinity and gradual underflow. */
+static double sf_round_pack(unsigned sign, int exp, unsigned mh, unsigned ml) {
+  unsigned tmp[2];
+  unsigned grs;
+  unsigned lsb;
+  unsigned inc;
+
+  if ((mh | ml) == 0u) return sf_zero(sign);
+
+  if (exp <= 0) {
+    /* Subnormal (or will round up into the smallest normal): shift right
+     * by 1-exp with sticky, then encode with exponent 0. */
+    sf_shr64_sticky(mh, ml, 1 - exp, tmp);
+    mh = tmp[0];
+    ml = tmp[1];
+    exp = 0;
+  }
+
+  grs = ml & 7u;
+  lsb = (ml >> 3) & 1u;
+  inc = 0u;
+  if (grs > 4u) inc = 1u;
+  if (grs == 4u && lsb == 1u) inc = 1u;
+  if (inc != 0u) {
+    sf_add64(mh, ml & ~7u, 0u, 8u, tmp);
+    mh = tmp[0];
+    ml = tmp[1];
+    if ((mh & 0x1000000u) != 0u) {  /* carried past bit 55 */
+      mh = mh >> 1;                  /* all lower bits are zero */
+      exp = exp + 1;
+    }
+  }
+  /* Drop the (already consumed) GRS bits -- plain truncating shift. */
+  ml = (mh << 29) | (ml >> 3);
+  mh = mh >> 3;
+  if (exp == 0 && (mh & 0x100000u) != 0u) exp = 1;
+  if (exp >= 0x7FF) return sf_inf(sign);
+  return mc_bits2d((sign << 31) | ((unsigned)exp << 20) | (mh & 0xFFFFFu),
+                   ml);
+}
+
+/* ---- addition / subtraction --------------------------------------------- */
+
+double __sf_dadd(double a, double b) {
+  unsigned ua[4];
+  unsigned ub[4];
+  unsigned ra[2];
+  unsigned rb[2];
+  unsigned res[2];
+  int ca;
+  int cb;
+  int ea;
+  int eb;
+  int d;
+  int shift;
+  unsigned sign;
+
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  cb = sf_unpack(mc_dhi(b), mc_dlo(b), ub);
+  if (ca == SF_NAN || cb == SF_NAN) return sf_nan();
+  if (ca == SF_INF) {
+    if (cb == SF_INF && ua[0] != ub[0]) return sf_nan();
+    return a;
+  }
+  if (cb == SF_INF) return b;
+  if (ca == SF_ZERO && cb == SF_ZERO) {
+    /* +0 + -0 = +0 (round-to-nearest). */
+    return sf_zero(ua[0] & ub[0]);
+  }
+  if (ca == SF_ZERO) return b;
+  if (cb == SF_ZERO) return a;
+
+  ea = (int)ua[1];
+  eb = (int)ub[1];
+  /* Move both mantissas into the <<3 domain. */
+  sf_shl64(ua[2], ua[3], 3, ra);
+  sf_shl64(ub[2], ub[3], 3, rb);
+
+  if (ea < eb) {
+    /* swap so a is the larger exponent */
+    d = ea; ea = eb; eb = d;
+    res[0] = ra[0]; res[1] = ra[1];
+    ra[0] = rb[0]; ra[1] = rb[1];
+    rb[0] = res[0]; rb[1] = res[1];
+    d = (int)ua[0]; ua[0] = ub[0]; ub[0] = (unsigned)d;
+  }
+  d = ea - eb;
+  sf_shr64_sticky(rb[0], rb[1], d, rb);
+
+  if (ua[0] == ub[0]) {
+    sf_add64(ra[0], ra[1], rb[0], rb[1], res);
+    sign = ua[0];
+    if ((res[0] & 0x1000000u) != 0u) {  /* carry past bit 55 */
+      sf_shr64_sticky(res[0], res[1], 1, res);
+      ea = ea + 1;
+    }
+    return sf_round_pack(sign, ea, res[0], res[1]);
+  }
+
+  /* Opposite signs: subtract the smaller magnitude. */
+  d = sf_cmp64(ra[0], ra[1], rb[0], rb[1]);
+  if (d == 0) return sf_zero(0u);
+  if (d > 0) {
+    sf_sub64(ra[0], ra[1], rb[0], rb[1], res);
+    sign = ua[0];
+  } else {
+    sf_sub64(rb[0], rb[1], ra[0], ra[1], res);
+    sign = ub[0];
+  }
+  /* Renormalise: bring the top bit back to position 55. */
+  if (res[0] != 0u) {
+    shift = sf_clz(res[0]) - 8;
+  } else {
+    shift = 24 + sf_clz(res[1]);
+  }
+  if (shift > 0) {
+    /* Left shift, keeping the sticky bit pinned at bit 0: sticky can only
+     * be set when the exponent distance was >= 4, in which case at most one
+     * bit of cancellation occurred (shift == 1), so no significant bits are
+     * manufactured. */
+    unsigned sticky0 = res[1] & 1u;
+    sf_shl64(res[0], res[1] & ~1u, shift, res);
+    res[1] = res[1] | sticky0;
+    ea = ea - shift;
+  } else if (shift < 0) {
+    sf_shr64_sticky(res[0], res[1], -shift, res);
+    ea = ea - shift;
+  }
+  return sf_round_pack(sign, ea, res[0], res[1]);
+}
+
+double __sf_dsub(double a, double b) {
+  return __sf_dadd(a, mc_bits2d(mc_dhi(b) ^ 0x80000000u, mc_dlo(b)));
+}
+
+double __sf_dneg(double a) {
+  return mc_bits2d(mc_dhi(a) ^ 0x80000000u, mc_dlo(a));
+}
+
+/* ---- multiplication ------------------------------------------------------ */
+
+double __sf_dmul(double a, double b) {
+  unsigned ua[4];
+  unsigned ub[4];
+  unsigned p0;
+  unsigned p1;
+  unsigned p2;
+  unsigned p3;
+  unsigned t;
+  unsigned c;
+  unsigned lo;
+  unsigned hi;
+  unsigned sticky;
+  unsigned res[2];
+  int ca;
+  int cb;
+  int exp;
+  unsigned sign;
+
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  cb = sf_unpack(mc_dhi(b), mc_dlo(b), ub);
+  sign = ua[0] ^ ub[0];
+  if (ca == SF_NAN || cb == SF_NAN) return sf_nan();
+  if (ca == SF_INF || cb == SF_INF) {
+    if (ca == SF_ZERO || cb == SF_ZERO) return sf_nan();
+    return sf_inf(sign);
+  }
+  if (ca == SF_ZERO || cb == SF_ZERO) return sf_zero(sign);
+
+  exp = (int)ua[1] + (int)ub[1] - 1023;
+
+  /* 53x53 -> 106-bit product via four 32x32 partials. */
+  p0 = ua[3] * ub[3];
+  t = mc_umulhi(ua[3], ub[3]);
+
+  lo = ua[3] * ub[2];
+  hi = mc_umulhi(ua[3], ub[2]);
+  p1 = t + lo;
+  c = p1 < lo ? 1u : 0u;
+  p2 = hi + c;
+
+  lo = ua[2] * ub[3];
+  hi = mc_umulhi(ua[2], ub[3]);
+  p1 = p1 + lo;
+  c = p1 < lo ? 1u : 0u;
+  p2 = p2 + hi + c;  /* hi <= 2^21, no overflow with c */
+
+  lo = ua[2] * ub[2];      /* both <= 2^21 -> fits 42 bits */
+  hi = mc_umulhi(ua[2], ub[2]);
+  p2 = p2 + lo;
+  c = p2 < lo ? 1u : 0u;
+  p3 = hi + c;
+
+  /* P = p3:p2:p1:p0, top bit at 104 or 105. Bring the top 56 bits into
+   * (hi,lo) with everything below as sticky. */
+  if ((p3 & 0x200u) != 0u) {  /* bit 105 */
+    exp = exp + 1;
+    /* (hi,lo) = P >> 50; sticky = P bits [49..0] */
+    hi = (p3 << 14) | (p2 >> 18);
+    lo = (p2 << 14) | (p1 >> 18);
+    sticky = ((p1 << 14) != 0u || p0 != 0u) ? 1u : 0u;
+  } else {
+    /* (hi,lo) = P >> 49; sticky = P bits [48..0] */
+    hi = (p3 << 15) | (p2 >> 17);
+    lo = (p2 << 15) | (p1 >> 17);
+    sticky = ((p1 << 15) != 0u || p0 != 0u) ? 1u : 0u;
+  }
+  res[0] = hi;
+  res[1] = lo | sticky;
+  return sf_round_pack(sign, exp, res[0], res[1]);
+}
+
+/* ---- division ------------------------------------------------------------ */
+
+double __sf_ddiv(double a, double b) {
+  unsigned ua[4];
+  unsigned ub[4];
+  unsigned qh;
+  unsigned ql;
+  unsigned rh;
+  unsigned rl;
+  unsigned res[2];
+  unsigned t[2];
+  int ca;
+  int cb;
+  int exp;
+  int i;
+  unsigned sign;
+  unsigned sticky;
+
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  cb = sf_unpack(mc_dhi(b), mc_dlo(b), ub);
+  sign = ua[0] ^ ub[0];
+  if (ca == SF_NAN || cb == SF_NAN) return sf_nan();
+  if (ca == SF_INF) {
+    if (cb == SF_INF) return sf_nan();
+    return sf_inf(sign);
+  }
+  if (cb == SF_INF) return sf_zero(sign);
+  if (cb == SF_ZERO) {
+    if (ca == SF_ZERO) return sf_nan();
+    return sf_inf(sign);  /* x/0 */
+  }
+  if (ca == SF_ZERO) return sf_zero(sign);
+
+  exp = (int)ua[1] - (int)ub[1] + 1023;
+
+  /* Restoring long division: 55 quotient bits of A/B in Q54 fixed point
+   * (A, B are the 53-bit mantissas, both in [2^52, 2^53)). */
+  qh = 0u;
+  ql = 0u;
+  rh = ua[2];
+  rl = ua[3];
+  for (i = 0; i < 55; i = i + 1) {
+    qh = (qh << 1) | (ql >> 31);
+    ql = ql << 1;
+    if (sf_cmp64(rh, rl, ub[2], ub[3]) >= 0) {
+      sf_sub64(rh, rl, ub[2], ub[3], t);
+      rh = t[0];
+      rl = t[1];
+      ql = ql | 1u;
+    }
+    rh = (rh << 1) | (rl >> 31);
+    rl = rl << 1;
+  }
+  sticky = (rh | rl) != 0u ? 1u : 0u;
+
+  /* q in [2^53, 2^55): bit 54 set iff A >= B. */
+  if ((qh & 0x400000u) != 0u) {  /* bit 54 */
+    sf_shl64(qh, ql, 1, res);
+  } else {
+    exp = exp - 1;
+    sf_shl64(qh, ql, 2, res);
+  }
+  res[1] = res[1] | sticky;
+  return sf_round_pack(sign, exp, res[0], res[1]);
+}
+
+/* ---- square root ---------------------------------------------------------- */
+
+double __sf_dsqrt(double a) {
+  unsigned ua[4];
+  unsigned rad0;
+  unsigned rad1;
+  unsigned rad2;
+  unsigned rad3;
+  unsigned rem_h;
+  unsigned rem_l;
+  unsigned root_h;
+  unsigned root_l;
+  unsigned th;
+  unsigned tl;
+  unsigned two_bits;
+  unsigned res[2];
+  unsigned t[2];
+  int ca;
+  int eub;
+  int exp;
+  int i;
+  int s;
+
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  if (ca == SF_NAN) return sf_nan();
+  if (ca == SF_ZERO) return a;  /* sqrt(+-0) = +-0 */
+  if (ua[0] != 0u) return sf_nan();
+  if (ca == SF_INF) return a;
+
+  eub = (int)ua[1] - 1023;  /* unbiased exponent */
+  s = 56 + (eub & 1);
+  /* The 55 loop iterations consume the top 110 bits of the 128-bit
+   * radicand register, so the value M << s (109/110 bits) is placed with
+   * an additional left shift of 18: rad = M << (s + 18).
+   * M's words: ua[2] (21 bits), ua[3]. */
+  if (s == 56) {  /* M << 74 */
+    rad3 = (ua[2] << 10) | (ua[3] >> 22);
+    rad2 = ua[3] << 10;
+  } else {        /* M << 75 */
+    rad3 = (ua[2] << 11) | (ua[3] >> 21);
+    rad2 = ua[3] << 11;
+  }
+  rad1 = 0u;
+  rad0 = 0u;
+
+  /* Restoring square root, two radicand bits per step, 55 result bits. */
+  rem_h = 0u;
+  rem_l = 0u;
+  root_h = 0u;
+  root_l = 0u;
+  for (i = 0; i < 55; i = i + 1) {
+    /* Shift the next two radicand bits into rem (rem <= 2^57, fits). */
+    two_bits = rad3 >> 30;
+    rad3 = (rad3 << 2) | (rad2 >> 30);
+    rad2 = (rad2 << 2) | (rad1 >> 30);
+    rad1 = (rad1 << 2) | (rad0 >> 30);
+    rad0 = rad0 << 2;
+    rem_h = (rem_h << 2) | (rem_l >> 30);
+    rem_l = (rem_l << 2) | two_bits;
+    /* trial = (root << 2) | 1 */
+    th = (root_h << 2) | (root_l >> 30);
+    tl = (root_l << 2) | 1u;
+    /* root <<= 1 */
+    root_h = (root_h << 1) | (root_l >> 31);
+    root_l = root_l << 1;
+    if (sf_cmp64(rem_h, rem_l, th, tl) >= 0) {
+      sf_sub64(rem_h, rem_l, th, tl, t);
+      rem_h = t[0];
+      rem_l = t[1];
+      root_l = root_l | 1u;
+    }
+  }
+
+  /* root has 55 bits (bit 54 set); exponent floor(eub/2). */
+  exp = (eub >> 1) + 1023;
+  sf_shl64(root_h, root_l, 1, res);
+  if ((rem_h | rem_l) != 0u) res[1] = res[1] | 1u;
+  return sf_round_pack(0u, exp, res[0], res[1]);
+}
+
+/* ---- conversions ----------------------------------------------------------- */
+
+double __sf_i2d(int v) {
+  unsigned sign;
+  unsigned mag;
+  int top;
+  int exp;
+  unsigned m[2];
+  if (v == 0) return sf_zero(0u);
+  if (v < 0) {
+    sign = 1u;
+    mag = (unsigned)(-v);
+  } else {
+    sign = 0u;
+    mag = (unsigned)v;
+  }
+  top = 31 - sf_clz(mag);
+  exp = 1023 + top;
+  /* place the top bit at position 55 */
+  sf_shl64(0u, mag, 55 - top, m);
+  return sf_round_pack(sign, exp, m[0], m[1]);
+}
+
+double __sf_u2d(unsigned v) {
+  int top;
+  unsigned m[2];
+  if (v == 0u) return sf_zero(0u);
+  top = 31 - sf_clz(v);
+  sf_shl64(0u, v, 55 - top, m);
+  return sf_round_pack(0u, 1023 + top, m[0], m[1]);
+}
+
+int __sf_d2i(double a) {
+  unsigned ua[4];
+  int ca;
+  int e;
+  int r;
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  if (ca == SF_NAN || ca == SF_ZERO) return 0;
+  e = (int)ua[1] - 1023;
+  if (ca == SF_INF || e > 30) {
+    /* Saturate (matches the ISS fdtoi semantics); -2^31 itself also lands
+     * on INT_MIN through the clamp. */
+    if (ua[0] != 0u) return (int)0x80000000u;
+    return 0x7FFFFFFF;
+  }
+  if (e < 0) return 0;
+  /* truncated magnitude = mantissa >> (52 - e) */
+  if (52 - e >= 32) {
+    r = (int)(ua[2] >> (52 - e - 32));
+  } else if (52 - e > 0) {
+    r = (int)((ua[2] << (e - 20)) | (ua[3] >> (52 - e)));
+  } else {
+    r = (int)ua[3];
+  }
+  if (ua[0] != 0u) return -r;
+  return r;
+}
+
+unsigned __sf_d2u(double a) {
+  unsigned ua[4];
+  int ca;
+  int e;
+  unsigned r;
+  ca = sf_unpack(mc_dhi(a), mc_dlo(a), ua);
+  if (ca == SF_NAN || ca == SF_ZERO) return 0u;
+  if (ua[0] != 0u) return 0u;
+  e = (int)ua[1] - 1023;
+  if (ca == SF_INF || e > 31) return 0xFFFFFFFFu;
+  if (e < 0) return 0u;
+  if (52 - e >= 32) {
+    r = ua[2] >> (52 - e - 32);
+  } else if (52 - e > 0) {
+    r = (ua[2] << (e - 20)) | (ua[3] >> (52 - e));
+  } else {
+    r = ua[3];
+  }
+  return r;
+}
+
+/* Total order on non-NaN values: -1, 0, 1; NaN involvement returns 2. */
+int __sf_dcmp(double a, double b) {
+  unsigned ah = mc_dhi(a);
+  unsigned al = mc_dlo(a);
+  unsigned bh = mc_dhi(b);
+  unsigned bl = mc_dlo(b);
+  unsigned asign = ah >> 31;
+  unsigned bsign = bh >> 31;
+  unsigned amag_h = ah & 0x7FFFFFFFu;
+  unsigned bmag_h = bh & 0x7FFFFFFFu;
+  int mag;
+  if (((ah >> 20) & 0x7FFu) == 0x7FFu && ((ah & 0xFFFFFu) | al) != 0u) {
+    return 2;
+  }
+  if (((bh >> 20) & 0x7FFu) == 0x7FFu && ((bh & 0xFFFFFu) | bl) != 0u) {
+    return 2;
+  }
+  if ((amag_h | al) == 0u && (bmag_h | bl) == 0u) return 0;  /* +-0 == +-0 */
+  if (asign != bsign) {
+    if (asign != 0u) return -1;
+    return 1;
+  }
+  mag = sf_cmp64(amag_h, al, bmag_h, bl);
+  if (asign != 0u) return -mag;
+  return mag;
+}
+)MCSRC";
+}  // namespace nfp::rtlib

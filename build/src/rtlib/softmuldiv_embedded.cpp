@@ -1,0 +1,88 @@
+// Generated from /root/repo/src/rtlib/mc/softmuldiv.c -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view kSoftMulDivSource;
+const std::string_view kSoftMulDivSource = R"MCSRC(/* Software integer multiply/divide runtime for Micro-C (-msoft-muldiv).
+ *
+ * The LEON3's hardware multiplier and divider are synthesis options; a
+ * minimal configuration traps or lowers to library calls. mcc lowers
+ * `*`, `/`, `%` and the mc_umulhi intrinsic to these routines when
+ * compiling for a board without the MUL/DIV units. Only addition,
+ * subtraction, shifts and comparisons are used here (no `*`, `/`, `%`, and
+ * no mc_umulhi — the routines must not recurse into themselves).
+ */
+
+unsigned __mc_umul(unsigned a, unsigned b) {
+  unsigned result = 0;
+  while (b != 0u) {
+    if (b & 1u) result = result + a;
+    a = a << 1;
+    b = b >> 1;
+  }
+  return result;
+}
+
+int __mc_imul(int a, int b) {
+  /* The low 32 bits of the product are sign-agnostic. */
+  return (int)__mc_umul((unsigned)a, (unsigned)b);
+}
+
+/* High word of the 64-bit unsigned product, via 16-bit partial products. */
+unsigned __mc_umulhi(unsigned a, unsigned b) {
+  unsigned a_lo = a & 0xFFFFu;
+  unsigned a_hi = a >> 16;
+  unsigned b_lo = b & 0xFFFFu;
+  unsigned b_hi = b >> 16;
+  unsigned p_ll = __mc_umul(a_lo, b_lo);
+  unsigned p_lh = __mc_umul(a_lo, b_hi);
+  unsigned p_hl = __mc_umul(a_hi, b_lo);
+  unsigned p_hh = __mc_umul(a_hi, b_hi);
+  /* mid = p_lh + p_hl + (p_ll >> 16), tracking the carry into bit 32. */
+  unsigned mid = p_lh + p_hl;
+  unsigned carry = mid < p_lh ? 0x10000u : 0u;
+  unsigned mid2 = mid + (p_ll >> 16);
+  if (mid2 < mid) carry = carry + 0x10000u;
+  return p_hh + (mid2 >> 16) + carry;
+}
+
+unsigned __mc_udiv(unsigned a, unsigned b) {
+  unsigned quotient = 0;
+  unsigned rem = 0;
+  int i;
+  /* b == 0 mirrors the hardware divider: the simulator faults there; here
+   * we return all-ones, which no defined program observes. */
+  if (b == 0u) return 0xFFFFFFFFu;
+  for (i = 31; i >= 0; i = i - 1) {
+    rem = (rem << 1) | ((a >> i) & 1u);
+    quotient = quotient << 1;
+    if (rem >= b) {
+      rem = rem - b;
+      quotient = quotient | 1u;
+    }
+  }
+  return quotient;
+}
+
+unsigned __mc_urem(unsigned a, unsigned b) {
+  return a - __mc_umul(__mc_udiv(a, b), b);
+}
+
+int __mc_sdiv(int a, int b) {
+  unsigned ua = a < 0 ? (unsigned)(-a) : (unsigned)a;
+  unsigned ub = b < 0 ? (unsigned)(-b) : (unsigned)b;
+  unsigned q = __mc_udiv(ua, ub);
+  if ((a < 0) != (b < 0)) return -(int)q;
+  return (int)q;
+}
+
+int __mc_srem(int a, int b) {
+  /* C semantics: the remainder has the sign of the dividend. */
+  unsigned ua = a < 0 ? (unsigned)(-a) : (unsigned)a;
+  unsigned ub = b < 0 ? (unsigned)(-b) : (unsigned)b;
+  unsigned r = __mc_urem(ua, ub);
+  if (a < 0) return -(int)r;
+  return (int)r;
+}
+)MCSRC";
+}  // namespace nfp::rtlib

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/nfp_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/nfp_sim.dir/bus.cpp.o.d"
+  "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/nfp_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/nfp_sim.dir/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_sim.dir/bus.cpp.o"
+  "CMakeFiles/nfp_sim.dir/bus.cpp.o.d"
+  "CMakeFiles/nfp_sim.dir/platform.cpp.o"
+  "CMakeFiles/nfp_sim.dir/platform.cpp.o.d"
+  "libnfp_sim.a"
+  "libnfp_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

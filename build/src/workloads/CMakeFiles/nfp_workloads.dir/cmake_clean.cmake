@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_workloads.dir/fse_embedded.cpp.o"
+  "CMakeFiles/nfp_workloads.dir/fse_embedded.cpp.o.d"
+  "CMakeFiles/nfp_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/nfp_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/nfp_workloads.dir/mvc_dec_embedded.cpp.o"
+  "CMakeFiles/nfp_workloads.dir/mvc_dec_embedded.cpp.o.d"
+  "CMakeFiles/nfp_workloads.dir/sobel_embedded.cpp.o"
+  "CMakeFiles/nfp_workloads.dir/sobel_embedded.cpp.o.d"
+  "fse_embedded.cpp"
+  "libnfp_workloads.a"
+  "libnfp_workloads.pdb"
+  "mvc_dec_embedded.cpp"
+  "sobel_embedded.cpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfp_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,246 @@
+// Generated from /root/repo/src/workloads/mc/fse.c -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view kFseSource;
+const std::string_view kFseSource = R"MCSRC(/* Frequency Selective Extrapolation (FSE) -- Micro-C target implementation.
+ *
+ * Complex-valued frequency-domain FSE after Seiler & Kaup: iteratively
+ * select the Fourier basis function with the largest weighted projection
+ * and update the weighted residual spectrum in place (O(N^2) per
+ * iteration). Double precision throughout, as the paper requires.
+ *
+ * Dual-compilable: builds natively for the golden host reference and with
+ * mcc (hard- or soft-float) for the simulated LEON3-like target. Twiddle
+ * factors are derived with half-angle and Chebyshev recurrences from
+ * mc_sqrt so no libm is needed and all builds compute identical bits.
+ *
+ * Target memory protocol (MC_TARGET):
+ *   input  @ 0x40800000: [0]=magic 0x46534531, [4]=n (must be 16),
+ *                        [8]=iterations, [12]=pad, [16..24)=rho double,
+ *                        [24..24+n*n*8) signal doubles,
+ *                        then n*n mask words
+ *   output @ 0x40C00000: n*n completed-signal doubles
+ */
+
+#define FSE_N 16
+#define FSE_AREA 256
+#define FSE_MAGIC 0x46534531
+
+double fse_w[FSE_AREA];
+double fse_wr_re[FSE_AREA];
+double fse_wr_im[FSE_AREA];
+double fse_bw_re[FSE_AREA];
+double fse_bw_im[FSE_AREA];
+double fse_g_re[FSE_AREA];
+double fse_g_im[FSE_AREA];
+double fse_tw_cos[FSE_N];
+double fse_tw_sin[FSE_N];
+double fse_line_re[FSE_N];
+double fse_line_im[FSE_N];
+
+void fse_init_twiddles(void) {
+  double c;
+  double s;
+  int len;
+  int k;
+  /* cos(2*pi/N) by half-angle descent from cos(pi/2) = 0. */
+  c = 0.0;
+  len = 4;
+  while (len < FSE_N) {
+    c = mc_sqrt((1.0 + c) * 0.5);
+    len = len * 2;
+  }
+  s = mc_sqrt(1.0 - c * c);
+  fse_tw_cos[0] = 1.0;
+  fse_tw_sin[0] = 0.0;
+  fse_tw_cos[1] = c;
+  fse_tw_sin[1] = -s; /* e^{-j 2 pi /N} */
+  for (k = 2; k < FSE_N; k++) {
+    fse_tw_cos[k] = 2.0 * c * fse_tw_cos[k - 1] - fse_tw_cos[k - 2];
+    fse_tw_sin[k] = 2.0 * c * fse_tw_sin[k - 1] - fse_tw_sin[k - 2];
+  }
+}
+
+double fse_ipow(double base, int e) {
+  double result = 1.0;
+  double p = base;
+  while (e > 0) {
+    if (e & 1) result = result * p;
+    p = p * p;
+    e = e >> 1;
+  }
+  return result;
+}
+
+/* In-place length-N FFT over split re/im arrays (stride 1). */
+void fse_fft_line(double* re, double* im, int inverse) {
+  int i;
+  int j;
+  int bit;
+  int len;
+  j = 0;
+  for (i = 1; i < FSE_N; i++) {
+    bit = FSE_N >> 1;
+    while (j & bit) {
+      j = j ^ bit;
+      bit = bit >> 1;
+    }
+    j = j | bit;
+    if (i < j) {
+      double t = re[i];
+      re[i] = re[j];
+      re[j] = t;
+      t = im[i];
+      im[i] = im[j];
+      im[j] = t;
+    }
+  }
+  for (len = 2; len <= FSE_N; len = len * 2) {
+    int half = len >> 1;
+    int step = FSE_N / len;
+    for (i = 0; i < FSE_N; i += len) {
+      int k;
+      for (k = 0; k < half; k++) {
+        double wr = fse_tw_cos[k * step];
+        double wi = fse_tw_sin[k * step];
+        double ur;
+        double ui;
+        double vr;
+        double vi;
+        if (inverse) wi = -wi;
+        ur = re[i + k];
+        ui = im[i + k];
+        vr = re[i + k + half] * wr - im[i + k + half] * wi;
+        vi = re[i + k + half] * wi + im[i + k + half] * wr;
+        re[i + k] = ur + vr;
+        im[i + k] = ui + vi;
+        re[i + k + half] = ur - vr;
+        im[i + k + half] = ui - vi;
+      }
+    }
+  }
+}
+
+void fse_fft2(double* re, double* im, int inverse) {
+  int x;
+  int y;
+  for (y = 0; y < FSE_N; y++) {
+    fse_fft_line(re + y * FSE_N, im + y * FSE_N, inverse);
+  }
+  for (x = 0; x < FSE_N; x++) {
+    for (y = 0; y < FSE_N; y++) {
+      fse_line_re[y] = re[y * FSE_N + x];
+      fse_line_im[y] = im[y * FSE_N + x];
+    }
+    fse_fft_line(fse_line_re, fse_line_im, inverse);
+    for (y = 0; y < FSE_N; y++) {
+      re[y * FSE_N + x] = fse_line_re[y];
+      im[y * FSE_N + x] = fse_line_im[y];
+    }
+  }
+}
+
+/* Completes the masked samples of f (mask[i] != 0 => missing). */
+void fse_extrapolate(double* f, int* mask, double* out, int iters,
+                     double rho, double gamma) {
+  int x;
+  int y;
+  int k;
+  int i;
+  int it;
+  double rho_q;
+  double w0;
+
+  fse_init_twiddles();
+  rho_q = mc_sqrt(mc_sqrt(rho));
+  w0 = 0.0;
+  for (y = 0; y < FSE_N; y++) {
+    for (x = 0; x < FSE_N; x++) {
+      i = y * FSE_N + x;
+      if (mask[i]) {
+        fse_w[i] = 0.0;
+      } else {
+        int dx = 2 * x - (FSE_N - 1);
+        int dy = 2 * y - (FSE_N - 1);
+        fse_w[i] = fse_ipow(rho_q, dx * dx + dy * dy);
+      }
+      w0 = w0 + fse_w[i];
+      fse_bw_re[i] = fse_w[i];
+      fse_bw_im[i] = 0.0;
+      fse_wr_re[i] = fse_w[i] * f[i];
+      fse_wr_im[i] = 0.0;
+      fse_g_re[i] = 0.0;
+      fse_g_im[i] = 0.0;
+    }
+  }
+  fse_fft2(fse_bw_re, fse_bw_im, 0);
+  fse_fft2(fse_wr_re, fse_wr_im, 0);
+
+  for (it = 0; it < iters; it++) {
+    int best = 0;
+    double best_e = -1.0;
+    int bx;
+    int by;
+    double dcr;
+    double dci;
+    for (k = 0; k < FSE_AREA; k++) {
+      double e = fse_wr_re[k] * fse_wr_re[k] + fse_wr_im[k] * fse_wr_im[k];
+      if (e > best_e) {
+        best_e = e;
+        best = k;
+      }
+    }
+    dcr = fse_wr_re[best] * (gamma / w0);
+    dci = fse_wr_im[best] * (gamma / w0);
+    fse_g_re[best] += dcr;
+    fse_g_im[best] += dci;
+    bx = best % FSE_N;
+    by = best / FSE_N;
+    for (y = 0; y < FSE_N; y++) {
+      int sy = y - by;
+      int row;
+      if (sy < 0) sy += FSE_N;
+      row = sy * FSE_N;
+      for (x = 0; x < FSE_N; x++) {
+        int sx = x - bx;
+        int w_index;
+        double wre;
+        double wim;
+        if (sx < 0) sx += FSE_N;
+        w_index = row + sx;
+        wre = fse_bw_re[w_index];
+        wim = fse_bw_im[w_index];
+        i = y * FSE_N + x;
+        fse_wr_re[i] -= dcr * wre - dci * wim;
+        fse_wr_im[i] -= dcr * wim + dci * wre;
+      }
+    }
+  }
+
+  /* Model evaluation: unscaled inverse transform of the coefficients gives
+   * g[x] = sum_k c_k exp(+j 2 pi k x / N). */
+  fse_fft2(fse_g_re, fse_g_im, 1);
+  for (i = 0; i < FSE_AREA; i++) {
+    out[i] = mask[i] ? fse_g_re[i] : f[i];
+  }
+}
+
+#ifdef MC_TARGET
+int main(void) {
+  int* header = (int*)0x40800000;
+  double* rho_in = (double*)0x40800010;
+  double* signal = (double*)0x40800018;
+  int* mask = (int*)(0x40800018 + FSE_AREA * 8);
+  double* out = (double*)0x40C00000;
+  int iters;
+
+  if (header[0] != FSE_MAGIC) return 1;
+  if (header[1] != FSE_N) return 2;
+  iters = header[2];
+  fse_extrapolate(signal, mask, out, iters, rho_in[0], 0.5);
+  return 0;
+}
+#endif
+)MCSRC";
+}  // namespace nfp::rtlib

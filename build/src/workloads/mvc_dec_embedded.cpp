@@ -1,0 +1,424 @@
+// Generated from /root/repo/src/workloads/mc/mvc_dec.c -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view kMvcDecSource;
+const std::string_view kMvcDecSource = R"MCSRC(/* MVC ("mini video codec") decoder -- Micro-C target implementation.
+ *
+ * An HEVC-flavoured block codec standing in for the paper's HM reference
+ * decoder: 8x8 blocks, intra prediction (DC/V/H/planar), full-pel motion
+ * compensation with optional two-hypothesis averaging, an HEVC 8x8 integer
+ * inverse transform, scalar dequantisation, zigzag run-level entropy
+ * decoding (Exp-Golomb), and a weak deblocking filter. Integer arithmetic
+ * throughout, with a small double-precision tail (activity statistics and
+ * timing), mirroring HM's "few floating point operations".
+ *
+ * The file is dual-compilable; the host encoder #includes it to reuse the
+ * exact reconstruction primitives (inverse transform, prediction, deblock,
+ * dequant), which keeps the encoder's closed loop bit-identical to this
+ * decoder.
+ *
+ * Bitstream payload (MSB-first bits):
+ *   per frame: 1 bit frame_type (1=intra)
+ *     per 8x8 block, raster order:
+ *       intra frame:  2 bits intra mode, residual
+ *       inter frame:  2 bits block mode (0 skip / 1 inter / 2 intra /
+ *                     3 bipred), then mode-dependent: MV(s) as signed
+ *                     Exp-Golomb, intra mode bits, residual
+ *   residual: 1 bit coded flag; if set: last_pos (EG), then per zigzag
+ *             position: 1 bit significance; if set |level|-1 (EG) + sign.
+ *
+ * Target memory protocol (MC_TARGET):
+ *   input  @ 0x40800000: words [magic 0x4D564331, width, height, frames,
+ *                        qp, config, payload_bytes], payload @ +28
+ *   output @ 0x40C00000: frames*width*height reconstructed bytes,
+ *                        then 8-aligned: 2 doubles (activity, elapsed)
+ */
+
+#define MVC_MAGIC 0x4D564331
+#define MVC_BLOCK 8
+#define MVC_MAX_W 64
+#define MVC_MAX_H 64
+#define MVC_MAX_AREA 4096
+
+/* ---- tables --------------------------------------------------------------- */
+
+/* HEVC 8-point integer DCT basis. */
+int mvc_t8[64] = {
+    64, 64,  64,  64,  64,  64,  64,  64,
+    89, 75,  50,  18, -18, -50, -75, -89,
+    83, 36, -36, -83, -83, -36,  36,  83,
+    75, -18, -89, -50,  50,  89,  18, -75,
+    64, -64, -64,  64,  64, -64, -64,  64,
+    50, -89,  18,  75, -75, -18,  89, -50,
+    36, -83,  83, -36, -36,  83, -83,  36,
+    18, -50,  75, -89,  89, -75,  50, -18};
+
+/* JPEG-style zigzag scan for 8x8. */
+int mvc_zigzag[64] = {
+    0,  1,  8,  16, 9,  2,  3,  10, 17, 24, 32, 25, 18, 11, 4,  5,
+    12, 19, 26, 33, 40, 48, 41, 34, 27, 20, 13, 6,  7,  14, 21, 28,
+    35, 42, 49, 56, 57, 50, 43, 36, 29, 22, 15, 23, 30, 37, 44, 51,
+    58, 59, 52, 45, 38, 31, 39, 46, 53, 60, 61, 54, 47, 55, 62, 63};
+
+/* Quantiser step in Q4: round(16 * 2^((qp-4)/6)), qp = 0..51. */
+int mvc_qstep_q4[52] = {
+    10,   11,   13,   14,   16,   18,   20,   23,   25,   29,   32,  36,
+    40,   45,   51,   57,   64,   72,   81,   91,   102,  114,  128, 144,
+    161,  181,  203,  228,  256,  287,  323,  362,  406,  456,  512, 575,
+    645,  724,  813,  912,  1024, 1149, 1290, 1448, 1625, 1825, 2048, 2299,
+    2580, 2896, 3251, 3649};
+
+/* ---- bit reader ------------------------------------------------------------ */
+
+unsigned char* mvc_br_buf;
+int mvc_br_bitpos;
+int mvc_br_bitlen;
+
+void mvc_br_init(unsigned char* buf, int length_bytes) {
+  mvc_br_buf = buf;
+  mvc_br_bitpos = 0;
+  mvc_br_bitlen = length_bytes * 8;
+}
+
+int mvc_br_bit(void) {
+  int byte_index;
+  int bit_index;
+  int bit;
+  if (mvc_br_bitpos >= mvc_br_bitlen) return 0;
+  byte_index = mvc_br_bitpos >> 3;
+  bit_index = 7 - (mvc_br_bitpos & 7);
+  bit = (mvc_br_buf[byte_index] >> bit_index) & 1;
+  mvc_br_bitpos = mvc_br_bitpos + 1;
+  return bit;
+}
+
+int mvc_br_bits(int count) {
+  int value = 0;
+  int i;
+  for (i = 0; i < count; i++) value = (value << 1) | mvc_br_bit();
+  return value;
+}
+
+/* Unsigned Exp-Golomb. */
+int mvc_br_ue(void) {
+  int zeros = 0;
+  while (mvc_br_bit() == 0) {
+    zeros = zeros + 1;
+    if (zeros > 30) return 0;
+  }
+  if (zeros == 0) return 0;
+  return (1 << zeros) - 1 + mvc_br_bits(zeros);
+}
+
+/* Signed Exp-Golomb (0, 1, -1, 2, -2, ...). */
+int mvc_br_se(void) {
+  int v = mvc_br_ue();
+  if (v == 0) return 0;
+  if (v & 1) return (v + 1) >> 1;
+  return -(v >> 1);
+}
+
+/* ---- reconstruction primitives (shared with the host encoder) ------------- */
+
+int mvc_clip255(int v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return v;
+}
+
+/* Dequantise one coefficient. */
+int mvc_dequant(int level, int qp) {
+  return (level * mvc_qstep_q4[qp] + 8) >> 4;
+}
+
+/* 8x8 inverse transform: block = T^t * coeff * T with HEVC shifts. */
+void mvc_idct8(int* coeff, int* block) {
+  int tmp[64];
+  int i;
+  int j;
+  int k;
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) acc += mvc_t8[k * 8 + i] * coeff[k * 8 + j];
+      tmp[i * 8 + j] = (acc + 64) >> 7;
+    }
+  }
+  for (i = 0; i < 8; i++) {
+    for (j = 0; j < 8; j++) {
+      int acc = 0;
+      for (k = 0; k < 8; k++) acc += tmp[i * 8 + k] * mvc_t8[k * 8 + j];
+      block[i * 8 + j] = (acc + 2048) >> 12;
+    }
+  }
+}
+
+/* Intra prediction into pred[64]. Neighbours come from the reconstructed
+ * frame `rec`; unavailable neighbours default to 128. */
+void mvc_intra_pred(unsigned char* rec, int width, int bx, int by, int mode,
+                    int* pred) {
+  int t[8];
+  int l[8];
+  int have_top = by > 0;
+  int have_left = bx > 0;
+  int x;
+  int y;
+  for (x = 0; x < 8; x++) {
+    t[x] = have_top ? rec[(by - 1) * width + bx + x] : 128;
+  }
+  for (y = 0; y < 8; y++) {
+    l[y] = have_left ? rec[(by + y) * width + bx - 1] : 128;
+  }
+  if (mode == 0) { /* DC */
+    int sum = 0;
+    int dc;
+    if (have_top && have_left) {
+      for (x = 0; x < 8; x++) sum += t[x] + l[x];
+      dc = (sum + 8) >> 4;
+    } else if (have_top) {
+      for (x = 0; x < 8; x++) sum += t[x];
+      dc = (sum + 4) >> 3;
+    } else if (have_left) {
+      for (y = 0; y < 8; y++) sum += l[y];
+      dc = (sum + 4) >> 3;
+    } else {
+      dc = 128;
+    }
+    for (y = 0; y < 8; y++) {
+      for (x = 0; x < 8; x++) pred[y * 8 + x] = dc;
+    }
+  } else if (mode == 1) { /* vertical */
+    for (y = 0; y < 8; y++) {
+      for (x = 0; x < 8; x++) pred[y * 8 + x] = t[x];
+    }
+  } else if (mode == 2) { /* horizontal */
+    for (y = 0; y < 8; y++) {
+      for (x = 0; x < 8; x++) pred[y * 8 + x] = l[y];
+    }
+  } else { /* planar */
+    int tr = t[7];
+    int bl = l[7];
+    for (y = 0; y < 8; y++) {
+      for (x = 0; x < 8; x++) {
+        pred[y * 8 + x] =
+            ((7 - x) * l[y] + (x + 1) * tr + (7 - y) * t[x] + (y + 1) * bl +
+             8) >> 4;
+      }
+    }
+  }
+}
+
+/* Full-pel motion compensation from `ref` with frame-edge clipping. */
+void mvc_motion_comp(unsigned char* ref, int width, int height, int bx,
+                     int by, int mvx, int mvy, int* pred) {
+  int x;
+  int y;
+  for (y = 0; y < 8; y++) {
+    int sy = by + y + mvy;
+    if (sy < 0) sy = 0;
+    if (sy > height - 1) sy = height - 1;
+    for (x = 0; x < 8; x++) {
+      int sx = bx + x + mvx;
+      if (sx < 0) sx = 0;
+      if (sx > width - 1) sx = width - 1;
+      pred[y * 8 + x] = ref[sy * width + sx];
+    }
+  }
+}
+
+/* Weak deblocking across all internal 8x8 edges of `rec`. */
+void mvc_deblock(unsigned char* rec, int width, int height, int qp) {
+  int tc = 2 + (qp >> 3);
+  int x;
+  int y;
+  for (x = MVC_BLOCK; x < width; x += MVC_BLOCK) { /* vertical edges */
+    for (y = 0; y < height; y++) {
+      int p1 = rec[y * width + x - 2];
+      int p0 = rec[y * width + x - 1];
+      int q0 = rec[y * width + x];
+      int q1 = rec[y * width + x + 1];
+      int d = p0 - q0;
+      if (d < 0) d = -d;
+      if (d != 0 && d < tc) {
+        rec[y * width + x - 1] = (unsigned char)((p1 + 2 * p0 + q0 + 2) >> 2);
+        rec[y * width + x] = (unsigned char)((p0 + 2 * q0 + q1 + 2) >> 2);
+      }
+    }
+  }
+  for (y = MVC_BLOCK; y < height; y += MVC_BLOCK) { /* horizontal edges */
+    for (x = 0; x < width; x++) {
+      int p1 = rec[(y - 2) * width + x];
+      int p0 = rec[(y - 1) * width + x];
+      int q0 = rec[y * width + x];
+      int q1 = rec[(y + 1) * width + x];
+      int d = p0 - q0;
+      if (d < 0) d = -d;
+      if (d != 0 && d < tc) {
+        rec[(y - 1) * width + x] = (unsigned char)((p1 + 2 * p0 + q0 + 2) >> 2);
+        rec[y * width + x] = (unsigned char)((p0 + 2 * q0 + q1 + 2) >> 2);
+      }
+    }
+  }
+}
+
+/* ---- residual decoding ------------------------------------------------------ */
+
+/* Decodes one residual block into res[64] (spatial domain). Returns the
+ * coded flag. */
+int mvc_decode_residual(int* res, int qp) {
+  int coeff[64];
+  int i;
+  int coded;
+  for (i = 0; i < 64; i++) coeff[i] = 0;
+  coded = mvc_br_bit();
+  if (coded) {
+    int last = mvc_br_ue();
+    if (last > 64) last = 64;
+    for (i = 0; i < last; i++) {
+      if (mvc_br_bit()) {
+        int level = mvc_br_ue() + 1;
+        if (mvc_br_bit()) level = -level;
+        coeff[mvc_zigzag[i]] = mvc_dequant(level, qp);
+      }
+    }
+    mvc_idct8(coeff, res);
+  } else {
+    for (i = 0; i < 64; i++) res[i] = 0;
+  }
+  return coded;
+}
+
+/* ---- frame buffers ----------------------------------------------------------- */
+
+unsigned char mvc_ref_frame[MVC_MAX_AREA];
+unsigned char mvc_cur_frame[MVC_MAX_AREA];
+
+/* ---- decoder ------------------------------------------------------------------ */
+
+/* Decodes `frames` frames into out_frames (concatenated). stats_out gets
+ * [0] = RMS pixel activity (double), [1] = elapsed target-clock seconds.
+ * Returns 0 on success. */
+int mvc_decode(unsigned char* payload, int payload_bytes, int width,
+               int height, int frames, int qp, unsigned char* out_frames,
+               double* stats_out) {
+  int f;
+  int bx;
+  int by;
+  int i;
+  int pred[64];
+  int res[64];
+  unsigned t0;
+  unsigned t1;
+  double activity;
+  int sample_count;
+
+  if (width > MVC_MAX_W || height > MVC_MAX_H) return 1;
+  if (qp < 0 || qp > 51) return 2;
+
+  t0 = mc_clock();
+  activity = 0.0;
+  sample_count = 0;
+  mvc_br_init(payload, payload_bytes);
+
+  for (f = 0; f < frames; f++) {
+    int frame_is_intra = mvc_br_bit();
+    for (by = 0; by < height; by += MVC_BLOCK) {
+      for (bx = 0; bx < width; bx += MVC_BLOCK) {
+        int mode;
+        int x;
+        int y;
+        int with_residual = 1;
+        if (frame_is_intra) {
+          mvc_intra_pred(mvc_cur_frame, width, bx, by, mvc_br_bits(2), pred);
+        } else {
+          mode = mvc_br_bits(2);
+          if (mode == 0) { /* skip: copy co-located */
+            mvc_motion_comp(mvc_ref_frame, width, height, bx, by, 0, 0,
+                            pred);
+            with_residual = 0;
+          } else if (mode == 1) { /* inter */
+            int mvx = mvc_br_se();
+            int mvy = mvc_br_se();
+            mvc_motion_comp(mvc_ref_frame, width, height, bx, by, mvx, mvy,
+                            pred);
+          } else if (mode == 2) { /* intra in inter frame */
+            mvc_intra_pred(mvc_cur_frame, width, bx, by, mvc_br_bits(2),
+                           pred);
+          } else { /* bipred: average of two hypotheses */
+            int mvx0 = mvc_br_se();
+            int mvy0 = mvc_br_se();
+            int mvx1 = mvc_br_se();
+            int mvy1 = mvc_br_se();
+            int second[64];
+            mvc_motion_comp(mvc_ref_frame, width, height, bx, by, mvx0, mvy0,
+                            pred);
+            mvc_motion_comp(mvc_ref_frame, width, height, bx, by, mvx1, mvy1,
+                            second);
+            for (i = 0; i < 64; i++) pred[i] = (pred[i] + second[i] + 1) >> 1;
+          }
+        }
+        if (with_residual) {
+          mvc_decode_residual(res, qp);
+        } else {
+          for (i = 0; i < 64; i++) res[i] = 0;
+        }
+        for (y = 0; y < 8; y++) {
+          for (x = 0; x < 8; x++) {
+            mvc_cur_frame[(by + y) * width + bx + x] =
+                (unsigned char)mvc_clip255(pred[y * 8 + x] + res[y * 8 + x]);
+          }
+        }
+      }
+    }
+    mvc_deblock(mvc_cur_frame, width, height, qp);
+
+    /* HM-style floating-point tail: per-frame activity statistics. */
+    for (i = 0; i < width * height; i += 3) {
+      double p = (double)mvc_cur_frame[i];
+      activity += p * p;
+      sample_count = sample_count + 1;
+    }
+
+    for (i = 0; i < width * height; i++) {
+      out_frames[f * width * height + i] = mvc_cur_frame[i];
+      mvc_ref_frame[i] = mvc_cur_frame[i];
+    }
+  }
+
+  t1 = mc_clock();
+  if (stats_out) {
+    stats_out[0] = mc_sqrt(activity / (double)sample_count); /* RMS */
+    stats_out[1] = (double)(t1 - t0) * (1.0 / 1000000.0);
+  }
+  return 0;
+}
+
+#ifdef MC_TARGET
+int main(void) {
+  int* header = (int*)0x40800000;
+  unsigned char* payload = (unsigned char*)0x4080001C;
+  unsigned char* out = (unsigned char*)0x40C00000;
+  int width;
+  int height;
+  int frames;
+  int qp;
+  int payload_bytes;
+  int out_bytes;
+  double* stats;
+
+  if (header[0] != MVC_MAGIC) return 1;
+  width = header[1];
+  height = header[2];
+  frames = header[3];
+  qp = header[4];
+  payload_bytes = header[6];
+  out_bytes = frames * width * height;
+  /* stats doubles after the frames, 8-aligned */
+  stats = (double*)(0x40C00000 + ((out_bytes + 7) & ~7));
+  return mvc_decode(payload, payload_bytes, width, height, frames, qp, out,
+                    stats);
+}
+#endif
+)MCSRC";
+}  // namespace nfp::rtlib

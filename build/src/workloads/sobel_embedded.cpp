@@ -1,0 +1,88 @@
+// Generated from /root/repo/src/workloads/mc/sobel.c -- do not edit.
+#include <string_view>
+
+namespace nfp::rtlib {
+extern const std::string_view kSobelSource;
+const std::string_view kSobelSource = R"MCSRC(/* Sobel edge detection -- Micro-C target implementation.
+ *
+ * The paper's future work includes "evaluat[ing] the estimation accuracy of
+ * this model for further algorithms". This kernel provides a third,
+ * pure-integer image-processing workload with a different instruction mix
+ * from both MVC (entropy-decoding heavy) and FSE (floating-point heavy):
+ * regular stencil loads, multiplies, and a histogram with data-dependent
+ * stores. It contains no floating-point at all, so the float and fixed
+ * builds are identical -- the FPU design question has a clear "no" answer.
+ *
+ * Target memory protocol (MC_TARGET):
+ *   input  @ 0x40800000: words [magic 0x534F4231, width, height],
+ *                        width*height image bytes @ +12
+ *   output @ 0x40C00000: width*height edge-magnitude bytes, then 4-aligned:
+ *                        64-bin magnitude histogram (words)
+ */
+
+#define SOB_MAGIC 0x534F4231
+#define SOB_MAX_W 64
+#define SOB_MAX_H 64
+
+int sob_clamp255(int v) {
+  if (v < 0) return 0;
+  if (v > 255) return 255;
+  return v;
+}
+
+void sobel(unsigned char* in, unsigned char* out, int* hist, int width,
+           int height) {
+  int x;
+  int y;
+  for (x = 0; x < 64; x++) hist[x] = 0;
+  for (y = 0; y < height; y++) {
+    for (x = 0; x < width; x++) {
+      int gx;
+      int gy;
+      int mag;
+      if (x == 0 || y == 0 || x == width - 1 || y == height - 1) {
+        out[y * width + x] = 0;
+        hist[0] = hist[0] + 1;
+        continue;
+      }
+      gx = -(int)in[(y - 1) * width + x - 1] + (int)in[(y - 1) * width + x + 1]
+           - 2 * (int)in[y * width + x - 1] + 2 * (int)in[y * width + x + 1]
+           - (int)in[(y + 1) * width + x - 1] + (int)in[(y + 1) * width + x + 1];
+      gy = -(int)in[(y - 1) * width + x - 1] - 2 * (int)in[(y - 1) * width + x]
+           - (int)in[(y - 1) * width + x + 1] + (int)in[(y + 1) * width + x - 1]
+           + 2 * (int)in[(y + 1) * width + x] + (int)in[(y + 1) * width + x + 1];
+      if (gx < 0) gx = -gx;
+      if (gy < 0) gy = -gy;
+      /* |g| ~ max + min/2 (integer magnitude approximation) */
+      if (gx > gy) {
+        mag = gx + (gy >> 1);
+      } else {
+        mag = gy + (gx >> 1);
+      }
+      mag = sob_clamp255(mag >> 2);
+      out[y * width + x] = (unsigned char)mag;
+      hist[mag >> 2] = hist[mag >> 2] + 1;
+    }
+  }
+}
+
+#ifdef MC_TARGET
+int main(void) {
+  int* header = (int*)0x40800000;
+  unsigned char* image = (unsigned char*)0x4080000C;
+  unsigned char* out = (unsigned char*)0x40C00000;
+  int width;
+  int height;
+  int* hist;
+
+  if (header[0] != SOB_MAGIC) return 1;
+  width = header[1];
+  height = header[2];
+  if (width > SOB_MAX_W || height > SOB_MAX_H) return 2;
+  hist = (int*)(0x40C00000 + ((width * height + 3) & ~3));
+  sobel(image, out, hist, width, height);
+  return 0;
+}
+#endif
+)MCSRC";
+}  // namespace nfp::rtlib

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asmkit.dir/asmkit/assembler_test.cpp.o"
+  "CMakeFiles/test_asmkit.dir/asmkit/assembler_test.cpp.o.d"
+  "CMakeFiles/test_asmkit.dir/asmkit/roundtrip_test.cpp.o"
+  "CMakeFiles/test_asmkit.dir/asmkit/roundtrip_test.cpp.o.d"
+  "test_asmkit"
+  "test_asmkit.pdb"
+  "test_asmkit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asmkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fse.dir/fse/fse_test.cpp.o"
+  "CMakeFiles/test_fse.dir/fse/fse_test.cpp.o.d"
+  "test_fse"
+  "test_fse.pdb"
+  "test_fse[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

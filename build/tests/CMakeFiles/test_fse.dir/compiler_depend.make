@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_fse.
+# This may be replaced when dependencies are built.

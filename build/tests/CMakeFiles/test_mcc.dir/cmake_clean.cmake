@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_mcc.dir/mcc/mcc_basic_test.cpp.o"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_basic_test.cpp.o.d"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_double_test.cpp.o"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_double_test.cpp.o.d"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_muldiv_test.cpp.o"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_muldiv_test.cpp.o.d"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_stress_test.cpp.o"
+  "CMakeFiles/test_mcc.dir/mcc/mcc_stress_test.cpp.o.d"
+  "CMakeFiles/test_mcc.dir/mcc/peephole_test.cpp.o"
+  "CMakeFiles/test_mcc.dir/mcc/peephole_test.cpp.o.d"
+  "test_mcc"
+  "test_mcc.pdb"
+  "test_mcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_mcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

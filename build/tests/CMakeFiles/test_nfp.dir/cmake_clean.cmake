@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nfp.dir/nfp/calibration_test.cpp.o"
+  "CMakeFiles/test_nfp.dir/nfp/calibration_test.cpp.o.d"
+  "CMakeFiles/test_nfp.dir/nfp/campaign_test.cpp.o"
+  "CMakeFiles/test_nfp.dir/nfp/campaign_test.cpp.o.d"
+  "CMakeFiles/test_nfp.dir/nfp/estimator_property_test.cpp.o"
+  "CMakeFiles/test_nfp.dir/nfp/estimator_property_test.cpp.o.d"
+  "CMakeFiles/test_nfp.dir/nfp/model_test.cpp.o"
+  "CMakeFiles/test_nfp.dir/nfp/model_test.cpp.o.d"
+  "test_nfp"
+  "test_nfp.pdb"
+  "test_nfp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nfp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rtlib.dir/rtlib/softfloat_test.cpp.o"
+  "CMakeFiles/test_rtlib.dir/rtlib/softfloat_test.cpp.o.d"
+  "CMakeFiles/test_rtlib.dir/rtlib/softmuldiv_test.cpp.o"
+  "CMakeFiles/test_rtlib.dir/rtlib/softmuldiv_test.cpp.o.d"
+  "test_rtlib"
+  "test_rtlib.pdb"
+  "test_rtlib[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rtlib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/bus_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/bus_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/bus_test.cpp.o.d"
+  "/root/repo/tests/sim/executor_flags_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/executor_flags_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/executor_flags_test.cpp.o.d"
+  "/root/repo/tests/sim/executor_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/executor_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/executor_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/test_sim.dir/sim/trace_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

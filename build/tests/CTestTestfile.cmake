@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_asmkit[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_board[1]_include.cmake")
+include("/root/repo/build/tests/test_nfp[1]_include.cmake")
+include("/root/repo/build/tests/test_rtlib[1]_include.cmake")
+include("/root/repo/build/tests/test_mcc[1]_include.cmake")
+include("/root/repo/build/tests/test_fse[1]_include.cmake")
+include("/root/repo/build/tests/test_codecs[1]_include.cmake")
+include("/root/repo/build/tests/test_workloads[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfpc.dir/nfpc.cpp.o"
+  "CMakeFiles/nfpc.dir/nfpc.cpp.o.d"
+  "nfpc"
+  "nfpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfpdis.dir/nfpdis.cpp.o"
+  "CMakeFiles/nfpdis.dir/nfpdis.cpp.o.d"
+  "nfpdis"
+  "nfpdis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nfpdis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
