@@ -25,13 +25,16 @@ int main() {
   return program;
 }
 
-template <typename Sim>
-void run_sim(benchmark::State& state, Sim&& make) {
+// `make` builds the simulator, `go` runs the loaded simulator to completion
+// and returns its RunResult (this indirection lets callers pick a dispatch
+// mode; Board has no dispatch parameter).
+template <typename Make, typename Go>
+void run_sim(benchmark::State& state, Make&& make, Go&& go) {
   std::uint64_t insns = 0;
   for (auto _ : state) {
     auto sim = make();
     sim.load(loop_program());
-    const auto result = sim.run(1'000'000'000ull);
+    const auto result = go(sim);
     if (!result.halted) state.SkipWithError("did not halt");
     insns += result.instret;
   }
@@ -40,27 +43,54 @@ void run_sim(benchmark::State& state, Sim&& make) {
   state.SetItemsProcessed(static_cast<std::int64_t>(insns));
 }
 
+constexpr std::uint64_t kBudget = 1'000'000'000ull;
+
+// Step vs block dispatch A/B pairs for the two batch-capable fidelity
+// levels (the superblock morph cache speedup reported in docs/block_cache.md).
 void BM_FunctionalSim(benchmark::State& state) {
-  run_sim(state, [] { return nfp::sim::FunctionalSim(); });
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
 
+void BM_FunctionalSim_Step(benchmark::State& state) {
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
+}
+BENCHMARK(BM_FunctionalSim_Step)->Unit(benchmark::kMillisecond);
+
 void BM_IssWithCounters(benchmark::State& state) {
-  run_sim(state, [] { return nfp::sim::Iss(); });
+  run_sim(
+      state, [] { return nfp::sim::Iss(); },
+      [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_IssWithCounters)->Unit(benchmark::kMillisecond);
 
+void BM_IssWithCounters_Step(benchmark::State& state) {
+  run_sim(
+      state, [] { return nfp::sim::Iss(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
+}
+BENCHMARK(BM_IssWithCounters_Step)->Unit(benchmark::kMillisecond);
+
 void BM_BoardApproxTimed(benchmark::State& state) {
-  run_sim(state, [] { return nfp::board::Board(); });
+  run_sim(
+      state, [] { return nfp::board::Board(); },
+      [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_BoardApproxTimed)->Unit(benchmark::kMillisecond);
 
 void BM_BoardCycleStepped(benchmark::State& state) {
-  run_sim(state, [] {
-    nfp::board::BoardConfig cfg;
-    cfg.fidelity = nfp::board::Fidelity::kCycleStepped;
-    return nfp::board::Board(cfg);
-  });
+  run_sim(
+      state,
+      [] {
+        nfp::board::BoardConfig cfg;
+        cfg.fidelity = nfp::board::Fidelity::kCycleStepped;
+        return nfp::board::Board(cfg);
+      },
+      [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_BoardCycleStepped)->Unit(benchmark::kMillisecond);
 

@@ -166,24 +166,13 @@ bench/CMakeFiles/bench_ext_optimizer.dir/bench_ext_optimizer.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
  /root/repo/src/isa/decode.h /root/repo/src/isa/disasm.h \
- /root/repo/src/sim/bus.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
+ /root/repo/src/sim/block_cache.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/memmap.h \
- /root/repo/src/sim/cpu_state.h /usr/include/c++/12/bit \
- /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/bench/support.h /root/repo/src/nfp/campaign.h \
- /root/repo/src/board/board.h /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
- /usr/include/c++/12/ostream /usr/include/c++/12/ios \
- /usr/include/c++/12/bits/ios_base.h /usr/include/c++/12/ext/atomicity.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \
+ /usr/include/c++/12/ios /usr/include/c++/12/bits/ios_base.h \
+ /usr/include/c++/12/ext/atomicity.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/gthr-default.h \
  /usr/include/pthread.h /usr/include/sched.h \
@@ -246,7 +235,21 @@ bench/CMakeFiles/bench_ext_optimizer.dir/bench_ext_optimizer.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h \
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/bus.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/memmap.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/sim/hooks.h \
+ /root/repo/src/sim/platform.h /root/repo/bench/support.h \
+ /root/repo/src/nfp/campaign.h /root/repo/src/board/board.h \
  /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h \
  /root/repo/src/nfp/error.h /root/repo/src/workloads/kernels.h \
  /root/repo/src/codecs/mvc.h /root/repo/src/fse/fse_ref.h \

@@ -209,19 +209,23 @@ bench/CMakeFiles/bench_fig4_showcase.dir/bench_fig4_showcase.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/memmap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/memmap.h \
  /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/isa/decode.h /root/repo/src/sim/cpu_state.h \
- /root/repo/src/nfp/error.h /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/isa/decode.h /root/repo/src/sim/block_cache.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/sim/iss.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -242,11 +246,12 @@ bench/CMakeFiles/bench_fig4_showcase.dir/bench_fig4_showcase.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nfp/report.h \
- /root/repo/src/workloads/kernels.h /root/repo/src/codecs/mvc.h \
- /root/repo/src/fse/fse_ref.h /usr/include/c++/12/complex \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/isa/disasm.h /root/repo/src/nfp/error.h \
+ /root/repo/src/nfp/report.h /root/repo/src/workloads/kernels.h \
+ /root/repo/src/codecs/mvc.h /root/repo/src/fse/fse_ref.h \
+ /usr/include/c++/12/complex /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/mcc/compiler.h \
  /root/repo/src/mcc/codegen.h /root/repo/src/mcc/ast.h \
  /root/repo/src/mcc/types.h

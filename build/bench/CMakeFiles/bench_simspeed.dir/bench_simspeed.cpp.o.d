@@ -223,12 +223,12 @@ bench/CMakeFiles/bench_simspeed.dir/bench_simspeed.cpp.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/memmap.h \
  /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/isa/decode.h /root/repo/src/sim/cpu_state.h \
- /root/repo/src/mcc/compiler.h /root/repo/src/mcc/codegen.h \
- /root/repo/src/mcc/ast.h /root/repo/src/mcc/types.h \
- /root/repo/src/sim/iss.h /root/repo/src/sim/executor.h \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/isa/decode.h /root/repo/src/sim/block_cache.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/mcc/compiler.h \
+ /root/repo/src/mcc/codegen.h /root/repo/src/mcc/ast.h \
+ /root/repo/src/mcc/types.h /root/repo/src/sim/iss.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

@@ -1,0 +1,8 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nfp_bench_smoke"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang )
+  include(CMakeFiles/nfp_bench_smoke.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

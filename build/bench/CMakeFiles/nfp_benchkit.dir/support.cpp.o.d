@@ -210,19 +210,23 @@ bench/CMakeFiles/nfp_benchkit.dir/support.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/memmap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/memmap.h \
  /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/isa/decode.h /root/repo/src/sim/cpu_state.h \
- /root/repo/src/nfp/error.h /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/isa/decode.h /root/repo/src/sim/block_cache.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/sim/iss.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -243,4 +247,6 @@ bench/CMakeFiles/nfp_benchkit.dir/support.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc /root/repo/src/nfp/report.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/isa/disasm.h /root/repo/src/nfp/error.h \
+ /root/repo/src/nfp/report.h

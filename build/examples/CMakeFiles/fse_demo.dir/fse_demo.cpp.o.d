@@ -197,23 +197,11 @@ examples/CMakeFiles/fse_demo.dir/fse_demo.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /root/repo/src/sim/executor.h \
  /usr/include/c++/12/span /root/repo/src/isa/decode.h \
- /root/repo/src/isa/disasm.h /root/repo/src/sim/bus.h \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
- /usr/include/c++/12/bits/stl_algo.h \
- /usr/include/c++/12/bits/algorithmfwd.h \
- /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/memmap.h \
- /root/repo/src/sim/cpu_state.h /usr/include/c++/12/bit \
- /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/workloads/kernels.h /root/repo/src/codecs/mvc.h \
- /root/repo/src/mcc/compiler.h /root/repo/src/mcc/codegen.h \
- /root/repo/src/mcc/ast.h /usr/include/c++/12/memory \
+ /root/repo/src/isa/disasm.h /root/repo/src/sim/block_cache.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
- /usr/include/c++/12/bits/align.h /usr/include/c++/12/bits/unique_ptr.h \
+ /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
+ /usr/include/c++/12/bits/unique_ptr.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
  /usr/include/c++/12/bits/allocated_ptr.h \
@@ -247,6 +235,22 @@ examples/CMakeFiles/fse_demo.dir/fse_demo.cpp.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/mcc/types.h \
- /root/repo/src/nfp/campaign.h /root/repo/src/board/board.h \
- /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h
+ /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/sim/bus.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /usr/include/c++/12/bits/algorithmfwd.h \
+ /usr/include/c++/12/bits/stl_heap.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/memmap.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/sim/hooks.h \
+ /root/repo/src/sim/platform.h /root/repo/src/workloads/kernels.h \
+ /root/repo/src/codecs/mvc.h /root/repo/src/mcc/compiler.h \
+ /root/repo/src/mcc/codegen.h /root/repo/src/mcc/ast.h \
+ /root/repo/src/mcc/types.h /root/repo/src/nfp/campaign.h \
+ /root/repo/src/board/board.h /root/repo/src/board/cost_model.h \
+ /root/repo/src/board/hooks.h

@@ -220,6 +220,10 @@ src/nfp/CMakeFiles/nfp_model.dir/calibration.cpp.o: \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /root/repo/src/sim/memmap.h \
- /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/isa/decode.h /root/repo/src/sim/cpu_state.h
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/memmap.h /root/repo/src/sim/hooks.h \
+ /root/repo/src/sim/platform.h /root/repo/src/isa/decode.h \
+ /root/repo/src/sim/block_cache.h /root/repo/src/sim/cpu_state.h

@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/block_cache.cpp" "src/sim/CMakeFiles/nfp_sim.dir/block_cache.cpp.o" "gcc" "src/sim/CMakeFiles/nfp_sim.dir/block_cache.cpp.o.d"
   "/root/repo/src/sim/bus.cpp" "src/sim/CMakeFiles/nfp_sim.dir/bus.cpp.o" "gcc" "src/sim/CMakeFiles/nfp_sim.dir/bus.cpp.o.d"
   "/root/repo/src/sim/platform.cpp" "src/sim/CMakeFiles/nfp_sim.dir/platform.cpp.o" "gcc" "src/sim/CMakeFiles/nfp_sim.dir/platform.cpp.o.d"
   )

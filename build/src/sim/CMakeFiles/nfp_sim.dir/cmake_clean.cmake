@@ -1,4 +1,6 @@
 file(REMOVE_RECURSE
+  "CMakeFiles/nfp_sim.dir/block_cache.cpp.o"
+  "CMakeFiles/nfp_sim.dir/block_cache.cpp.o.d"
   "CMakeFiles/nfp_sim.dir/bus.cpp.o"
   "CMakeFiles/nfp_sim.dir/bus.cpp.o.d"
   "CMakeFiles/nfp_sim.dir/platform.cpp.o"

@@ -235,21 +235,26 @@ src/workloads/CMakeFiles/nfp_workloads.dir/kernels.cpp.o: \
  /root/repo/src/board/cost_model.h /usr/include/c++/12/array \
  /root/repo/src/isa/insn.h /root/repo/src/isa/categories.h \
  /usr/include/c++/12/cstddef /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/hooks.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/hooks.h \
  /root/repo/src/sim/platform.h /root/repo/src/isa/decode.h \
- /root/repo/src/sim/cpu_state.h /root/repo/src/nfp/scheme.h \
- /usr/include/c++/12/cstring /usr/include/string.h /usr/include/strings.h \
- /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/ctime \
- /usr/include/c++/12/bits/parse_numbers.h \
+ /root/repo/src/sim/block_cache.h /root/repo/src/sim/cpu_state.h \
+ /root/repo/src/nfp/scheme.h /root/repo/src/sim/iss.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/span \
+ /root/repo/src/isa/disasm.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/codecs/sequence_gen.h /root/repo/src/fse/image_gen.h \
  /root/repo/src/rtlib/sources.h /root/repo/src/workloads/mc_shims.h \

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/sim/block_cache_test.cpp" "tests/CMakeFiles/test_block_cache.dir/sim/block_cache_test.cpp.o" "gcc" "tests/CMakeFiles/test_block_cache.dir/sim/block_cache_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/nfp_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/nfp_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/mcc/CMakeFiles/nfp_mcc.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtlib/CMakeFiles/nfp_rtlib.dir/DependInfo.cmake"
+  "/root/repo/build/src/codecs/CMakeFiles/nfp_codecs.dir/DependInfo.cmake"
+  "/root/repo/build/src/fse/CMakeFiles/nfp_fse.dir/DependInfo.cmake"
+  "/root/repo/build/src/nfp/CMakeFiles/nfp_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/board/CMakeFiles/nfp_board.dir/DependInfo.cmake"
+  "/root/repo/build/src/asmkit/CMakeFiles/nfp_asmkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/nfp_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_block_cache.dir/sim/block_cache_test.cpp.o"
+  "CMakeFiles/test_block_cache.dir/sim/block_cache_test.cpp.o.d"
+  "test_block_cache"
+  "test_block_cache.pdb"
+  "test_block_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_block_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -300,10 +300,14 @@ tests/CMakeFiles/test_integration.dir/integration/estimation_test.cpp.o: \
  /root/repo/src/isa/categories.h /root/repo/src/nfp/campaign.h \
  /root/repo/src/asmkit/program.h /root/repo/src/board/board.h \
  /root/repo/src/board/cost_model.h /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /root/repo/src/sim/memmap.h \
- /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h \
- /root/repo/src/isa/decode.h /root/repo/src/sim/cpu_state.h \
- /root/repo/src/nfp/dse.h /root/repo/src/nfp/error.h \
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/memmap.h /root/repo/src/sim/hooks.h \
+ /root/repo/src/sim/platform.h /root/repo/src/isa/decode.h \
+ /root/repo/src/sim/block_cache.h /root/repo/src/sim/cpu_state.h \
+ /root/repo/src/sim/iss.h /root/repo/src/sim/executor.h \
  /usr/include/c++/12/cmath /usr/include/math.h \
  /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
@@ -325,8 +329,10 @@ tests/CMakeFiles/test_integration.dir/integration/estimation_test.cpp.o: \
  /usr/include/c++/12/tr1/modified_bessel_func.tcc \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
- /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/workloads/kernels.h /root/repo/src/codecs/mvc.h \
- /root/repo/src/fse/fse_ref.h /usr/include/c++/12/complex \
- /root/repo/src/mcc/compiler.h /root/repo/src/mcc/codegen.h \
- /root/repo/src/mcc/ast.h /root/repo/src/mcc/types.h
+ /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
+ /root/repo/src/isa/disasm.h /root/repo/src/nfp/dse.h \
+ /root/repo/src/nfp/error.h /root/repo/src/workloads/kernels.h \
+ /root/repo/src/codecs/mvc.h /root/repo/src/fse/fse_ref.h \
+ /usr/include/c++/12/complex /root/repo/src/mcc/compiler.h \
+ /root/repo/src/mcc/codegen.h /root/repo/src/mcc/ast.h \
+ /root/repo/src/mcc/types.h

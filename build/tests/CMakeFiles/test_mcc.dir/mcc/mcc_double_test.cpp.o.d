@@ -321,5 +321,9 @@ tests/CMakeFiles/test_mcc.dir/mcc/mcc_double_test.cpp.o: \
  /usr/include/c++/12/tr1/riemann_zeta.tcc /usr/include/c++/12/span \
  /root/repo/src/isa/decode.h /root/repo/src/isa/insn.h \
  /root/repo/src/isa/categories.h /root/repo/src/isa/disasm.h \
- /root/repo/src/sim/bus.h /root/repo/src/sim/cpu_state.h \
- /root/repo/src/sim/hooks.h /root/repo/src/sim/platform.h
+ /root/repo/src/sim/block_cache.h /root/repo/src/sim/bus.h \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/sim/cpu_state.h /root/repo/src/sim/hooks.h \
+ /root/repo/src/sim/platform.h

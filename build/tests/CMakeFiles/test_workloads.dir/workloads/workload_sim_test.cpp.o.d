@@ -236,18 +236,23 @@ tests/CMakeFiles/test_workloads.dir/workloads/workload_sim_test.cpp.o: \
  /root/repo/src/board/cost_model.h /usr/include/c++/12/array \
  /root/repo/src/isa/insn.h /root/repo/src/isa/categories.h \
  /usr/include/c++/12/cstddef /root/repo/src/board/hooks.h \
- /root/repo/src/sim/bus.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/sim/bus.h /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /root/repo/src/sim/hooks.h \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/sim/hooks.h \
  /root/repo/src/sim/platform.h /root/repo/src/isa/decode.h \
- /root/repo/src/sim/cpu_state.h /root/repo/src/nfp/scheme.h \
- /root/miniconda/include/gtest/gtest.h \
+ /root/repo/src/sim/block_cache.h /root/repo/src/sim/cpu_state.h \
+ /root/repo/src/nfp/scheme.h /root/repo/src/sim/iss.h \
+ /root/repo/src/sim/executor.h /usr/include/c++/12/span \
+ /root/repo/src/isa/disasm.h /root/miniconda/include/gtest/gtest.h \
  /root/miniconda/include/gtest/internal/gtest-internal.h \
  /root/miniconda/include/gtest/internal/gtest-port.h \
  /usr/include/c++/12/stdlib.h /usr/include/string.h \
@@ -325,6 +330,4 @@ tests/CMakeFiles/test_workloads.dir/workloads/workload_sim_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/codecs/sequence_gen.h /root/repo/src/isa/names.h \
- /root/repo/src/sim/iss.h /root/repo/src/sim/executor.h \
- /usr/include/c++/12/span /root/repo/src/isa/disasm.h
+ /root/repo/src/codecs/sequence_gen.h /root/repo/src/isa/names.h

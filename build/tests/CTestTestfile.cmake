@@ -7,6 +7,7 @@
 include("/root/repo/build/tests/test_isa[1]_include.cmake")
 include("/root/repo/build/tests/test_asmkit[1]_include.cmake")
 include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_block_cache[1]_include.cmake")
 include("/root/repo/build/tests/test_board[1]_include.cmake")
 include("/root/repo/build/tests/test_nfp[1]_include.cmake")
 include("/root/repo/build/tests/test_rtlib[1]_include.cmake")

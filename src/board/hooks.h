@@ -28,6 +28,9 @@ struct BoardStats {
 class BoardHooks {
  public:
   static constexpr bool kWantsDetail = true;
+  // Context-dependent effects (open rows, toggling, cache state) need every
+  // retired instruction in order; block-batched accounting cannot apply.
+  static constexpr bool kBatchRetire = false;
 
   BoardHooks(const BoardConfig& cfg, const CostModel& cost)
       : cfg_(cfg), cost_(cost) {

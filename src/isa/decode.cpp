@@ -174,4 +174,34 @@ DecodedInsn decode(std::uint32_t word) {
   }
 }
 
+MorphGroup morph_group(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kAddcc: case Op::kAddx: case Op::kAddxcc:
+    case Op::kSub: case Op::kSubcc: case Op::kSubx: case Op::kSubxcc:
+      return MorphGroup::kAddSub;
+    case Op::kAnd: case Op::kAndcc: case Op::kAndn: case Op::kAndncc:
+    case Op::kOr: case Op::kOrcc: case Op::kOrn: case Op::kOrncc:
+    case Op::kXor: case Op::kXorcc: case Op::kXnor: case Op::kXnorcc:
+      return MorphGroup::kLogic;
+    case Op::kSll: case Op::kSrl: case Op::kSra:
+      return MorphGroup::kShift;
+    case Op::kUmul: case Op::kUmulcc: case Op::kSmul: case Op::kSmulcc:
+    case Op::kUdiv: case Op::kUdivcc: case Op::kSdiv: case Op::kSdivcc:
+      return MorphGroup::kMulDiv;
+    case Op::kRdy: case Op::kWry:
+      return MorphGroup::kYReg;
+    case Op::kSethi: case Op::kNop: case Op::kSave: case Op::kRestore:
+      return MorphGroup::kMove;
+    case Op::kBicc: case Op::kFbfcc: case Op::kCall: case Op::kJmpl:
+    case Op::kTicc:
+      return MorphGroup::kCti;
+    case Op::kInvalid:
+      return MorphGroup::kInvalid;
+    default:
+      if (is_load(op)) return MorphGroup::kLoad;
+      if (is_store(op)) return MorphGroup::kStore;
+      return MorphGroup::kFpu;
+  }
+}
+
 }  // namespace nfp::isa

@@ -11,4 +11,31 @@ namespace nfp::isa {
 // Op::kInvalid; the simulator treats executing such a word as a fatal error.
 DecodedInsn decode(std::uint32_t word);
 
+// Morph-time grouping (paper Fig. 3): every decode entry maps to one of a
+// small set of grouped execution functions. The superblock morph cache uses
+// this table to pick a pre-resolved handler once per cached block instead of
+// re-dispatching through the full op switch on every retire.
+enum class MorphGroup : std::uint8_t {
+  kAddSub,    // add/sub families incl. carry and cc variants
+  kLogic,     // and/or/xor families
+  kShift,     // sll/srl/sra
+  kMulDiv,    // umul/smul/udiv/sdiv families
+  kYReg,      // rd %y / wr %y
+  kMove,      // sethi, nop, save/restore (flat adds)
+  kLoad,      // all integer/FP loads
+  kStore,     // all integer/FP stores
+  kFpu,       // FP arithmetic, moves, converts, compares
+  kCti,       // control-transfer instructions: block terminators
+  kInvalid,
+};
+
+MorphGroup morph_group(Op op);
+
+// True when a decode entry terminates a superblock: control transfers change
+// pc/npc in coupled ways (delay slots), and undecodable words must fault
+// through the single-step path.
+constexpr bool ends_block(const DecodedInsn& d) {
+  return is_control(d.op) || d.op == Op::kInvalid;
+}
+
 }  // namespace nfp::isa

@@ -11,6 +11,7 @@
 #include "asmkit/program.h"
 #include "board/board.h"
 #include "nfp/scheme.h"
+#include "sim/iss.h"
 
 namespace nfp::model {
 
@@ -41,13 +42,24 @@ struct KernelRunRecord {
 
 class Campaign {
  public:
+  // One worker's reusable simulators. Constructing a Bus zeroes 16 MiB of
+  // RAM per platform; an arena amortises that over a whole job queue —
+  // Platform::load only re-zeroes the pages the previous kernel touched, so
+  // a reused arena is observably identical to a fresh one.
+  struct WorkerArena {
+    explicit WorkerArena(const board::BoardConfig& cfg) : board(cfg) {}
+    sim::Iss iss;
+    board::Board board;
+  };
+
   explicit Campaign(board::BoardConfig cfg, unsigned threads = 0);
 
   // Runs every job on both platforms. Results keep the job order.
   std::vector<KernelRunRecord> run(const std::vector<KernelJob>& jobs) const;
 
-  // Single-job convenience (also used by tests).
+  // Single-job convenience (also used by tests). Builds a throwaway arena.
   KernelRunRecord run_one(const KernelJob& job) const;
+  KernelRunRecord run_one(const KernelJob& job, WorkerArena& arena) const;
 
  private:
   board::BoardConfig cfg_;

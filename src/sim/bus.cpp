@@ -12,6 +12,13 @@ void Bus::write_block(std::uint32_t addr, const std::uint8_t* data,
     throw_bad(addr, "host block write");
   }
   std::memcpy(&ram_[addr - kRamBase], data, size);
+  if (size != 0) {
+    // A bulk write can span many pages; mark every one of them.
+    for (std::uint32_t page = (addr - kRamBase) >> kPageShift;
+         page <= (addr - kRamBase + size - 1) >> kPageShift; ++page) {
+      touched_[page] = 1;
+    }
+  }
 }
 
 std::vector<std::uint8_t> Bus::read_block(std::uint32_t addr,

@@ -1,6 +1,7 @@
 // System bus: big-endian RAM plus memory-mapped peripherals (UART, timer).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <stdexcept>
@@ -17,7 +18,7 @@ struct SimError : std::runtime_error {
 
 class Bus {
  public:
-  Bus() : ram_(kRamSize, 0) {}
+  Bus() : ram_(kRamSize, 0), touched_(kRamSize >> kPageShift, 0) {}
 
   // Time sources surfaced through the timer MMIO registers. The ISS reports
   // retired instructions; the board reports cycles.
@@ -63,6 +64,7 @@ class Bus {
       p[1] = static_cast<std::uint8_t>(value >> 16);
       p[2] = static_cast<std::uint8_t>(value >> 8);
       p[3] = static_cast<std::uint8_t>(value);
+      touch(addr - kRamBase, 4);
       return;
     }
     mmio_store(addr, value);
@@ -73,11 +75,27 @@ class Bus {
     std::uint8_t* p = &ram_[addr - kRamBase];
     p[0] = static_cast<std::uint8_t>(value >> 8);
     p[1] = static_cast<std::uint8_t>(value);
+    touch(addr - kRamBase, 2);
   }
 
   void store8(std::uint32_t addr, std::uint8_t value) {
     if (!in_ram(addr)) throw_bad(addr, "byte store");
     ram_[addr - kRamBase] = value;
+    touch(addr - kRamBase, 1);
+  }
+
+  // Zeroes every page a store has dirtied since construction (or since the
+  // last reset), restoring the fresh-RAM guarantee without the cost of
+  // re-zeroing all 16 MiB. Lets campaign workers reuse one simulator arena
+  // across a job queue.
+  void reset_touched_ram() {
+    for (std::size_t page = 0; page < touched_.size(); ++page) {
+      if (touched_[page]) {
+        std::fill_n(ram_.begin() + (page << kPageShift),
+                    std::size_t{1} << kPageShift, 0);
+        touched_[page] = 0;
+      }
+    }
   }
 
   // ---- host-side bulk access (loader, workload data exchange) -------------
@@ -94,11 +112,19 @@ class Bus {
   void clear_uart() { uart_.clear(); }
 
  private:
+  static constexpr std::uint32_t kPageShift = 12;  // 4 KiB dirty granules
+
+  void touch(std::uint32_t offset, std::uint32_t bytes) {
+    touched_[offset >> kPageShift] = 1;
+    touched_[((offset + bytes - 1) & (kRamSize - 1)) >> kPageShift] = 1;
+  }
+
   std::uint32_t mmio_load(std::uint32_t addr);
   void mmio_store(std::uint32_t addr, std::uint32_t value);
   [[noreturn]] static void throw_bad(std::uint32_t addr, const char* what);
 
   std::vector<std::uint8_t> ram_;
+  std::vector<std::uint8_t> touched_;
   std::string uart_;
   std::function<std::uint64_t()> time_source_;
   std::function<std::uint64_t()> instret_source_;

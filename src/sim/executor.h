@@ -5,6 +5,13 @@
 // execution functions) + a retire hook. The hook parameter is what
 // distinguishes the functional simulator, the counting ISS, and the
 // measurement board — all three share this single execution core.
+//
+// Two dispatch modes share the core:
+//  - kStep: one instruction per dispatch through the op switch (always
+//    available; the only mode for hooks that need per-instruction detail).
+//  - kBlock: whole superblocks per dispatch through a BlockCache of morphed
+//    handler traces, with batched retire accounting for hooks that declare
+//    kBatchRetire (see block_cache.h).
 #pragma once
 
 #include <cmath>
@@ -14,11 +21,16 @@
 
 #include "isa/decode.h"
 #include "isa/disasm.h"
+#include "sim/block_cache.h"
 #include "sim/bus.h"
 #include "sim/cpu_state.h"
 #include "sim/hooks.h"
 
 namespace nfp::sim {
+
+// Execution-mode selector surfaced on the simulator front ends (and on the
+// nfpc CLI as --dispatch={step,block}).
+enum class Dispatch { kStep, kBlock };
 
 template <class Hooks>
 class Executor {
@@ -33,10 +45,36 @@ class Executor {
     cache_ = cache;
   }
 
+  // Attaches the superblock morph cache. Block dispatch engages only for
+  // hook types with kBatchRetire; for all hook types an attached cache also
+  // routes stores into the code range through invalidation, so self-modified
+  // words are re-decoded instead of executed stale.
+  void set_block_cache(BlockCache* cache) { block_cache_ = cache; }
+
   // Runs until halt or until `max_insns` more instructions retire.
   // Returns the number of instructions executed in this call.
   std::uint64_t run(std::uint64_t max_insns) {
     std::uint64_t executed = 0;
+    if constexpr (Hooks::kBatchRetire) {
+      if (block_cache_ != nullptr) {
+        while (!st_.halted && executed < max_insns) {
+          // Block entry requires a sequential pc/npc pair: a delay-slot
+          // instruction (npc already redirected) must single-step.
+          const std::uint32_t pc = st_.pc;
+          if (st_.npc == pc + 4) {
+            const Block* block = block_cache_->lookup(pc);
+            if (block != nullptr && block->len <= max_insns - executed) {
+              exec_block(*block);
+              executed += block->len;
+              continue;
+            }
+          }
+          step();
+          ++executed;
+        }
+        return executed;
+      }
+    }
     while (!st_.halted && executed < max_insns) {
       step();
       ++executed;
@@ -46,13 +84,16 @@ class Executor {
 
   void step() {
     const std::uint32_t pc = st_.pc;
+    // Alignment is checked before the decode-cache lookup: a misaligned pc
+    // inside the cached range would otherwise truncate to a word index and
+    // execute the wrong instruction instead of faulting.
+    if (pc & 3) fatal(pc, "misaligned pc");
     isa::DecodedInsn scratch;
     const isa::DecodedInsn* d;
     const std::uint32_t idx = (pc - cache_base_) / 4;
-    if (idx < cache_.size() && (pc & 3) == 0) {
+    if (idx < cache_.size()) {
       d = &cache_[idx];
     } else {
-      if (pc & 3) fatal(pc, "misaligned pc");
       scratch = isa::decode(bus_.load32(pc));
       d = &scratch;
     }
@@ -62,6 +103,58 @@ class Executor {
 
  private:
   using Op = isa::Op;
+
+  // Executes one morphed superblock: per-record function-pointer dispatch,
+  // a single pc/npc update at block exit, and one batched retire. On a fault
+  // the architectural state is restored to the faulting instruction and the
+  // completed prefix retires through the per-instruction hook, so instret
+  // and op counts stay identical to the stepping path.
+  void exec_block(const Block& block) {
+    const MorphInsn* code = block.code.data();
+    MorphCtx ctx{st_, bus_, *block_cache_, block.start, code, st_.instret};
+    const std::uint32_t n = block.len;
+    std::uint32_t i = 0;
+    try {
+      // instret is batched like the retire accounting (one add at block
+      // exit); handlers that can observe it mid-block (MMIO word loads)
+      // restore the exact value via MorphCtx::sync_instret first.
+      for (; i < n; ++i) code[i].fn(code[i], ctx);
+    } catch (...) {
+      st_.pc = block.start + 4 * i;
+      st_.npc = st_.pc + 4;
+      st_.instret = ctx.entry_instret + i;
+      for (std::uint32_t j = 0; j < i; ++j) {
+        isa::DecodedInsn d;
+        d.op = static_cast<Op>(code[j].op);
+        hooks_.on_retire(d, RetireInfo{});
+      }
+      throw;
+    }
+    // A terminating CTI record has already written pc/npc (delay-slot
+    // semantics); only straight-line blocks exit sequentially.
+    if (!block.ends_with_cti) {
+      st_.pc = block.start + 4 * n;
+      st_.npc = st_.pc + 4;
+    }
+    st_.instret = ctx.entry_instret + n;
+    hooks_.on_retire_block(block.profile.data(), block.profile.size(), n);
+  }
+
+  // Store paths call this when a block cache is attached: a store landing in
+  // the code range re-decodes the words and flushes overlapping blocks.
+  void invalidate_stored(Op op, std::uint32_t ea) const {
+    std::uint32_t width = 4;
+    switch (op) {
+      case Op::kStb: width = 1; break;
+      case Op::kSth: width = 2; break;
+      case Op::kStd: case Op::kStdf: width = 8; break;
+      default: break;
+    }
+    if (block_cache_->covers_code(ea) ||
+        block_cache_->covers_code(ea + width - 1)) {
+      block_cache_->invalidate(ea, width);
+    }
+  }
 
   [[noreturn]] void fatal(std::uint32_t pc, const std::string& what) const {
     char buf[64];
@@ -399,6 +492,7 @@ class Executor {
             break;
           default: break;
         }
+        if (block_cache_ != nullptr) invalidate_stored(d.op, ea);
         retire_mem(d, pc, ea, data);
         advance();
         return;
@@ -621,6 +715,7 @@ class Executor {
   Hooks& hooks_;
   std::uint32_t cache_base_ = 0;
   std::span<const isa::DecodedInsn> cache_;
+  BlockCache* block_cache_ = nullptr;
 };
 
 }  // namespace nfp::sim

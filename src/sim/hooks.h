@@ -25,10 +25,24 @@ struct RetireInfo {
   bool taken = false;          // control transfers: branch taken
 };
 
+// One entry of a superblock's precomputed retire profile: how many times a
+// given op retires when the block runs front to back. For a straight-line
+// block this is static, so hooks that only consume op counts can retire the
+// whole block with one vector-add instead of one call per instruction.
+struct BlockOpCount {
+  std::uint8_t op = 0;       // isa::Op, stored compactly
+  std::uint32_t count = 0;
+};
+
 // Functional-only simulation: no non-functional properties at all.
 struct NullHooks {
   static constexpr bool kWantsDetail = false;
+  // Batched retirement: the executor may retire a whole cached block with a
+  // single on_retire_block call. Hooks whose per-instruction cost is
+  // data-dependent (board, trace) must leave this false and keep stepping.
+  static constexpr bool kBatchRetire = true;
   void on_retire(const isa::DecodedInsn&, const RetireInfo&) {}
+  void on_retire_block(const BlockOpCount*, std::size_t, std::uint64_t) {}
 };
 
 // Instruction-accurate counting (the OVP-with-counters analog): one counter
@@ -36,11 +50,20 @@ struct NullHooks {
 // can be evaluated without re-simulating.
 struct OpCountHooks {
   static constexpr bool kWantsDetail = false;
+  static constexpr bool kBatchRetire = true;
 
   std::array<std::uint64_t, isa::kOpCount> counts{};
 
   void on_retire(const isa::DecodedInsn& insn, const RetireInfo&) {
     ++counts[static_cast<std::size_t>(insn.op)];
+  }
+
+  // Batched retirement of a whole straight-line block: the per-category
+  // counts of such a block are statically known, so they arrive as one
+  // precomputed count vector (paper §III: counters in plain registers, no
+  // per-instruction callback).
+  void on_retire_block(const BlockOpCount* ops, std::size_t n, std::uint64_t) {
+    for (std::size_t i = 0; i < n; ++i) counts[ops[i].op] += ops[i].count;
   }
 
   std::uint64_t total() const {

@@ -17,11 +17,18 @@ class Iss {
   // repo; hitting it means a runaway kernel and yields halted == false.
   static constexpr std::uint64_t kDefaultMaxInsns = 20'000'000'000ull;
 
-  void load(const asmkit::Program& program) { platform_.load(program); }
+  void load(const asmkit::Program& program) {
+    platform_.load(program);
+    hooks_ = OpCountHooks{};  // counters belong to the loaded program
+  }
 
-  RunResult run(std::uint64_t max_insns = kDefaultMaxInsns) {
+  RunResult run(std::uint64_t max_insns = kDefaultMaxInsns,
+                Dispatch dispatch = Dispatch::kBlock) {
     Executor<OpCountHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+    if (dispatch == Dispatch::kBlock) {
+      exec.set_block_cache(platform_.block_cache());
+    }
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;
@@ -45,10 +52,14 @@ class FunctionalSim {
  public:
   void load(const asmkit::Program& program) { platform_.load(program); }
 
-  RunResult run(std::uint64_t max_insns = Iss::kDefaultMaxInsns) {
+  RunResult run(std::uint64_t max_insns = Iss::kDefaultMaxInsns,
+                Dispatch dispatch = Dispatch::kBlock) {
     NullHooks hooks;
     Executor<NullHooks> exec(platform_.cpu(), platform_.bus(), hooks);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+    if (dispatch == Dispatch::kBlock) {
+      exec.set_block_cache(platform_.block_cache());
+    }
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;

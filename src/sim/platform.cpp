@@ -18,6 +18,10 @@ void Platform::load(const asmkit::Program& program) {
       program.base() + program.size() > kRamEnd) {
     throw SimError("program does not fit in RAM");
   }
+  // Drop the morph cache before mutating the image it indexes.
+  bcache_.reset();
+  bus_.reset_touched_ram();
+  bus_.clear_uart();
   bus_.write_block(program.base(), program.bytes().data(),
                    program.bytes().size());
 
@@ -29,6 +33,7 @@ void Platform::load(const asmkit::Program& program) {
     dcache_.push_back(isa::decode(bus_.load32(
         program.base() + static_cast<std::uint32_t>(i) * 4)));
   }
+  bcache_ = std::make_unique<BlockCache>(bus_, code_base_, dcache_);
 
   cpu_ = CpuState{};
   cpu_.pc = program.entry();

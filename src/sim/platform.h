@@ -5,10 +5,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "asmkit/program.h"
 #include "isa/decode.h"
+#include "sim/block_cache.h"
 #include "sim/bus.h"
 #include "sim/cpu_state.h"
 
@@ -25,7 +27,10 @@ class Platform {
   Platform();
 
   // Copies the program into RAM, predecodes its text, and resets the CPU
-  // (pc = entry, %sp = kStackTop). Any previous machine state is discarded.
+  // (pc = entry, %sp = kStackTop). Any previous machine state is discarded:
+  // RAM pages touched by an earlier run are zeroed, the UART cleared, and
+  // the superblock morph cache rebuilt, so a reused Platform is
+  // indistinguishable from a freshly constructed one.
   void load(const asmkit::Program& program);
 
   Bus& bus() { return bus_; }
@@ -36,11 +41,16 @@ class Platform {
   std::uint32_t code_base() const { return code_base_; }
   const std::vector<isa::DecodedInsn>& decode_cache() const { return dcache_; }
 
+  // Superblock morph cache over the predecoded image (Dispatch::kBlock);
+  // null until a program is loaded.
+  BlockCache* block_cache() { return bcache_.get(); }
+
  private:
   Bus bus_;
   CpuState cpu_;
   std::uint32_t code_base_ = 0;
   std::vector<isa::DecodedInsn> dcache_;
+  std::unique_ptr<BlockCache> bcache_;
 };
 
 }  // namespace nfp::sim

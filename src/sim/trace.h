@@ -14,6 +14,9 @@ namespace nfp::sim {
 
 struct TraceHooks {
   static constexpr bool kWantsDetail = true;
+  // A trace is inherently per-instruction; block-batched retire would skip
+  // the disassembly callback.
+  static constexpr bool kBatchRetire = false;
 
   std::string* out = nullptr;
   std::size_t limit = 0;
@@ -35,13 +38,21 @@ class TraceSim {
 
   void load(const asmkit::Program& program) { platform_.load(program); }
 
-  // Runs to completion; returns the captured trace.
-  std::string run(std::uint64_t max_insns = 100'000'000ull) {
+  // Runs to completion; returns the captured trace. TraceHooks never batch
+  // (kBatchRetire == false), so both dispatch modes step instruction by
+  // instruction; kBlock additionally keeps the morph cache and predecode
+  // image coherent under stores into code, matching the block-mode
+  // executors on self-modifying programs.
+  std::string run(std::uint64_t max_insns = 100'000'000ull,
+                  Dispatch dispatch = Dispatch::kBlock) {
     std::string trace;
     hooks_.out = &trace;
     hooks_.emitted = 0;
     Executor<TraceHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+    if (dispatch == Dispatch::kBlock) {
+      exec.set_block_cache(platform_.block_cache());
+    }
     exec.run(max_insns);
     hooks_.out = nullptr;
     return trace;

@@ -323,6 +323,24 @@ _start: set 0x40000002, %g1
                SimError);
 }
 
+TEST(Executor, MisalignedPcFaultsInBothDispatchModes) {
+  // The pc alignment check must fire before any decode-cache or block-cache
+  // indexing: a misaligned pc inside the text range would otherwise index
+  // the wrong cache word (or silently round down) instead of faulting.
+  const auto prog = asmkit::assemble(R"(
+_start: nop
+        ta 0
+)",
+                                     kTextBase);
+  for (const auto dispatch : {Dispatch::kStep, Dispatch::kBlock}) {
+    Iss iss;
+    iss.load(prog);
+    iss.cpu().pc = kTextBase + 2;
+    iss.cpu().npc = kTextBase + 6;
+    EXPECT_THROW(iss.run(16, dispatch), SimError);
+  }
+}
+
 TEST(Executor, IllegalInstructionFaults) {
   Iss iss;
   EXPECT_THROW(run_asm(R"(

@@ -9,6 +9,9 @@
 //     --estimate        calibrate the NFP model and print Ê / T̂ (Eq. 1)
 //     --board           also run on the measurement board and compare
 //     --counts          print per-category instruction counts
+//     --dispatch=MODE   simulator dispatch: block (superblock morph cache,
+//                       default) or step (per-instruction switch)
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -42,6 +45,7 @@ std::string read_file(const std::string& path) {
 int main(int argc, char** argv) {
   bool soft = false, want_asm = false, want_estimate = false;
   bool want_board = false, want_counts = false;
+  nfp::sim::Dispatch dispatch = nfp::sim::Dispatch::kBlock;
   std::size_t trace_limit = 0;
   std::vector<std::string> sources;
 
@@ -57,6 +61,14 @@ int main(int argc, char** argv) {
       want_board = true;
     } else if (arg == "--counts") {
       want_counts = true;
+    } else if (arg == "--dispatch=step") {
+      dispatch = nfp::sim::Dispatch::kStep;
+    } else if (arg == "--dispatch=block") {
+      dispatch = nfp::sim::Dispatch::kBlock;
+    } else if (arg.rfind("--dispatch", 0) == 0) {
+      std::fprintf(stderr, "nfpc: bad %s (use --dispatch=step|block)\n",
+                   arg.c_str());
+      return 2;
     } else if (arg.rfind("--trace", 0) == 0) {
       trace_limit = 64;
       if (arg.size() > 8 && arg[7] == '=') {
@@ -64,7 +76,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
-                  "[--estimate] [--board] [--counts] file.c ...\n");
+                  "[--estimate] [--board] [--counts] "
+                  "[--dispatch=step|block] file.c ...\n");
       return 0;
     } else {
       sources.push_back(read_file(arg));
@@ -97,7 +110,11 @@ int main(int argc, char** argv) {
 
     nfp::sim::Iss iss;
     iss.load(program);
-    const auto run = iss.run();
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto run = iss.run(nfp::sim::Iss::kDefaultMaxInsns, dispatch);
+    const double host_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     if (!iss.bus().uart_output().empty()) {
       std::printf("--- uart ---\n%s--- end uart ---\n",
                   iss.bus().uart_output().c_str());
@@ -105,6 +122,12 @@ int main(int argc, char** argv) {
     std::printf("exit code %u after %llu instructions%s\n", run.exit_code,
                 static_cast<unsigned long long>(run.instret),
                 run.halted ? "" : " (DID NOT HALT)");
+    std::printf("dispatch %s: %.1f MIPS (%.3f ms host)\n",
+                dispatch == nfp::sim::Dispatch::kBlock ? "block" : "step",
+                host_s > 0.0
+                    ? static_cast<double>(run.instret) / host_s * 1e-6
+                    : 0.0,
+                host_s * 1e3);
     if (!run.halted) return 1;
 
     const auto& scheme = nfp::model::CategoryScheme::paper();
