@@ -2,21 +2,44 @@
 // (feeds the speed axis of Fig. 1 with statistically robust numbers).
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "board/board.h"
 #include "mcc/compiler.h"
 #include "sim/iss.h"
 
+// Build provenance, stamped per entry: an unoptimized simulator makes every
+// MIPS number meaningless for before/after comparisons.
+#ifndef NFP_BUILD_TYPE
+#define NFP_BUILD_TYPE "unknown"
+#endif
+
 namespace {
 
+void set_provenance(benchmark::State& state, const char* dispatch) {
+  state.SetLabel(std::string("dispatch=") + dispatch +
+                 " build=" NFP_BUILD_TYPE);
+}
+
+// Dispatch-speed workload: the mix() call keeps blocks short and makes
+// block-to-block transitions (call, conditional branch, jmpl return through
+// the branch-target cache) a large share of retired instructions — the very
+// cost the dispatch modes differ on. Straight-line-only loops under-report
+// dispatch overhead because one morphed block amortizes it over dozens of
+// instructions.
 const nfp::asmkit::Program& loop_program() {
   static const nfp::asmkit::Program program = nfp::mcc::Compiler().compile({R"(
+unsigned mix(unsigned acc, unsigned v) {
+  acc = acc * 1664525u + 1013904223u;
+  return acc ^ v;
+}
 int main() {
   unsigned acc = 1;
   int data[64];
   for (int i = 0; i < 64; i++) data[i] = i * 3;
   for (int i = 0; i < 40000; i++) {
-    acc = acc * 1664525u + 1013904223u;
-    acc ^= (unsigned)data[i & 63];
+    acc = mix(acc, (unsigned)data[i & 63]);
+    acc = mix(acc, acc >> 3);
     data[i & 63] = (int)(acc >> 16);
   }
   return (int)(acc & 0xFF);
@@ -45,16 +68,29 @@ void run_sim(benchmark::State& state, Make&& make, Go&& go) {
 
 constexpr std::uint64_t kBudget = 1'000'000'000ull;
 
-// Step vs block dispatch A/B pairs for the two batch-capable fidelity
-// levels (the superblock morph cache speedup reported in docs/block_cache.md).
+// Step / block-unchained / block-chained A/B triples for the two
+// batch-capable fidelity levels (the superblock morph cache and chaining
+// speedups reported in docs/block_cache.md).
 void BM_FunctionalSim(benchmark::State& state) {
+  set_provenance(state, "block-chained");
   run_sim(
       state, [] { return nfp::sim::FunctionalSim(); },
       [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_FunctionalSim)->Unit(benchmark::kMillisecond);
 
+void BM_FunctionalSim_Unchained(benchmark::State& state) {
+  set_provenance(state, "block-unchained");
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) {
+        return sim.run(kBudget, nfp::sim::Dispatch::kBlockUnchained);
+      });
+}
+BENCHMARK(BM_FunctionalSim_Unchained)->Unit(benchmark::kMillisecond);
+
 void BM_FunctionalSim_Step(benchmark::State& state) {
+  set_provenance(state, "step");
   run_sim(
       state, [] { return nfp::sim::FunctionalSim(); },
       [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
@@ -62,13 +98,25 @@ void BM_FunctionalSim_Step(benchmark::State& state) {
 BENCHMARK(BM_FunctionalSim_Step)->Unit(benchmark::kMillisecond);
 
 void BM_IssWithCounters(benchmark::State& state) {
+  set_provenance(state, "block-chained");
   run_sim(
       state, [] { return nfp::sim::Iss(); },
       [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_IssWithCounters)->Unit(benchmark::kMillisecond);
 
+void BM_IssWithCounters_Unchained(benchmark::State& state) {
+  set_provenance(state, "block-unchained");
+  run_sim(
+      state, [] { return nfp::sim::Iss(); },
+      [](auto& sim) {
+        return sim.run(kBudget, nfp::sim::Dispatch::kBlockUnchained);
+      });
+}
+BENCHMARK(BM_IssWithCounters_Unchained)->Unit(benchmark::kMillisecond);
+
 void BM_IssWithCounters_Step(benchmark::State& state) {
+  set_provenance(state, "step");
   run_sim(
       state, [] { return nfp::sim::Iss(); },
       [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
@@ -76,6 +124,7 @@ void BM_IssWithCounters_Step(benchmark::State& state) {
 BENCHMARK(BM_IssWithCounters_Step)->Unit(benchmark::kMillisecond);
 
 void BM_BoardApproxTimed(benchmark::State& state) {
+  set_provenance(state, "step");
   run_sim(
       state, [] { return nfp::board::Board(); },
       [](auto& sim) { return sim.run(kBudget); });
@@ -83,6 +132,7 @@ void BM_BoardApproxTimed(benchmark::State& state) {
 BENCHMARK(BM_BoardApproxTimed)->Unit(benchmark::kMillisecond);
 
 void BM_BoardCycleStepped(benchmark::State& state) {
+  set_provenance(state, "step");
   run_sim(
       state,
       [] {
@@ -121,4 +171,11 @@ BENCHMARK(BM_Compile)->Arg(0)->Arg(1)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("nfp_build_type", NFP_BUILD_TYPE);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

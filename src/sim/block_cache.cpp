@@ -642,7 +642,7 @@ BlockCache::BlockCache(Bus& bus, std::uint32_t code_base,
       dcache_(dcache),
       index_(dcache.size(), kUnknown) {}
 
-const Block* BlockCache::morph(std::uint32_t idx) {
+Block* BlockCache::morph(std::uint32_t idx) {
   if (!graveyard_.empty()) graveyard_.clear();
 
   const std::size_t end = dcache_.size();
@@ -661,6 +661,7 @@ const Block* BlockCache::morph(std::uint32_t idx) {
   block->start = code_base_ + 4 * idx;
   block->len = with_cti ? n + 1 : n;
   block->ends_with_cti = with_cti;
+  block->indirect_exit = with_cti && dcache_[idx + n].op == Op::kJmpl;
   block->code.reserve(block->len);
   std::array<std::uint32_t, isa::kOpCount> hist{};
   for (std::uint32_t i = 0; i < n; ++i) {
@@ -687,6 +688,48 @@ const Block* BlockCache::morph(std::uint32_t idx) {
   return blocks_.back().get();
 }
 
+void BlockCache::install_link(Block& from, std::uint32_t pc, Block& to) {
+  // A dead predecessor outlives its flush only until the graveyard drains;
+  // a link (or back-reference) on it would dangle past that point.
+  if (from.dead || to.dead) return;
+  for (auto& l : from.links) {
+    if (l.target == nullptr) {
+      l.pc = pc;
+      l.target = &to;
+      to.preds.push_back(&from);
+      ++stats_.links_installed;
+      return;
+    }
+    if (l.pc == pc) return;  // edge already memoized
+  }
+  // Both slots hold other edges (e.g. a patched-over branch); the edge
+  // stays unmemoized and keeps resolving through lookup_fallback().
+}
+
+void BlockCache::unlink(Block& b) {
+  // Incoming edges: predecessors drop their links into b. A self-loop puts
+  // b in its own pred list, which this pass handles like any other.
+  for (Block* p : b.preds) {
+    for (auto& l : p->links) {
+      if (l.target == &b) {
+        l.target = nullptr;
+        ++stats_.links_severed;
+      }
+    }
+  }
+  b.preds.clear();
+  // Outgoing edges: successors forget b as a predecessor. Cleared rather
+  // than left on the dead block so an in-flight chain re-enters lookup()
+  // instead of trusting an edge that invalidation may be about to cut.
+  for (auto& l : b.links) {
+    if (l.target == nullptr) continue;
+    auto& preds = l.target->preds;
+    preds.erase(std::remove(preds.begin(), preds.end(), &b), preds.end());
+    l.target = nullptr;
+    ++stats_.links_severed;
+  }
+}
+
 void BlockCache::invalidate(std::uint32_t ea, std::uint32_t bytes) {
   // Clamp [ea, ea + bytes) to the code image (a wide store can straddle its
   // edges) and work in word granules.
@@ -707,6 +750,11 @@ void BlockCache::invalidate(std::uint32_t ea, std::uint32_t bytes) {
   for (auto& slot : blocks_) {
     if (!slot) continue;
     if (slot->start < hi && slot->start + 4 * slot->len > lo) {
+      unlink(*slot);
+      for (auto& e : btc_) {
+        if (e.block == slot.get()) e = BtcEntry{};
+      }
+      slot->dead = true;
       index_[(slot->start - code_base_) >> 2] = kUnknown;
       ++stats_.flushes;
       graveyard_.push_back(std::move(slot));

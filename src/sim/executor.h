@@ -6,12 +6,17 @@
 // distinguishes the functional simulator, the counting ISS, and the
 // measurement board — all three share this single execution core.
 //
-// Two dispatch modes share the core:
+// Three dispatch modes share the core:
 //  - kStep: one instruction per dispatch through the op switch (always
 //    available; the only mode for hooks that need per-instruction detail).
 //  - kBlock: whole superblocks per dispatch through a BlockCache of morphed
 //    handler traces, with batched retire accounting for hooks that declare
-//    kBatchRetire (see block_cache.h).
+//    kBatchRetire (see block_cache.h). Blocks chain: resolved exits link
+//    block to block (plus a branch-target cache for register-indirect
+//    exits), so the hot loop re-enters BlockCache::lookup() only on
+//    unresolved edges, budget exhaustion, faults, and flushed links.
+//  - kBlockUnchained: kBlock with chaining disabled — every transition goes
+//    through lookup(). The A/B baseline for the chaining speedup.
 #pragma once
 
 #include <cmath>
@@ -29,8 +34,8 @@
 namespace nfp::sim {
 
 // Execution-mode selector surfaced on the simulator front ends (and on the
-// nfpc CLI as --dispatch={step,block}).
-enum class Dispatch { kStep, kBlock };
+// nfpc CLI as --dispatch={step,block,block-unchained}).
+enum class Dispatch { kStep, kBlock, kBlockUnchained };
 
 template <class Hooks>
 class Executor {
@@ -51,6 +56,11 @@ class Executor {
   // words are re-decoded instead of executed stale.
   void set_block_cache(BlockCache* cache) { block_cache_ = cache; }
 
+  // Disables block-to-block chaining (Dispatch::kBlockUnchained): every
+  // transition resolves through BlockCache::lookup(), reproducing the
+  // pre-chaining dispatch loop for A/B measurement.
+  void set_chaining(bool on) { chain_ = on; }
+
   // Runs until halt or until `max_insns` more instructions retire.
   // Returns the number of instructions executed in this call.
   std::uint64_t run(std::uint64_t max_insns) {
@@ -62,10 +72,12 @@ class Executor {
           // instruction (npc already redirected) must single-step.
           const std::uint32_t pc = st_.pc;
           if (st_.npc == pc + 4) {
-            const Block* block = block_cache_->lookup(pc);
+            Block* block = block_cache_->lookup(pc);
             if (block != nullptr && block->len <= max_insns - executed) {
-              exec_block(*block);
-              executed += block->len;
+              // Both modes run the same block loop so A/B timings compare
+              // link-following against lookup(), not two code layouts.
+              executed += chain_ ? run_blocks<true>(*block, max_insns - executed)
+                                 : run_blocks<false>(*block, max_insns - executed);
               continue;
             }
           }
@@ -103,6 +115,68 @@ class Executor {
 
  private:
   using Op = isa::Op;
+
+  // Executes `first` and keeps dispatching successor blocks until a
+  // transition fails to resolve, the next block would exceed `budget`,
+  // control leaves block dispatch (delay-slot CTI, halt, no block at the
+  // target), or a fault unwinds. Returns the number of instructions
+  // retired. `budget` is exact: the loop never retires past it, the outer
+  // loop single-steps the remainder.
+  //
+  // With Chained, transitions follow memoized exit edges — chain links or
+  // the branch-target cache — and re-enter BlockCache::lookup() only on
+  // unresolved edges (memoizing the result). Without, every transition is a
+  // plain lookup(): the pre-chaining dispatch loop, kept in this one
+  // function so the A/B pair differs only in edge resolution.
+  template <bool Chained>
+  std::uint64_t run_blocks(Block& first, std::uint64_t budget) {
+    Block* block = &first;
+    std::uint64_t executed = 0;
+    for (;;) {
+      exec_block(*block);
+      executed += block->len;
+      Block* const prev = block;
+      if (prev->ends_with_cti && st_.npc != st_.pc + 4) {
+        // True delay slot (npc redirected): single-step it. It may fault,
+        // halt, or itself be a CTI — only a sequential pc/npc pair may
+        // continue the chain.
+        if (executed >= budget) return executed;
+        step();
+        ++executed;
+        if (st_.halted || st_.npc != st_.pc + 4) return executed;
+      }
+      const std::uint32_t pc = st_.pc;
+      Block* next;
+      if constexpr (Chained) {
+        next = prev->chain_next(pc);
+        if (next != nullptr) {
+          block_cache_->count_chain_hit();
+        } else {
+          if (prev->indirect_exit) next = block_cache_->btc_lookup(pc);
+          if (next == nullptr) {
+            // A store inside prev's own trace may have flushed it; the
+            // fallback lookup can morph and thereby drain the graveyard
+            // keeping a dead prev alive, so decide link eligibility first.
+            const bool prev_live = !prev->dead;
+            next = block_cache_->lookup_fallback(pc);
+            if (next == nullptr) return executed;
+            if (prev_live) {
+              if (prev->indirect_exit) {
+                block_cache_->btc_insert(pc, next);
+              } else {
+                block_cache_->install_link(*prev, pc, *next);
+              }
+            }
+          }
+        }
+      } else {
+        next = block_cache_->lookup(pc);
+        if (next == nullptr) return executed;
+      }
+      if (next->len > budget - executed) return executed;
+      block = next;
+    }
+  }
 
   // Executes one morphed superblock: per-record function-pointer dispatch,
   // a single pc/npc update at block exit, and one batched retire. On a fault
@@ -716,6 +790,7 @@ class Executor {
   std::uint32_t cache_base_ = 0;
   std::span<const isa::DecodedInsn> cache_;
   BlockCache* block_cache_ = nullptr;
+  bool chain_ = true;
 };
 
 }  // namespace nfp::sim

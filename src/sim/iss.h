@@ -26,8 +26,9 @@ class Iss {
                 Dispatch dispatch = Dispatch::kBlock) {
     Executor<OpCountHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
-    if (dispatch == Dispatch::kBlock) {
+    if (dispatch != Dispatch::kStep) {
       exec.set_block_cache(platform_.block_cache());
+      exec.set_chaining(dispatch == Dispatch::kBlock);
     }
     exec.run(max_insns);
     RunResult result;
@@ -57,8 +58,9 @@ class FunctionalSim {
     NullHooks hooks;
     Executor<NullHooks> exec(platform_.cpu(), platform_.bus(), hooks);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
-    if (dispatch == Dispatch::kBlock) {
+    if (dispatch != Dispatch::kStep) {
       exec.set_block_cache(platform_.block_cache());
+      exec.set_chaining(dispatch == Dispatch::kBlock);
     }
     exec.run(max_insns);
     RunResult result;

@@ -39,10 +39,10 @@ class TraceSim {
   void load(const asmkit::Program& program) { platform_.load(program); }
 
   // Runs to completion; returns the captured trace. TraceHooks never batch
-  // (kBatchRetire == false), so both dispatch modes step instruction by
-  // instruction; kBlock additionally keeps the morph cache and predecode
-  // image coherent under stores into code, matching the block-mode
-  // executors on self-modifying programs.
+  // (kBatchRetire == false), so every dispatch mode steps instruction by
+  // instruction; the block modes additionally keep the morph cache and
+  // predecode image coherent under stores into code, matching the
+  // block-mode executors on self-modifying programs.
   std::string run(std::uint64_t max_insns = 100'000'000ull,
                   Dispatch dispatch = Dispatch::kBlock) {
     std::string trace;
@@ -50,7 +50,7 @@ class TraceSim {
     hooks_.emitted = 0;
     Executor<TraceHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
-    if (dispatch == Dispatch::kBlock) {
+    if (dispatch != Dispatch::kStep) {
       exec.set_block_cache(platform_.block_cache());
     }
     exec.run(max_insns);

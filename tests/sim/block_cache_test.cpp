@@ -47,17 +47,29 @@ Observed run_job(const model::KernelJob& job, Dispatch dispatch) {
   return o;
 }
 
+const char* mode_name(Dispatch d) {
+  return d == Dispatch::kBlock ? "block-chained" : "block-unchained";
+}
+
+// Three-way differential: the single-step reference against both block
+// modes (unchained lookup-per-transition and chained link-following).
 // Per-op equality implies per-category equality for any category map.
 void expect_identical(const model::KernelJob& job) {
   const auto step = run_job(job, Dispatch::kStep);
-  const auto block = run_job(job, Dispatch::kBlock);
   ASSERT_TRUE(step.halted) << job.name;
-  EXPECT_TRUE(block.halted) << job.name;
-  EXPECT_EQ(block.exit_code, step.exit_code) << job.name;
-  EXPECT_EQ(block.instret, step.instret) << job.name;
-  EXPECT_EQ(block.uart, step.uart) << job.name;
-  EXPECT_EQ(block.counts, step.counts) << job.name;
-  EXPECT_EQ(block.output, step.output) << job.name;
+  for (const auto mode : {Dispatch::kBlockUnchained, Dispatch::kBlock}) {
+    const auto block = run_job(job, mode);
+    EXPECT_TRUE(block.halted) << job.name << " " << mode_name(mode);
+    EXPECT_EQ(block.exit_code, step.exit_code)
+        << job.name << " " << mode_name(mode);
+    EXPECT_EQ(block.instret, step.instret)
+        << job.name << " " << mode_name(mode);
+    EXPECT_EQ(block.uart, step.uart) << job.name << " " << mode_name(mode);
+    EXPECT_EQ(block.counts, step.counts)
+        << job.name << " " << mode_name(mode);
+    EXPECT_EQ(block.output, step.output)
+        << job.name << " " << mode_name(mode);
+  }
 }
 
 TEST(BlockCacheDiff, FseKernelsIdentical) {
@@ -129,7 +141,7 @@ loop:   add %o0, %l0, %o0
 
 TEST(BlockCache, InstructionBudgetExactMidBlock) {
   // A budget that lands inside a straight-line run must stop at exactly
-  // that many instructions in both dispatch modes.
+  // that many instructions in every dispatch mode.
   const auto prog = asmkit::assemble(R"(
 _start: mov 0, %l0
 loop:   add %l0, 1, %l0
@@ -139,12 +151,42 @@ loop:   add %l0, 1, %l0
         nop
 )",
                                      kTextBase);
-  for (const auto dispatch : {Dispatch::kStep, Dispatch::kBlock}) {
+  for (const auto dispatch :
+       {Dispatch::kStep, Dispatch::kBlockUnchained, Dispatch::kBlock}) {
     Iss iss;
     iss.load(prog);
     const auto r = iss.run(1001, dispatch);
     EXPECT_FALSE(r.halted);
     EXPECT_EQ(r.instret, 1001u);
+  }
+}
+
+TEST(BlockCache, InstructionBudgetExactMidChain) {
+  // Two blocks chained into a cycle; sweep budgets so the stop point lands
+  // on every phase of the chain — block boundaries, delay slots, and
+  // mid-block — and require instret == budget in all dispatch modes.
+  const auto prog = asmkit::assemble(R"(
+_start: mov 0, %l0
+loop:   add %l0, 1, %l0
+        add %l0, 1, %l0
+        ba other
+        nop
+other:  add %l0, 1, %l0
+        add %l0, 1, %l0
+        add %l0, 1, %l0
+        ba loop
+        nop
+)",
+                                     kTextBase);
+  for (std::uint64_t budget = 95; budget <= 105; ++budget) {
+    for (const auto dispatch :
+         {Dispatch::kStep, Dispatch::kBlockUnchained, Dispatch::kBlock}) {
+      Iss iss;
+      iss.load(prog);
+      const auto r = iss.run(budget, dispatch);
+      EXPECT_FALSE(r.halted) << "budget " << budget;
+      EXPECT_EQ(r.instret, budget) << "budget " << budget;
+    }
   }
 }
 
@@ -176,6 +218,109 @@ word:   mov 7, %o0
   ASSERT_TRUE(r.halted);
   EXPECT_EQ(r.exit_code, 7u);
   EXPECT_GE(iss.platform().block_cache()->stats().flushes, 1u);
+}
+
+TEST(BlockCache, ChainLinksResolveHotLoopEdges) {
+  // A two-block cycle: after the first traversal installs the links, every
+  // further transition must ride the chain, not lookup().
+  Iss iss;
+  const auto prog = asmkit::assemble(R"(
+_start: mov 0, %l0
+        mov 0, %o0
+loop:   add %o0, %l0, %o0
+        add %l0, 1, %l0
+        cmp %l0, 100
+        bne loop
+        nop
+        ta 0
+)",
+                                     kTextBase);
+  iss.load(prog);
+  const auto r = iss.run(1'000'000, Dispatch::kBlock);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.exit_code, 4950u);
+  const auto& stats = iss.platform().block_cache()->stats();
+  EXPECT_GE(stats.links_installed, 1u);
+  // ~100 loop iterations, each a chained re-entry of the loop block.
+  EXPECT_GE(stats.chain_hits, 90u);
+  EXPECT_LT(stats.lookup_fallbacks, 10u);
+  EXPECT_EQ(stats.links_severed, 0u);
+}
+
+TEST(BlockCache, BtcResolvesRegisterIndirectReturns) {
+  // A call/retl loop: the return's jmpl exit is register-indirect, so its
+  // successor must resolve through the branch-target cache.
+  Iss iss;
+  const auto prog = asmkit::assemble(R"(
+_start: mov 0, %l0
+        mov 0, %o0
+loop:   call fn
+        nop
+        add %l0, 1, %l0
+        cmp %l0, 50
+        bne loop
+        nop
+        ta 0
+fn:     retl
+        add %o0, 2, %o0
+)",
+                                     kTextBase);
+  iss.load(prog);
+  const auto r = iss.run(1'000'000, Dispatch::kBlock);
+  ASSERT_TRUE(r.halted);
+  EXPECT_EQ(r.exit_code, 100u);
+  const auto& stats = iss.platform().block_cache()->stats();
+  // 50 returns; all but the first (which misses and seeds the BTC) hit.
+  EXPECT_GE(stats.btc_hits, 40u);
+  EXPECT_GE(stats.btc_misses, 1u);
+  EXPECT_GE(stats.chain_hits, 40u);
+}
+
+TEST(BlockCache, StoreFlushesChainedSuccessorAndPredecessorInFlight) {
+  // Block X (at `loop`) patches the first word of block B every iteration,
+  // then transfers into B; B transfers straight back to X. Once the first
+  // traversal installs X->B and B->X, each later store flushes B while X —
+  // B's chained predecessor AND successor — is the block in flight. The
+  // severed links must force a fresh lookup/morph of B, so each iteration
+  // executes the just-patched instruction (the bits toggle between
+  // "mov 1, %o1" and "mov 7, %o1"); following a stale trace would add the
+  // previous iteration's value and change the sum.
+  const auto prog = asmkit::assemble(R"(
+_start: mov 0, %l7
+        mov 0, %o0
+        set patch, %g1
+        ld [%g1], %l0
+        set word, %g2
+        ld [%g2], %l2
+        xor %l0, %l2, %l2
+loop:   xor %l0, %l2, %l0
+        st %l0, [%g1]
+        ba bblk
+        nop
+bblk:
+patch:  mov 1, %o1
+        add %o0, %o1, %o0
+        cmp %l7, 3
+        bne loop
+        add %l7, 1, %l7
+        ta 0
+word:   mov 7, %o1
+)",
+                                     kTextBase);
+  for (const auto dispatch : {Dispatch::kBlockUnchained, Dispatch::kBlock}) {
+    Iss iss;
+    iss.load(prog);
+    const auto r = iss.run(1'000'000, dispatch);
+    ASSERT_TRUE(r.halted) << mode_name(dispatch);
+    // Patched values seen: 7, 1, 7, 1.
+    EXPECT_EQ(r.exit_code, 16u) << mode_name(dispatch);
+    const auto& stats = iss.platform().block_cache()->stats();
+    EXPECT_GE(stats.flushes, 3u) << mode_name(dispatch);
+    if (dispatch == Dispatch::kBlock) {
+      EXPECT_GE(stats.links_installed, 2u);
+      EXPECT_GE(stats.links_severed, 2u);
+    }
+  }
 }
 
 TEST(BlockCache, LookupRejectsMisalignedAndForeignPcs) {

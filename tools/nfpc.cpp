@@ -9,8 +9,12 @@
 //     --estimate        calibrate the NFP model and print Ê / T̂ (Eq. 1)
 //     --board           also run on the measurement board and compare
 //     --counts          print per-category instruction counts
-//     --dispatch=MODE   simulator dispatch: block (superblock morph cache,
-//                       default) or step (per-instruction switch)
+//     --dispatch=MODE   simulator dispatch: block (superblock morph cache
+//                       with chaining, default), block-unchained (morph
+//                       cache, every transition through lookup), or step
+//                       (per-instruction switch)
+//     --sim-stats       print the full BlockCache::Stats after the run
+//                       (morphs, flushes, chain/BTC counters)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -40,11 +44,46 @@ std::string read_file(const std::string& path) {
   return ss.str();
 }
 
+const char* dispatch_name(nfp::sim::Dispatch d) {
+  switch (d) {
+    case nfp::sim::Dispatch::kStep: return "step";
+    case nfp::sim::Dispatch::kBlockUnchained: return "block-unchained";
+    default: return "block";
+  }
+}
+
+void print_sim_stats(const nfp::sim::BlockCache* cache) {
+  if (cache == nullptr) {
+    std::printf("sim stats: (no block cache attached)\n");
+    return;
+  }
+  const auto& s = cache->stats();
+  std::printf("sim stats:\n");
+  std::printf("  blocks_morphed   %llu\n",
+              static_cast<unsigned long long>(s.blocks_morphed));
+  std::printf("  insns_morphed    %llu\n",
+              static_cast<unsigned long long>(s.insns_morphed));
+  std::printf("  flushes          %llu\n",
+              static_cast<unsigned long long>(s.flushes));
+  std::printf("  links_installed  %llu\n",
+              static_cast<unsigned long long>(s.links_installed));
+  std::printf("  links_severed    %llu\n",
+              static_cast<unsigned long long>(s.links_severed));
+  std::printf("  chain_hits       %llu\n",
+              static_cast<unsigned long long>(s.chain_hits));
+  std::printf("  btc_hits         %llu\n",
+              static_cast<unsigned long long>(s.btc_hits));
+  std::printf("  btc_misses       %llu\n",
+              static_cast<unsigned long long>(s.btc_misses));
+  std::printf("  lookup_fallbacks %llu\n",
+              static_cast<unsigned long long>(s.lookup_fallbacks));
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool soft = false, want_asm = false, want_estimate = false;
-  bool want_board = false, want_counts = false;
+  bool want_board = false, want_counts = false, want_sim_stats = false;
   nfp::sim::Dispatch dispatch = nfp::sim::Dispatch::kBlock;
   std::size_t trace_limit = 0;
   std::vector<std::string> sources;
@@ -65,10 +104,15 @@ int main(int argc, char** argv) {
       dispatch = nfp::sim::Dispatch::kStep;
     } else if (arg == "--dispatch=block") {
       dispatch = nfp::sim::Dispatch::kBlock;
+    } else if (arg == "--dispatch=block-unchained") {
+      dispatch = nfp::sim::Dispatch::kBlockUnchained;
     } else if (arg.rfind("--dispatch", 0) == 0) {
-      std::fprintf(stderr, "nfpc: bad %s (use --dispatch=step|block)\n",
+      std::fprintf(stderr,
+                   "nfpc: bad %s (use --dispatch=step|block|block-unchained)\n",
                    arg.c_str());
       return 2;
+    } else if (arg == "--sim-stats") {
+      want_sim_stats = true;
     } else if (arg.rfind("--trace", 0) == 0) {
       trace_limit = 64;
       if (arg.size() > 8 && arg[7] == '=') {
@@ -76,8 +120,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
-                  "[--estimate] [--board] [--counts] "
-                  "[--dispatch=step|block] file.c ...\n");
+                  "[--estimate] [--board] [--counts] [--sim-stats] "
+                  "[--dispatch=step|block|block-unchained] file.c ...\n");
       return 0;
     } else {
       sources.push_back(read_file(arg));
@@ -123,11 +167,26 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(run.instret),
                 run.halted ? "" : " (DID NOT HALT)");
     std::printf("dispatch %s: %.1f MIPS (%.3f ms host)\n",
-                dispatch == nfp::sim::Dispatch::kBlock ? "block" : "step",
+                dispatch_name(dispatch),
                 host_s > 0.0
                     ? static_cast<double>(run.instret) / host_s * 1e-6
                     : 0.0,
                 host_s * 1e3);
+    if (dispatch == nfp::sim::Dispatch::kBlock &&
+        iss.platform().block_cache() != nullptr) {
+      const auto& s = iss.platform().block_cache()->stats();
+      std::printf("chain: %llu hits, %llu btc hits, %llu lookup fallbacks, "
+                  "%llu links\n",
+                  static_cast<unsigned long long>(s.chain_hits),
+                  static_cast<unsigned long long>(s.btc_hits),
+                  static_cast<unsigned long long>(s.lookup_fallbacks),
+                  static_cast<unsigned long long>(s.links_installed));
+    }
+    if (want_sim_stats) {
+      print_sim_stats(dispatch == nfp::sim::Dispatch::kStep
+                          ? nullptr
+                          : iss.platform().block_cache());
+    }
     if (!run.halted) return 1;
 
     const auto& scheme = nfp::model::CategoryScheme::paper();
