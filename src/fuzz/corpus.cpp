@@ -1,0 +1,51 @@
+#include "fuzz/corpus.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace nfp::fuzz {
+
+std::string write_corpus_entry(const std::string& dir, std::uint64_t seed,
+                               const std::string& mix_name,
+                               const DiffReport& report,
+                               const std::string& source) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+  const std::string name = "fuzz-seed" + std::to_string(seed) + "-" +
+                           (report.mode.empty() ? "clean" : report.mode) +
+                           ".s";
+  const fs::path path = fs::path(dir) / name;
+  std::ofstream out(path);
+  out << "! nfpfuzz reproducer\n"
+      << "! seed: " << seed << "\n"
+      << "! mix: " << mix_name << "\n"
+      << "! divergence: " << report.detail << "\n"
+      << "! step instret: " << report.step_instret
+      << (report.step_halted ? " (halted)" : " (budget)") << "\n"
+      << source;
+  return path.string();
+}
+
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::vector<CorpusEntry> out;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file() || entry.path().extension() != ".s") {
+      continue;
+    }
+    std::ifstream in(entry.path());
+    std::ostringstream text;
+    text << in.rdbuf();
+    out.push_back({entry.path().string(), text.str()});
+  }
+  std::sort(out.begin(), out.end(),
+            [](const CorpusEntry& a, const CorpusEntry& b) {
+              return a.path < b.path;
+            });
+  return out;
+}
+
+}  // namespace nfp::fuzz

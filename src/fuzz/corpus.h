@@ -1,0 +1,33 @@
+// Corpus management: every divergence the fuzzer finds is persisted as a
+// plain `.s` file whose leading `!` comment block records the seed, mix and
+// divergence detail needed to triage it. Committed corpus files double as
+// regression tests: tests/fuzz replays every file through the differential
+// oracle on each run.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fuzz/oracle.h"
+
+namespace nfp::fuzz {
+
+struct CorpusEntry {
+  std::string path;
+  std::string source;
+};
+
+// Writes `source` (already a self-contained assembly file) into `dir` as
+// "fuzz-seed<seed>-<mode>.s" with a triage header. Creates `dir` if
+// missing. Returns the path written.
+std::string write_corpus_entry(const std::string& dir, std::uint64_t seed,
+                               const std::string& mix_name,
+                               const DiffReport& report,
+                               const std::string& source);
+
+// Loads every *.s file in `dir`, sorted by filename for deterministic
+// replay order. A missing directory yields an empty corpus.
+std::vector<CorpusEntry> load_corpus_dir(const std::string& dir);
+
+}  // namespace nfp::fuzz

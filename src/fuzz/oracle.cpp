@@ -1,0 +1,175 @@
+#include "fuzz/oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+#include "asmkit/assembler.h"
+#include "fuzz/generator.h"
+#include "sim/memmap.h"
+
+namespace nfp::fuzz {
+namespace {
+
+std::uint64_t digest_counts(const sim::OpCountHooks& hooks) {
+  return sim::fnv1a64(
+      reinterpret_cast<const std::uint8_t*>(hooks.counts.data()),
+      hooks.counts.size() * sizeof(hooks.counts[0]));
+}
+
+std::uint64_t digest_uart(const std::string& uart) {
+  return sim::fnv1a64(reinterpret_cast<const std::uint8_t*>(uart.data()),
+                      uart.size());
+}
+
+Snapshot take_snapshot(sim::Iss& iss) {
+  Snapshot s;
+  const sim::CpuState& cpu = iss.cpu();
+  s.instret = cpu.instret;
+  s.pc = cpu.pc;
+  s.npc = cpu.npc;
+  s.halted = cpu.halted;
+  s.exit_code = cpu.exit_code;
+  s.digest = sim::arch_digest(cpu, iss.bus());
+  s.counts_digest = digest_counts(iss.counters());
+  s.uart_digest = digest_uart(iss.bus().uart_output());
+  return s;
+}
+
+// Runs one dispatch mode through the shared budget schedule, snapshotting
+// after every chunk. A fault ends the trace early (the truncated trace then
+// differs from kStep's, which is itself the divergence signal).
+std::vector<Snapshot> run_mode(sim::Iss& iss, const asmkit::Program& program,
+                               sim::Dispatch dispatch,
+                               const std::vector<std::uint64_t>& stops) {
+  std::vector<Snapshot> out;
+  iss.load(program);
+  for (const std::uint64_t stop : stops) {
+    std::string fault;
+    try {
+      const std::uint64_t done = iss.cpu().instret;
+      if (stop > done) iss.run(stop - done, dispatch);
+    } catch (const std::exception& e) {
+      fault = e.what();
+    }
+    out.push_back(take_snapshot(iss));
+    out.back().fault = fault;
+    if (!fault.empty()) break;
+  }
+  return out;
+}
+
+std::string describe_diff(const Snapshot& ref, const Snapshot& got) {
+  std::ostringstream os;
+  const auto field = [&os](const char* name, auto a, auto b) {
+    os << name << " step=" << a << " got=" << b << "; ";
+  };
+  if (ref.instret != got.instret) field("instret", ref.instret, got.instret);
+  if (ref.pc != got.pc) field("pc", ref.pc, got.pc);
+  if (ref.npc != got.npc) field("npc", ref.npc, got.npc);
+  if (ref.halted != got.halted) field("halted", ref.halted, got.halted);
+  if (ref.exit_code != got.exit_code)
+    field("exit_code", ref.exit_code, got.exit_code);
+  if (ref.digest.cpu != got.digest.cpu)
+    field("cpu-digest", ref.digest.cpu, got.digest.cpu);
+  if (ref.digest.ram != got.digest.ram)
+    field("ram-digest", ref.digest.ram, got.digest.ram);
+  if (ref.counts_digest != got.counts_digest)
+    field("retire-counts", ref.counts_digest, got.counts_digest);
+  if (ref.uart_digest != got.uart_digest)
+    field("uart", ref.uart_digest, got.uart_digest);
+  if (ref.fault != got.fault) {
+    os << "fault step='" << ref.fault << "' got='" << got.fault << "'; ";
+  }
+  return os.str();
+}
+
+bool compare_traces(const std::vector<Snapshot>& ref,
+                    const std::vector<Snapshot>& got,
+                    const std::vector<std::uint64_t>& stops,
+                    const char* mode_name, DiffReport& report) {
+  const std::size_t n = std::min(ref.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ref[i] == got[i]) continue;
+    std::ostringstream os;
+    os << "dispatch " << mode_name << " vs step, checkpoint " << i
+       << " (budget " << stops[i] << "): " << describe_diff(ref[i], got[i]);
+    report.diverged = true;
+    report.mode = mode_name;
+    report.detail = os.str();
+    return false;
+  }
+  if (ref.size() != got.size()) {
+    std::ostringstream os;
+    os << "dispatch " << mode_name << " vs step: trace truncated at "
+       << got.size() << "/" << ref.size() << " checkpoints (fault: '"
+       << (got.size() < ref.size() && !got.empty() ? got.back().fault
+                                                   : std::string())
+       << "')";
+    report.diverged = true;
+    report.mode = mode_name;
+    report.detail = os.str();
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+DiffReport run_differential(const asmkit::Program& program,
+                            const DiffConfig& config, DiffArena& arena) {
+  DiffReport report;
+
+  // Probe under kStep to learn the program's length, then rerun every mode
+  // (including kStep itself) fresh through the shared checkpoint schedule.
+  arena.step.load(program);
+  sim::RunResult probe;
+  try {
+    probe = arena.step.run(config.max_insns, sim::Dispatch::kStep);
+  } catch (const std::exception&) {
+    // A program that faults deterministically is still a usable
+    // differential: every mode must fault at the same instret with the
+    // same state, which run_mode() captures per-snapshot below.
+    probe.halted = false;
+    probe.instret = arena.step.cpu().instret;
+  }
+  report.step_instret = probe.instret;
+  report.step_halted = probe.halted;
+
+  std::vector<std::uint64_t> stops;
+  Rng rng(config.checkpoint_seed ^ 0xD1FFC0DEull);
+  for (std::uint32_t i = 0; i < config.checkpoints; ++i) {
+    if (probe.instret > 1) {
+      stops.push_back(1 + rng.next() % (probe.instret - 1));
+    }
+  }
+  stops.push_back(probe.instret);
+  if (!probe.halted && probe.instret < config.max_insns) {
+    // The probe faulted executing instruction instret+1: give every mode a
+    // budget that reaches the faulting instruction so the fault itself
+    // (message and restored state) is part of the comparison.
+    stops.push_back(probe.instret + 1);
+  }
+  std::sort(stops.begin(), stops.end());
+  stops.erase(std::unique(stops.begin(), stops.end()), stops.end());
+
+  const std::vector<Snapshot> ref =
+      run_mode(arena.step, program, sim::Dispatch::kStep, stops);
+  const std::vector<Snapshot> unchained =
+      run_mode(arena.unchained, program, sim::Dispatch::kBlockUnchained, stops);
+  if (!compare_traces(ref, unchained, stops, "block-unchained", report)) {
+    return report;
+  }
+  const std::vector<Snapshot> chained =
+      run_mode(arena.block, program, sim::Dispatch::kBlock, stops);
+  compare_traces(ref, chained, stops, "block", report);
+  return report;
+}
+
+DiffReport run_differential_source(const std::string& source,
+                                   const DiffConfig& config, DiffArena& arena) {
+  const asmkit::Program program = asmkit::assemble(source, sim::kTextBase);
+  return run_differential(program, config, arena);
+}
+
+}  // namespace nfp::fuzz

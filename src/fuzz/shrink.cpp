@@ -1,0 +1,78 @@
+#include "fuzz/shrink.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace nfp::fuzz {
+namespace {
+
+// Safety valve: a pathological predicate (flaky divergence) could otherwise
+// make the ddmin loop spend unbounded simulator time.
+constexpr std::size_t kMaxOracleRuns = 500;
+
+std::vector<std::size_t> kept_indices(const std::vector<bool>& keep) {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < keep.size(); ++i) {
+    if (keep[i]) out.push_back(i);
+  }
+  return out;
+}
+
+}  // namespace
+
+ShrinkResult shrink(const GenProgram& program, const DiffConfig& config,
+                    DiffArena& arena) {
+  ShrinkResult result;
+  std::vector<bool> keep(program.chunks.size(), true);
+
+  const auto diverges = [&](const std::vector<bool>& trial,
+                            DiffReport& report) {
+    report = run_differential_source(render_subset(program, trial), config,
+                                     arena);
+    ++result.oracle_runs;
+    return report.diverged;
+  };
+
+  DiffReport best;
+  if (!diverges(keep, best)) {
+    result.report = best;
+    result.source = render(program);
+    result.chunks_kept = program.chunks.size();
+    result.instructions = count_instructions(result.source);
+    return result;
+  }
+  result.diverged = true;
+
+  bool changed = true;
+  while (changed && result.oracle_runs < kMaxOracleRuns) {
+    changed = false;
+    const std::vector<std::size_t> kept = kept_indices(keep);
+    if (kept.empty()) break;
+    for (std::size_t window = std::max<std::size_t>(kept.size() / 2, 1);;
+         window /= 2) {
+      for (std::size_t start = 0;
+           start < kept.size() && result.oracle_runs < kMaxOracleRuns;
+           start += window) {
+        std::vector<bool> trial = keep;
+        const std::size_t end = std::min(start + window, kept.size());
+        for (std::size_t i = start; i < end; ++i) trial[kept[i]] = false;
+        DiffReport report;
+        if (diverges(trial, report)) {
+          keep = trial;
+          best = report;
+          changed = true;
+          break;
+        }
+      }
+      if (changed || window == 1) break;
+    }
+  }
+
+  result.report = best;
+  result.source = render_subset(program, keep);
+  result.chunks_kept = kept_indices(keep).size();
+  result.instructions = count_instructions(result.source);
+  return result;
+}
+
+}  // namespace nfp::fuzz

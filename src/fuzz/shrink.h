@@ -1,0 +1,33 @@
+// Delta-debugging minimiser for diverging fuzz programs.
+//
+// Generated programs are built from self-contained chunks (generator.h), so
+// shrinking is chunk deletion: ddmin-style passes drop windows of chunks
+// (half, quarter, ..., single) and keep any subset that still diverges,
+// repeating to a fixpoint. The prologue (register inits, helpers, double
+// pool) shrinks automatically because render_subset() only emits what the
+// surviving chunks reference. The result is typically a one- or two-chunk
+// reproducer small enough to read, disassemble and commit to the corpus.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "fuzz/generator.h"
+#include "fuzz/oracle.h"
+
+namespace nfp::fuzz {
+
+struct ShrinkResult {
+  std::string source;       // minimal still-diverging source
+  DiffReport report;        // its divergence (or the full program's, if the
+                            // full program did not diverge)
+  bool diverged = false;    // false if the full program was already clean
+  std::size_t chunks_kept = 0;
+  std::size_t instructions = 0;  // count_instructions(source)
+  std::size_t oracle_runs = 0;   // differential runs spent shrinking
+};
+
+ShrinkResult shrink(const GenProgram& program, const DiffConfig& config,
+                    DiffArena& arena);
+
+}  // namespace nfp::fuzz

@@ -111,6 +111,12 @@ class Bus {
   const std::string& uart_output() const { return uart_; }
   void clear_uart() { uart_.clear(); }
 
+  // Dirty-page metadata, exposed for cheap architectural digests
+  // (sim/digest.h): one flag per 4 KiB granule, set by every store and by
+  // host-side block writes, cleared by reset_touched_ram().
+  const std::vector<std::uint8_t>& touched_pages() const { return touched_; }
+  std::uint32_t page_size() const { return 1u << kPageShift; }
+
  private:
   static constexpr std::uint32_t kPageShift = 12;  // 4 KiB dirty granules
 

@@ -1,0 +1,46 @@
+#include "sim/digest.h"
+
+namespace nfp::sim {
+
+std::uint64_t digest_cpu(const CpuState& st) {
+  // Serialise into a flat buffer so padding bytes never leak into the hash.
+  std::uint8_t buf[32 * 4 + 32 * 4 + 4 * 4 + 8 + 16];
+  std::size_t n = 0;
+  const auto put32 = [&](std::uint32_t v) {
+    buf[n++] = static_cast<std::uint8_t>(v >> 24);
+    buf[n++] = static_cast<std::uint8_t>(v >> 16);
+    buf[n++] = static_cast<std::uint8_t>(v >> 8);
+    buf[n++] = static_cast<std::uint8_t>(v);
+  };
+  for (const std::uint32_t r : st.r) put32(r);
+  for (const std::uint32_t f : st.f) put32(f);
+  put32(st.pc);
+  put32(st.npc);
+  put32(st.y);
+  put32(static_cast<std::uint32_t>(st.icc_n) << 3 |
+        static_cast<std::uint32_t>(st.icc_z) << 2 |
+        static_cast<std::uint32_t>(st.icc_v) << 1 |
+        static_cast<std::uint32_t>(st.icc_c));
+  put32(st.fcc);
+  put32(static_cast<std::uint32_t>(st.instret >> 32));
+  put32(static_cast<std::uint32_t>(st.instret));
+  put32(st.halted ? 1u : 0u);
+  put32(st.exit_code);
+  return fnv1a64(buf, n);
+}
+
+std::uint64_t digest_dirty_ram(const Bus& bus) {
+  const std::vector<std::uint8_t>& touched = bus.touched_pages();
+  const std::uint8_t* ram = bus.ram_data();
+  const std::size_t page_bytes = bus.page_size();
+  std::uint64_t hash = kFnvOffset;
+  for (std::size_t page = 0; page < touched.size(); ++page) {
+    if (!touched[page]) continue;
+    const std::uint32_t tag[1] = {static_cast<std::uint32_t>(page)};
+    hash = fnv1a64(tag, sizeof tag, hash);
+    hash = fnv1a64(ram + page * page_bytes, page_bytes, hash);
+  }
+  return hash;
+}
+
+}  // namespace nfp::sim

@@ -1,0 +1,53 @@
+// Cheap architectural-state digests for differential testing (src/fuzz).
+//
+// A digest folds the complete observable machine state into two 64-bit
+// FNV-1a hashes: one over the CPU (integer/FP registers, pc/npc, %y, icc,
+// fcc, instret, halt state) and one over RAM. The RAM side rides the bus's
+// existing 4 KiB dirty-page tracking: only pages a store (or the program
+// loader) has touched are hashed, so a digest costs microseconds instead of
+// a 16 MiB sweep. Two runs that executed the same stores touch the same
+// pages, so equal machine states always produce equal digests; the fuzz
+// oracle compares digests at randomized budget stops to pin down where two
+// dispatch modes diverge.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "sim/bus.h"
+#include "sim/cpu_state.h"
+
+namespace nfp::sim {
+
+inline constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001B3ull;
+
+inline std::uint64_t fnv1a64(const void* data, std::size_t size,
+                             std::uint64_t hash = kFnvOffset) {
+  const auto* p = static_cast<const std::uint8_t*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= p[i];
+    hash *= kFnvPrime;
+  }
+  return hash;
+}
+
+struct ArchStateDigest {
+  std::uint64_t cpu = 0;
+  std::uint64_t ram = 0;
+  friend bool operator==(const ArchStateDigest&,
+                         const ArchStateDigest&) = default;
+};
+
+// Hash of every architecturally visible CPU register and flag.
+std::uint64_t digest_cpu(const CpuState& state);
+
+// Hash of (page index, page bytes) for every dirty RAM page, in address
+// order. Pages never stored to hash as if absent.
+std::uint64_t digest_dirty_ram(const Bus& bus);
+
+inline ArchStateDigest arch_digest(const CpuState& state, const Bus& bus) {
+  return ArchStateDigest{digest_cpu(state), digest_dirty_ram(bus)};
+}
+
+}  // namespace nfp::sim

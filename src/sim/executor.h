@@ -61,12 +61,19 @@ class Executor {
   // pre-chaining dispatch loop for A/B measurement.
   void set_chaining(bool on) { chain_ = on; }
 
+  // Disables whole-block dispatch while keeping the attached cache's store
+  // invalidation live (Dispatch::kStep with a cache attached): every
+  // instruction goes through the op switch, but stores into the code range
+  // still re-decode the image, so the stepping reference stays
+  // architecturally meaningful on self-modifying programs.
+  void set_block_dispatch(bool on) { block_dispatch_ = on; }
+
   // Runs until halt or until `max_insns` more instructions retire.
   // Returns the number of instructions executed in this call.
   std::uint64_t run(std::uint64_t max_insns) {
     std::uint64_t executed = 0;
     if constexpr (Hooks::kBatchRetire) {
-      if (block_cache_ != nullptr) {
+      if (block_cache_ != nullptr && block_dispatch_) {
         while (!st_.halted && executed < max_insns) {
           // Block entry requires a sequential pc/npc pair: a delay-slot
           // instruction (npc already redirected) must single-step.
@@ -791,6 +798,7 @@ class Executor {
   std::span<const isa::DecodedInsn> cache_;
   BlockCache* block_cache_ = nullptr;
   bool chain_ = true;
+  bool block_dispatch_ = true;
 };
 
 }  // namespace nfp::sim

@@ -26,10 +26,12 @@ class Iss {
                 Dispatch dispatch = Dispatch::kBlock) {
     Executor<OpCountHooks> exec(platform_.cpu(), platform_.bus(), hooks_);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
-    if (dispatch != Dispatch::kStep) {
-      exec.set_block_cache(platform_.block_cache());
-      exec.set_chaining(dispatch == Dispatch::kBlock);
-    }
+    // The cache is attached in every mode so stores into code re-decode the
+    // image; kStep only opts out of whole-block dispatch. This keeps the
+    // stepping reference valid on self-modifying programs.
+    exec.set_block_cache(platform_.block_cache());
+    exec.set_block_dispatch(dispatch != Dispatch::kStep);
+    exec.set_chaining(dispatch == Dispatch::kBlock);
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;
@@ -58,10 +60,9 @@ class FunctionalSim {
     NullHooks hooks;
     Executor<NullHooks> exec(platform_.cpu(), platform_.bus(), hooks);
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
-    if (dispatch != Dispatch::kStep) {
-      exec.set_block_cache(platform_.block_cache());
-      exec.set_chaining(dispatch == Dispatch::kBlock);
-    }
+    exec.set_block_cache(platform_.block_cache());
+    exec.set_block_dispatch(dispatch != Dispatch::kStep);
+    exec.set_chaining(dispatch == Dispatch::kBlock);
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;

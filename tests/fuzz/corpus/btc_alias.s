@@ -1,0 +1,36 @@
+! nfpfuzz reproducer (directed)
+! seed: n/a (hand-written regression program)
+! mix: jmpl
+! divergence: none on current simulator; guards BTC aliasing. Two
+!   register-indirect return sites 512 bytes apart collide in the
+!   128-entry direct-mapped branch-target cache ((pc >> 2) & 127); a stale
+!   entry surviving eviction would resume after the wrong call site.
+! step instret: loop of 40 iterations, two indirect calls each
+  .text
+  .global _start
+_start:
+  clr %l0
+  clr %o0
+  set f1, %g1
+  set f2, %g2
+loop:
+  jmpl %g1, %o7
+  nop
+  ba mid
+  nop
+  .space 496
+mid:
+  jmpl %g2, %o7
+  nop
+  add %l0, 1, %l0
+  cmp %l0, 40
+  bne loop
+  nop
+  ta 0
+  nop
+f1:
+  retl
+  add %o0, 1, %o0
+f2:
+  retl
+  add %o0, 2, %o0

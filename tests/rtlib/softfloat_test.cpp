@@ -216,6 +216,117 @@ TEST(Softfloat, NegIsSignFlip) {
   EXPECT_EQ(bits_of(sf::__sf_dneg(0.0)), bits_of(-0.0));
 }
 
+// NaN propagation through add/mul/div: whenever host IEEE-754 arithmetic
+// yields NaN — propagated operand NaNs (with payloads, in either operand
+// position) or freshly generated ones (inf - inf, 0 * inf, 0/0, inf/inf,
+// sqrt of a negative) — the soft-float runtime must also yield NaN, and the
+// NaN it returns must be quiet (exponent all ones, quiet bit set), never a
+// signalling pattern leaking to downstream consumers.
+TEST(Softfloat, NanPropagation) {
+  const auto expect_quiet_nan = [](double got, const std::string& what) {
+    ASSERT_TRUE(std::isnan(got)) << what;
+    const std::uint64_t b = bits_of(got);
+    EXPECT_EQ((b >> 52) & 0x7FF, 0x7FFull) << what;
+    EXPECT_NE(b & 0x0008000000000000ull, 0u) << what << ": signalling NaN";
+  };
+
+  const double qnan = std::numeric_limits<double>::quiet_NaN();
+  const double snan = std::numeric_limits<double>::signaling_NaN();
+  const double payload_nan = from_bits(0x7FF8DEADBEEF1234ull);
+  const double neg_nan = from_bits(0xFFF8000000000001ull);
+  const double inf = std::numeric_limits<double>::infinity();
+
+  const double nans[] = {qnan, snan, payload_nan, neg_nan};
+  const double others[] = {0.0, -0.0, 1.0, -2.5, 1e300, 1e-320, inf, -inf,
+                           qnan};
+  for (const double n : nans) {
+    for (const double x : others) {
+      expect_quiet_nan(sf::__sf_dadd(n, x), "nan + x");
+      expect_quiet_nan(sf::__sf_dadd(x, n), "x + nan");
+      expect_quiet_nan(sf::__sf_dsub(n, x), "nan - x");
+      expect_quiet_nan(sf::__sf_dmul(n, x), "nan * x");
+      expect_quiet_nan(sf::__sf_dmul(x, n), "x * nan");
+      expect_quiet_nan(sf::__sf_ddiv(n, x), "nan / x");
+      expect_quiet_nan(sf::__sf_ddiv(x, n), "x / nan");
+    }
+    expect_quiet_nan(sf::__sf_dsqrt(n), "sqrt(nan)");
+    EXPECT_EQ(sf::__sf_dcmp(n, 1.0), 2) << "nan unordered";
+  }
+
+  // Invalid operations must generate NaN exactly where hardware does.
+  expect_quiet_nan(sf::__sf_dadd(inf, -inf), "inf + -inf");
+  expect_quiet_nan(sf::__sf_dsub(inf, inf), "inf - inf");
+  expect_quiet_nan(sf::__sf_dmul(0.0, inf), "0 * inf");
+  expect_quiet_nan(sf::__sf_dmul(-inf, 0.0), "-inf * 0");
+  expect_quiet_nan(sf::__sf_ddiv(0.0, 0.0), "0 / 0");
+  expect_quiet_nan(sf::__sf_ddiv(inf, -inf), "inf / -inf");
+  expect_quiet_nan(sf::__sf_dsqrt(-1.0), "sqrt(-1)");
+  expect_quiet_nan(sf::__sf_dsqrt(-inf), "sqrt(-inf)");
+  // ...and must NOT generate NaN where hardware does not.
+  expect_same(sf::__sf_dadd(inf, inf), inf, "inf + inf");
+  expect_same(sf::__sf_ddiv(1.0, 0.0), inf, "1 / 0");
+  expect_same(sf::__sf_ddiv(-1.0, 0.0), -inf, "-1 / 0");
+  expect_same(sf::__sf_dsqrt(-0.0), -0.0, "sqrt(-0)");
+}
+
+// Round-to-nearest-even ties at the subnormal boundary, differential
+// against host hardware (which rounds RNE with gradual underflow). Halving
+// a subnormal with an odd mantissa is an exact tie: the guard bit is 1 and
+// the sticky bits are 0, so the result must round to the even neighbour.
+TEST(Softfloat, RoundToNearestEvenTiesAtSubnormalBoundary) {
+  const double dmin = std::numeric_limits<double>::denorm_min();  // 2^-1074
+  const double nmin = std::numeric_limits<double>::min();         // 2^-1022
+
+  // mantissa 3 / 2 -> tie between 1 and 2 -> even 2; 5 / 2 -> even 2.
+  struct Case {
+    std::uint64_t in;
+    std::uint64_t want;
+  };
+  const Case halving[] = {
+      {0x0000000000000001ull, 0x0000000000000000ull},  // 1*dmin/2 -> 0 (even)
+      {0x0000000000000003ull, 0x0000000000000002ull},  // tie -> 2 (even)
+      {0x0000000000000005ull, 0x0000000000000002ull},  // tie -> 2 (even)
+      {0x0000000000000007ull, 0x0000000000000004ull},  // tie -> 4 (even)
+      {0x000000000000000Full, 0x0000000000000008ull},
+      {0x0010000000000001ull, 0x0008000000000000ull},  // just above nmin
+  };
+  for (const Case& c : halving) {
+    const double x = from_bits(c.in);
+    expect_same(sf::__sf_dmul(x, 0.5), x * 0.5, "halve mul");
+    expect_same(sf::__sf_ddiv(x, 2.0), x / 2.0, "halve div");
+    EXPECT_EQ(bits_of(sf::__sf_dmul(x, 0.5)), c.want)
+        << "RNE tie for mantissa " << c.in;
+  }
+
+  // Sub-boundary sums and differences: results straddle the normal /
+  // subnormal line where the rounding position shifts.
+  const double operands[] = {
+      dmin, 2 * dmin, 3 * dmin, nmin, nmin - dmin, nmin + dmin,
+      nmin / 2, nmin / 2 + dmin, from_bits(0x000FFFFFFFFFFFFFull),
+      from_bits(0x0000000000000001ull),
+  };
+  for (const double a : operands) {
+    for (const double b : operands) {
+      expect_same(sf::__sf_dadd(a, b), a + b, "subnormal add");
+      expect_same(sf::__sf_dsub(a, b), a - b, "subnormal sub");
+      expect_same(sf::__sf_dadd(a, -b), a + -b, "subnormal add neg");
+    }
+  }
+
+  // Products that underflow into the subnormal range with a tie: scale an
+  // odd-mantissa value by powers of two down across the boundary.
+  std::mt19937_64 rng(20260807);
+  for (int i = 0; i < 2000; ++i) {
+    const std::uint64_t mant = (rng() & 0x000FFFFFFFFFFFFFull) | 1ull;
+    const double x = from_bits((0x001ull << 52) | mant);  // small normal
+    const int k = 1 + static_cast<int>(rng() % 60);
+    const double scale = std::ldexp(1.0, -k);
+    expect_same(sf::__sf_dmul(x, scale), x * scale, "underflow mul");
+    expect_same(sf::__sf_ddiv(x, std::ldexp(1.0, k)), x / std::ldexp(1.0, k),
+                "underflow div");
+  }
+}
+
 // Property: a+b == b+a, a*b == b*a bit-exactly (IEEE commutativity).
 TEST(Softfloat, CommutativityProperty) {
   std::mt19937_64 rng(123);

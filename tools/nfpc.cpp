@@ -15,6 +15,8 @@
 //                       (per-instruction switch)
 //     --sim-stats       print the full BlockCache::Stats after the run
 //                       (morphs, flushes, chain/BTC counters)
+//     --seed N          board/calibration noise seed for --estimate and
+//                       --board campaigns (also --seed=N)
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -86,6 +88,8 @@ int main(int argc, char** argv) {
   bool want_board = false, want_counts = false, want_sim_stats = false;
   nfp::sim::Dispatch dispatch = nfp::sim::Dispatch::kBlock;
   std::size_t trace_limit = 0;
+  bool have_seed = false;
+  std::uint32_t seed = 0;
   std::vector<std::string> sources;
 
   for (int i = 1; i < argc; ++i) {
@@ -113,6 +117,19 @@ int main(int argc, char** argv) {
       return 2;
     } else if (arg == "--sim-stats") {
       want_sim_stats = true;
+    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
+      const char* value = nullptr;
+      if (arg[6] == '=') {
+        value = arg.c_str() + 7;
+      } else if (i + 1 < argc) {
+        value = argv[++i];
+      }
+      if (value == nullptr || *value == '\0') {
+        std::fprintf(stderr, "nfpc: --seed needs a value\n");
+        return 2;
+      }
+      seed = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+      have_seed = true;
     } else if (arg.rfind("--trace", 0) == 0) {
       trace_limit = 64;
       if (arg.size() > 8 && arg[7] == '=') {
@@ -121,6 +138,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
                   "[--estimate] [--board] [--counts] [--sim-stats] "
+                  "[--seed N] "
                   "[--dispatch=step|block|block-unchained] file.c ...\n");
       return 0;
     } else {
@@ -205,6 +223,7 @@ int main(int argc, char** argv) {
 
     if (want_estimate || want_board) {
       nfp::board::BoardConfig cfg;
+      if (have_seed) cfg.seed = seed;
       std::printf("calibrating NFP model...\n");
       const auto calibration = nfp::model::Calibrator().run(cfg);
       const auto est = nfp::model::estimate(iss.counters().counts, scheme,
