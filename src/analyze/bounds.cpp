@@ -1,0 +1,441 @@
+#include "analyze/bounds.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <queue>
+#include <set>
+
+namespace nfp::analyze {
+namespace {
+
+using isa::Op;
+
+bool writes_icc(Op op) {
+  switch (op) {
+    case Op::kAddcc: case Op::kAddxcc: case Op::kSubcc: case Op::kSubxcc:
+    case Op::kAndcc: case Op::kAndncc: case Op::kOrcc: case Op::kOrncc:
+    case Op::kXorcc: case Op::kXnorcc: case Op::kUmulcc: case Op::kSmulcc:
+    case Op::kUdivcc: case Op::kSdivcc:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool writes_int_reg(Op op) {
+  if (isa::is_fpu(op) || isa::is_store(op)) return false;
+  switch (op) {
+    case Op::kInvalid: case Op::kNop: case Op::kBicc: case Op::kFbfcc:
+    case Op::kTicc: case Op::kWry: case Op::kLdf: case Op::kLddf:
+      return false;
+    default:
+      return true;  // ALU, sethi, integer loads, jmpl, call, rdy
+  }
+}
+
+std::uint8_t written_reg(const isa::DecodedInsn& d) {
+  return d.op == Op::kCall ? isa::kRegO7 : d.rd;
+}
+
+std::string hex(std::uint32_t value) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "0x%08x", value);
+  return buf;
+}
+
+// Index of the control-transfer instruction inside a block's insn list (the
+// delay slot, when present, follows it).
+std::size_t cti_index(const BasicBlock& b) {
+  return b.insns.size() - 1 - (b.has_slot ? 1 : 0);
+}
+
+// How the block is left, for branch cycle selection.
+enum class Exit { kTaken, kUntaken, kTerminal, kWorst };
+
+struct BlockCost {
+  double cycles = 0.0;
+  double energy_nj = 0.0;
+};
+
+// Cost of executing `b` once and leaving it the given way. `include_slot`
+// matters only for CTI couples (annul semantics).
+BlockCost block_cost(const BasicBlock& b, const board::CostModel& costs,
+                     Exit exit, bool include_slot) {
+  BlockCost out;
+  const std::size_t cti = b.has_cti ? cti_index(b) : b.insns.size();
+  for (std::size_t i = 0; i < b.insns.size(); ++i) {
+    if (b.has_slot && i == b.insns.size() - 1 && !include_slot) continue;
+    const board::OpCost& c = costs.of(b.insns[i].op);
+    std::uint32_t cycles = c.cycles;
+    if (i == cti) {
+      if (exit == Exit::kUntaken) cycles = c.cycles_alt;
+      if (exit == Exit::kWorst) cycles = std::max(c.cycles, c.cycles_alt);
+    }
+    out.cycles += cycles;
+    out.energy_nj += c.energy_nj;
+  }
+  return out;
+}
+
+void add_counts(model::OpCounts& acc, const BasicBlock& b, bool include_slot,
+                std::uint64_t times = 1) {
+  for (std::size_t i = 0; i < b.insns.size(); ++i) {
+    if (b.has_slot && i == b.insns.size() - 1 && !include_slot) continue;
+    acc[static_cast<std::size_t>(b.insns[i].op)] += times;
+  }
+}
+
+Exit edge_exit(const CfgEdge& e) {
+  switch (e.kind) {
+    case CfgEdge::Kind::kUntaken: return Exit::kUntaken;
+    default: return Exit::kTaken;  // taken, call, fall-through (base cycles)
+  }
+}
+
+// A block where execution can leave the program: static halt, fault,
+// indirect jmpl, a dead end, or a conditional trap that may fire.
+bool is_exit(const BasicBlock& b) {
+  return b.halt || b.faults || b.indirect || b.edges.empty() ||
+         (b.has_cti && b.cti_op == Op::kTicc);
+}
+
+struct PathStep {
+  std::uint32_t block = 0;
+  int edge = -1;  // index into edges; -1 = terminal exit
+};
+
+struct Shortest {
+  bool found = false;
+  double total = 0.0;
+  std::vector<PathStep> path;  // entry..exit, only filled when requested
+};
+
+// Dijkstra from the entry block over (block, edge) weights; the exit cost of
+// a terminal block is the cost of executing it to its terminator.
+Shortest shortest_path(const Cfg& cfg, const board::CostModel& costs,
+                       bool energy_metric, bool want_path) {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::map<std::uint32_t, double> dist;
+  std::map<std::uint32_t, std::pair<std::uint32_t, int>> pred;
+  using QItem = std::pair<double, std::uint32_t>;
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> queue;
+
+  Shortest best;
+  double best_total = kInf;
+  std::uint32_t best_exit = 0;
+  if (cfg.blocks.count(cfg.entry) == 0) return best;
+  dist[cfg.entry] = 0.0;
+  queue.push({0.0, cfg.entry});
+  const auto weight = [&](const BlockCost& c) {
+    return energy_metric ? c.energy_nj : c.cycles;
+  };
+  while (!queue.empty()) {
+    const auto [d, addr] = queue.top();
+    queue.pop();
+    if (d > dist[addr]) continue;
+    const BasicBlock& b = cfg.blocks.at(addr);
+    if (is_exit(b)) {
+      const double total =
+          d + weight(block_cost(b, costs, Exit::kTerminal, true));
+      if (total < best_total) {
+        best_total = total;
+        best_exit = addr;
+        best.found = true;
+      }
+    }
+    for (int i = 0; i < static_cast<int>(b.edges.size()); ++i) {
+      const CfgEdge& e = b.edges[static_cast<std::size_t>(i)];
+      if (cfg.blocks.count(e.target) == 0) continue;
+      const double w =
+          weight(block_cost(b, costs, edge_exit(e), e.includes_slot));
+      const double nd = d + w;
+      const auto it = dist.find(e.target);
+      if (it == dist.end() || nd < it->second) {
+        dist[e.target] = nd;
+        pred[e.target] = {addr, i};
+        queue.push({nd, e.target});
+      }
+    }
+  }
+  if (!best.found) return best;
+  best.total = best_total;
+  if (want_path) {
+    std::vector<PathStep> rev;
+    rev.push_back({best_exit, -1});
+    std::uint32_t at = best_exit;
+    while (at != cfg.entry) {
+      const auto [from, edge] = pred.at(at);
+      rev.push_back({from, edge});
+      at = from;
+    }
+    best.path.assign(rev.rbegin(), rev.rend());
+  }
+  return best;
+}
+
+StaticVector vector_of_path(const Cfg& cfg, const board::CostModel& costs,
+                            const std::vector<PathStep>& path,
+                            double clock_hz) {
+  StaticVector v;
+  double cycles = 0.0;
+  for (const PathStep& step : path) {
+    const BasicBlock& b = cfg.blocks.at(step.block);
+    const bool terminal = step.edge < 0;
+    const bool slot =
+        terminal ? !b.slot_annulled_always
+                 : b.edges[static_cast<std::size_t>(step.edge)].includes_slot;
+    const Exit exit =
+        terminal ? Exit::kTerminal
+                 : edge_exit(b.edges[static_cast<std::size_t>(step.edge)]);
+    const BlockCost c = block_cost(b, costs, exit, slot);
+    cycles += c.cycles;
+    v.energy_nj += c.energy_nj;
+    add_counts(v.op_counts, b, slot);
+  }
+  v.cycles = static_cast<std::uint64_t>(cycles);
+  v.time_s = cycles / clock_hz;
+  for (const std::uint64_t n : v.op_counts) v.insns += n;
+  return v;
+}
+
+// ---- Loop structure -------------------------------------------------------
+
+struct Loop {
+  std::uint32_t header = 0;
+  std::set<std::uint32_t> body;       // includes header and latches
+  std::vector<std::uint32_t> latches;  // back-edge sources
+};
+
+// Natural loops from DFS back edges; loops sharing a header are merged.
+std::vector<Loop> find_loops(const Cfg& cfg) {
+  std::map<std::uint32_t, std::vector<std::uint32_t>> preds;
+  for (const auto& [addr, b] : cfg.blocks) {
+    for (const CfgEdge& e : b.edges) preds[e.target].push_back(addr);
+  }
+  // Iterative DFS, colors: 0 unseen, 1 on stack, 2 done.
+  std::map<std::uint32_t, int> color;
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  std::map<std::uint32_t, Loop> loops;
+  if (cfg.blocks.count(cfg.entry) == 0) return {};
+  stack.push_back({cfg.entry, 0});
+  color[cfg.entry] = 1;
+  while (!stack.empty()) {
+    auto& [addr, next] = stack.back();
+    const BasicBlock& b = cfg.blocks.at(addr);
+    if (next >= b.edges.size()) {
+      color[addr] = 2;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t t = b.edges[next++].target;
+    if (cfg.blocks.count(t) == 0) continue;
+    const int c = color[t];
+    if (c == 1) {  // back edge addr -> t
+      Loop& loop = loops[t];
+      loop.header = t;
+      loop.latches.push_back(addr);
+      loop.body.insert(t);
+      std::vector<std::uint32_t> work;
+      if (loop.body.insert(addr).second) work.push_back(addr);
+      while (!work.empty()) {
+        const std::uint32_t x = work.back();
+        work.pop_back();
+        for (const std::uint32_t p : preds[x]) {
+          if (loop.body.insert(p).second) work.push_back(p);
+        }
+      }
+    } else if (c == 0) {
+      color[t] = 1;
+      stack.push_back({t, 0});
+    }
+  }
+  std::vector<Loop> out;
+  out.reserve(loops.size());
+  for (auto& [h, loop] : loops) out.push_back(std::move(loop));
+  return out;
+}
+
+// Counted-loop heuristic: the latch decrements a counter by a constant step
+// (`subcc %r, s, %r`) and loops on `bne`; the only initialiser outside the
+// loop is `mov K, %r` (or `add %g0, K, %r`); nothing else in the loop writes
+// %r. Trip count = K / s.
+std::optional<std::uint64_t> infer_counted_bound(const Cfg& cfg,
+                                                 const Loop& loop) {
+  if (loop.latches.size() != 1) return std::nullopt;
+  const BasicBlock& latch = cfg.blocks.at(loop.latches.front());
+  if (!latch.has_cti || latch.cti_op != Op::kBicc) return std::nullopt;
+  const isa::DecodedInsn& br = latch.insns[cti_index(latch)];
+  if (static_cast<isa::Cond>(br.cond) != isa::Cond::kNe) return std::nullopt;
+  bool loops_back = false;
+  for (const CfgEdge& e : latch.edges) {
+    if (e.kind == CfgEdge::Kind::kTaken && e.target == loop.header) {
+      loops_back = true;
+    }
+  }
+  if (!loops_back) return std::nullopt;
+
+  // Last condition-code writer before the branch must be the decrement.
+  const isa::DecodedInsn* dec = nullptr;
+  std::size_t dec_index = 0;
+  for (std::size_t i = cti_index(latch); i-- > 0;) {
+    if (writes_icc(latch.insns[i].op)) {
+      dec = &latch.insns[i];
+      dec_index = i;
+      break;
+    }
+  }
+  if (dec == nullptr || dec->op != Op::kSubcc || !dec->has_imm ||
+      dec->imm <= 0 || dec->rd != dec->rs1 || dec->rd == isa::kRegG0) {
+    return std::nullopt;
+  }
+  const std::uint8_t reg = dec->rd;
+  const auto step = static_cast<std::uint64_t>(dec->imm);
+
+  // The decrement must be the counter's only writer inside the loop, and
+  // exactly one `mov K, %r` outside it may initialise it.
+  std::optional<std::uint64_t> init;
+  for (const auto& [addr, b] : cfg.blocks) {
+    const bool in_loop = loop.body.count(addr) != 0;
+    for (std::size_t i = 0; i < b.insns.size(); ++i) {
+      const isa::DecodedInsn& d = b.insns[i];
+      if (b.has_slot && i == b.insns.size() - 1 && b.slot_annulled_always) {
+        continue;  // never executes
+      }
+      if (!writes_int_reg(d.op) || written_reg(d) != reg) continue;
+      if (in_loop) {
+        if (addr == latch.start && i == dec_index) continue;
+        return std::nullopt;
+      }
+      if (init.has_value()) return std::nullopt;  // multiple initialisers
+      const bool is_mov = (d.op == Op::kOr || d.op == Op::kAdd) &&
+                          d.rs1 == isa::kRegG0 && d.has_imm && d.imm > 0;
+      if (!is_mov) return std::nullopt;
+      init = static_cast<std::uint64_t>(d.imm);
+    }
+  }
+  if (!init.has_value() || *init % step != 0) return std::nullopt;
+  return *init / step;
+}
+
+}  // namespace
+
+BoundsResult analyze_bounds(const Cfg& cfg, const board::CostModel& costs,
+                            const BoundsConfig& config) {
+  BoundsResult result;
+
+  // Lower bounds: per-metric shortest entry→exit path.
+  const Shortest time_path = shortest_path(cfg, costs, false, true);
+  if (time_path.found) {
+    result.has_exit = true;
+    result.lower = vector_of_path(cfg, costs, time_path.path, config.clock_hz);
+    const Shortest energy_path = shortest_path(cfg, costs, true, false);
+    result.lower_energy_nj = energy_path.total;
+    result.lower_exact = true;
+    for (const PathStep& step : time_path.path) {
+      const BasicBlock& b = cfg.blocks.at(step.block);
+      if (step.edge < 0) {
+        result.lower_exact = result.lower_exact && b.halt && b.edges.empty();
+      } else {
+        result.lower_exact = result.lower_exact && b.edges.size() == 1;
+      }
+    }
+  }
+
+  // Upper estimate: sum over blocks with loop multipliers.
+  for (const auto& [addr, b] : cfg.blocks) {
+    if (b.indirect) {
+      result.upper_unavailable =
+          "indirect control flow (jmpl) at " + hex(b.cti_pc);
+      break;
+    }
+    for (const CfgEdge& e : b.edges) {
+      if (e.kind == CfgEdge::Kind::kCall) {
+        result.upper_unavailable = "call at " + hex(b.cti_pc) +
+                                   " (interprocedural bounds unsupported)";
+        break;
+      }
+    }
+    if (!result.upper_unavailable.empty()) break;
+  }
+  if (!result.upper_unavailable.empty()) return result;
+
+  const std::vector<Loop> loops = find_loops(cfg);
+  std::map<std::uint32_t, std::uint64_t> bound_of;
+  for (const Loop& loop : loops) {
+    const auto annotated = config.loop_bounds.find(loop.header);
+    if (annotated != config.loop_bounds.end()) {
+      bound_of[loop.header] = annotated->second;
+      result.loops.push_back(LoopInfo{loop.header, annotated->second, false});
+      continue;
+    }
+    std::optional<std::uint64_t> inferred;
+    if (config.infer_counted_loops) inferred = infer_counted_bound(cfg, loop);
+    if (!inferred.has_value()) {
+      result.upper_unavailable =
+          "loop at " + hex(loop.header) + " has no static bound";
+      return result;
+    }
+    bound_of[loop.header] = *inferred;
+    result.loops.push_back(LoopInfo{loop.header, *inferred, true});
+  }
+
+  double cycles = 0.0;
+  for (const auto& [addr, b] : cfg.blocks) {
+    std::uint64_t mult = 1;
+    for (const Loop& loop : loops) {
+      if (loop.body.count(addr) != 0) mult *= bound_of[loop.header];
+    }
+    if (mult == 0) continue;
+    const bool slot = !b.slot_annulled_always;
+    const BlockCost c = block_cost(b, costs, Exit::kWorst, slot);
+    cycles += c.cycles * static_cast<double>(mult);
+    result.upper.energy_nj += c.energy_nj * static_cast<double>(mult);
+    add_counts(result.upper.op_counts, b, slot, mult);
+  }
+  result.upper.cycles = static_cast<std::uint64_t>(cycles);
+  result.upper.time_s = cycles / config.clock_hz;
+  for (const std::uint64_t n : result.upper.op_counts) result.upper.insns += n;
+  result.has_upper = true;
+  return result;
+}
+
+std::string render(const BoundsResult& r) {
+  char buf[160];
+  std::string out;
+  if (!r.has_exit) {
+    return "lower bound: no statically halting path (trivial bound 0)\n";
+  }
+  std::snprintf(buf, sizeof buf,
+                "lower bound (min-time path): %llu insns, %llu cycles, "
+                "%.6g s, %.6g nJ\n",
+                static_cast<unsigned long long>(r.lower.insns),
+                static_cast<unsigned long long>(r.lower.cycles),
+                r.lower.time_s, r.lower.energy_nj);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "lower bound (min-energy path): %.6g nJ\n",
+                r.lower_energy_nj);
+  out += buf;
+  out += std::string("lower bound is exact (single static path): ") +
+         (r.lower_exact ? "yes" : "no") + "\n";
+  for (const LoopInfo& loop : r.loops) {
+    std::snprintf(buf, sizeof buf, "loop %s: bound %llu%s\n",
+                  hex(loop.header).c_str(),
+                  static_cast<unsigned long long>(loop.bound),
+                  loop.inferred ? " (inferred counted loop)" : "");
+    out += buf;
+  }
+  if (r.has_upper) {
+    std::snprintf(buf, sizeof buf,
+                  "upper estimate: %llu insns, %llu cycles, %.6g s, %.6g nJ\n",
+                  static_cast<unsigned long long>(r.upper.insns),
+                  static_cast<unsigned long long>(r.upper.cycles),
+                  r.upper.time_s, r.upper.energy_nj);
+    out += buf;
+  } else {
+    out += "upper estimate unavailable: " + r.upper_unavailable + "\n";
+  }
+  return out;
+}
+
+}  // namespace nfp::analyze

@@ -1,0 +1,83 @@
+// Static (pre-run) NFP bounds from a recovered CFG.
+//
+// Folds per-block category histograms with the board cost model:
+//   lower — the cheapest entry→exit path (per-metric Dijkstra with
+//           delay-slot exclusion and taken/untaken branch cycle variants);
+//           a guaranteed lower bound on any halting execution, and exact
+//           (equal to the dynamic retire vector) on single-path programs;
+//   upper — sum over blocks weighted by loop multipliers, where loop bounds
+//           come from annotations (keyed by loop-header address) or from a
+//           conservative counted-loop heuristic. Unavailable when the CFG
+//           has indirect exits, call edges, or unbounded loops — the reason
+//           is reported instead of a number.
+//
+// The op-count vectors can be pushed through the same category scheme and
+// calibrated per-category costs as the dynamic estimator (Eq. 1), giving a
+// static Ê/T̂ directly comparable with the ISS-derived estimate.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "board/cost_model.h"
+#include "nfp/estimator.h"
+
+namespace nfp::analyze {
+
+// A static execution vector: op counts plus their cost-model fold.
+struct StaticVector {
+  model::OpCounts op_counts{};
+  std::uint64_t insns = 0;
+  std::uint64_t cycles = 0;
+  double energy_nj = 0.0;
+  double time_s = 0.0;
+};
+
+struct LoopInfo {
+  std::uint32_t header = 0;
+  std::uint64_t bound = 0;  // max executions of the loop body
+  bool inferred = false;    // counted-loop heuristic, not an annotation
+};
+
+struct BoundsConfig {
+  // Loop-bound annotations, keyed by loop-header block address.
+  std::map<std::uint32_t, std::uint64_t> loop_bounds;
+  // Infer bounds for `mov K, %r; ...; subcc %r, s, %r; bne` counted loops.
+  bool infer_counted_loops = true;
+  double clock_hz = 50.0e6;
+};
+
+struct BoundsResult {
+  bool has_exit = false;  // some halting/exiting path exists statically
+  StaticVector lower;     // along the min-time path (zero when !has_exit)
+  double lower_energy_nj = 0.0;  // min-energy path total (may differ)
+  // True when the lower path is the only execution path (every block on it
+  // has at most one successor): the static vector then equals the dynamic
+  // retire vector exactly.
+  bool lower_exact = false;
+
+  bool has_upper = false;
+  StaticVector upper;
+  std::string upper_unavailable;  // reason when !has_upper
+  std::vector<LoopInfo> loops;
+};
+
+BoundsResult analyze_bounds(const Cfg& cfg, const board::CostModel& costs,
+                            const BoundsConfig& config = {});
+
+// Eq. 1 fold of a static op-count vector with calibrated per-category costs,
+// for side-by-side comparison with the dynamic estimate.
+inline model::Estimate fold(const StaticVector& v,
+                            const model::CategoryScheme& scheme,
+                            const model::CategoryCosts& costs) {
+  return model::estimate(v.op_counts, scheme, costs);
+}
+
+// Human-readable report (used by nfplint --bounds).
+std::string render(const BoundsResult& result);
+
+}  // namespace nfp::analyze

@@ -1,0 +1,391 @@
+#include "analyze/sweep.h"
+
+#include <cstdio>
+
+#include "isa/decode.h"
+#include "isa/disasm.h"
+#include "isa/encode.h"
+
+namespace nfp::analyze {
+namespace {
+
+using isa::Category;
+using isa::Op;
+
+// All disassembly in the sweep renders against a fixed pc so branch/call
+// targets are comparable between the original and the round-tripped word.
+constexpr std::uint32_t kSweepPc = 0x40000000u;
+
+std::uint64_t lcg_next(std::uint64_t& state) {
+  state = state * 6364136223846793005ull + 1442695040888963407ull;
+  return state >> 17;
+}
+
+// Independent field-level classification: valid/invalid plus the Table-I
+// category, derived from the raw op/op2/op3/opf fields without consulting
+// isa::Op. This duplicates the decode tables on purpose — the sweep's value
+// is that two independently written mappings must agree over the whole
+// encoding space.
+struct FieldClass {
+  bool valid = false;
+  Category category = Category::kOther;
+};
+
+bool alu_op3_valid(std::uint32_t op3) {
+  if (op3 <= 0x08) return true;
+  switch (op3) {
+    case 0x0A: case 0x0B: case 0x0C: case 0x0E: case 0x0F:
+    case 0x1A: case 0x1B: case 0x1C: case 0x1E: case 0x1F:
+    case 0x25: case 0x26: case 0x27: case 0x28: case 0x30:
+    case 0x38: case 0x3A: case 0x3C: case 0x3D:
+      return true;
+    default:
+      return op3 >= 0x10 && op3 <= 0x18;
+  }
+}
+
+FieldClass classify_fields(std::uint32_t word) {
+  const std::uint32_t op = word >> 30;
+  switch (op) {
+    case 0: {
+      const std::uint32_t op2 = (word >> 22) & 0x7;
+      if (op2 == 0x4) {
+        const bool nop = ((word >> 25) & 0x1F) == 0 && (word & 0x3FFFFF) == 0;
+        return {true, nop ? Category::kNop : Category::kOther};
+      }
+      if (op2 == 0x2 || op2 == 0x6) return {true, Category::kJump};
+      return {};
+    }
+    case 1:
+      return {true, Category::kJump};
+    case 2: {
+      const std::uint32_t op3 = (word >> 19) & 0x3F;
+      if (op3 == 0x34) {  // FPop1
+        switch ((word >> 5) & 0x1FF) {
+          case 0x4D: case 0x4E:
+            return {true, Category::kFpuDiv};
+          case 0x29: case 0x2A:
+            return {true, Category::kFpuSqrt};
+          case 0x01: case 0x05: case 0x09: case 0x41: case 0x42: case 0x45:
+          case 0x46: case 0x49: case 0x4A: case 0xC4: case 0xC6: case 0xC8:
+          case 0xC9: case 0xD1: case 0xD2:
+            return {true, Category::kFpuArith};
+          default:
+            return {};
+        }
+      }
+      if (op3 == 0x35) {  // FPop2
+        const std::uint32_t opf = (word >> 5) & 0x1FF;
+        if (opf == 0x51 || opf == 0x52) return {true, Category::kFpuArith};
+        return {};
+      }
+      if (!alu_op3_valid(op3)) return {};
+      switch (op3) {
+        case 0x38: case 0x3A:
+          return {true, Category::kJump};
+        case 0x28: case 0x30: case 0x3C: case 0x3D:
+          return {true, Category::kOther};
+        default:
+          return {true, Category::kIntArith};
+      }
+    }
+    default: {
+      switch ((word >> 19) & 0x3F) {
+        case 0x00: case 0x01: case 0x02: case 0x03: case 0x09: case 0x0A:
+        case 0x20: case 0x23:
+          return {true, Category::kMemLoad};
+        case 0x04: case 0x05: case 0x06: case 0x07: case 0x24: case 0x27:
+          return {true, Category::kMemStore};
+        default:
+          return {};
+      }
+    }
+  }
+}
+
+// Bit mask of the don't-care bits of an accepted word: the asi field of
+// register-form format-3 instructions, plus the reserved bit 29 of Ticc.
+// A word whose don't-care bits are all zero is canonical and must survive
+// reencode() bit-identically.
+std::uint32_t dont_care_mask(std::uint32_t word) {
+  const std::uint32_t op = word >> 30;
+  if (op < 2) return 0;
+  const std::uint32_t op3 = (word >> 19) & 0x3F;
+  if (op == 2 && (op3 == 0x34 || op3 == 0x35)) return 0;
+  std::uint32_t mask = 0;
+  if (((word >> 13) & 1) == 0) mask |= 0x1FE0u;        // asi, register form
+  if (op == 2 && op3 == 0x3A) mask |= 1u << 29;        // Ticc reserved bit
+  return mask;
+}
+
+bool fields_equal(const isa::DecodedInsn& a, const isa::DecodedInsn& b) {
+  return a.op == b.op && a.rd == b.rd && a.rs1 == b.rs1 && a.rs2 == b.rs2 &&
+         a.cond == b.cond && a.annul == b.annul && a.has_imm == b.has_imm &&
+         a.imm == b.imm;
+}
+
+// Expected category set per morph group; the dispatch grouping and the NFP
+// categorisation are maintained independently and must stay consistent.
+bool group_allows(isa::MorphGroup group, Category cat) {
+  using isa::MorphGroup;
+  switch (group) {
+    case MorphGroup::kAddSub:
+    case MorphGroup::kLogic:
+    case MorphGroup::kShift:
+    case MorphGroup::kMulDiv:
+      return cat == Category::kIntArith;
+    case MorphGroup::kYReg:
+      return cat == Category::kOther;
+    case MorphGroup::kMove:  // sethi, nop, save, restore
+      return cat == Category::kOther || cat == Category::kNop;
+    case MorphGroup::kLoad:
+      return cat == Category::kMemLoad;
+    case MorphGroup::kStore:
+      return cat == Category::kMemStore;
+    case MorphGroup::kCti:
+      return cat == Category::kJump;
+    case MorphGroup::kFpu:
+      return cat == Category::kFpuArith || cat == Category::kFpuDiv ||
+             cat == Category::kFpuSqrt;
+    case MorphGroup::kInvalid:
+      return false;
+  }
+  return false;
+}
+
+class Sweep {
+ public:
+  explicit Sweep(const SweepConfig& config) : cfg_(config) {
+    category_ = cfg_.category ? cfg_.category
+                              : [](Op op) { return isa::default_category(op); };
+    rng_ = cfg_.seed;
+  }
+
+  SweepResult run() {
+    build_samples();
+    enumerate_fmt2();
+    enumerate_call();
+    enumerate_fmt3_alu();
+    enumerate_fpop();
+    enumerate_fmt3_mem();
+    return std::move(result_);
+  }
+
+ private:
+  void build_samples() {
+    regs_ = {0, 1, 14, 15, 30, 31};
+    while (regs_.size() < cfg_.reg_samples) {
+      regs_.push_back(static_cast<std::uint8_t>(lcg_next(rng_) & 31));
+    }
+    simm13_ = {0, 1, 0x1FFF, 0x1000, 0x0FFF, 0x0AAA};
+    while (simm13_.size() < cfg_.imm_samples) {
+      simm13_.push_back(static_cast<std::uint32_t>(lcg_next(rng_) & 0x1FFF));
+    }
+    imm22_ = {0, 1, 0x200000, 0x3FFFFF, 0x1FFFFF, 0x155555};
+    while (imm22_.size() < cfg_.imm_samples) {
+      imm22_.push_back(static_cast<std::uint32_t>(lcg_next(rng_) & 0x3FFFFF));
+    }
+    disp30_ = {0, 1, 0x20000000, 0x3FFFFFFF, 0x1FFFFFFF, 0x15555555};
+    while (disp30_.size() < 4 * cfg_.imm_samples) {
+      disp30_.push_back(
+          static_cast<std::uint32_t>(lcg_next(rng_) & 0x3FFFFFFF));
+    }
+    asi_ = {0x01, 0x80, 0xFF};
+    while (asi_.size() < cfg_.asi_samples) {
+      asi_.push_back(static_cast<std::uint32_t>(lcg_next(rng_) & 0xFF));
+    }
+  }
+
+  FamilyStats& family(const std::string& name) {
+    for (auto& f : result_.families) {
+      if (f.family == name) return f;
+    }
+    result_.families.push_back(FamilyStats{name, 0, 0, 0, {}});
+    return result_.families.back();
+  }
+
+  void finding(std::uint32_t word, const char* check, std::string detail) {
+    ++result_.findings_total;
+    if (result_.findings.size() < cfg_.max_findings) {
+      result_.findings.push_back(SweepFinding{word, check, std::move(detail)});
+    }
+  }
+
+  void check_word(std::uint32_t word, FamilyStats& fam) {
+    ++result_.enumerated;
+    ++fam.enumerated;
+
+    const isa::DecodedInsn d = isa::decode(word);
+    const FieldClass expect = classify_fields(word);
+    const bool accepted = d.op != Op::kInvalid;
+
+    if (accepted != expect.valid) {
+      finding(word, "accept",
+              accepted ? "decoder accepts a field-invalid encoding"
+                       : "decoder rejects a field-valid encoding");
+    }
+    if (!accepted) {
+      ++result_.rejected;
+      ++fam.rejected;
+      // Rejection must agree across every path: reencode refuses, and the
+      // disassembler renders an explicit illegal marker.
+      if (isa::reencode(d).has_value()) {
+        finding(word, "roundtrip", "reencode() accepts an invalid decode");
+      }
+      if (isa::disassemble(d, kSweepPc).find("invalid") == std::string::npos) {
+        finding(word, "disasm", "invalid word renders without marker");
+      }
+      return;
+    }
+
+    ++result_.accepted;
+    ++fam.accepted;
+    const Category cat = category_(d.op);
+    ++fam.categories[static_cast<std::size_t>(cat)];
+
+    if (cat != expect.category) {
+      finding(word, "category",
+              std::string("category map says '") +
+                  std::string(isa::to_string(cat)) + "', encoding fields say '" +
+                  std::string(isa::to_string(expect.category)) + "'");
+    }
+
+    const isa::MorphGroup group = isa::morph_group(d.op);
+    if (!group_allows(group, cat)) {
+      finding(word, "morph-group", "morph group disagrees with category");
+    }
+    if (isa::ends_block(d) != (group == isa::MorphGroup::kCti)) {
+      finding(word, "morph-group", "ends_block() disagrees with morph group");
+    }
+
+    const auto rw = isa::reencode(d);
+    if (!rw.has_value()) {
+      finding(word, "roundtrip", "reencode() rejects an accepted decode");
+      return;
+    }
+    const isa::DecodedInsn d2 = isa::decode(*rw);
+    if (!fields_equal(d, d2)) {
+      finding(word, "roundtrip", "re-decoded fields differ");
+      return;
+    }
+    if ((word & dont_care_mask(word)) == 0 && *rw != word) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "canonical word reencodes to 0x%08x",
+                    *rw);
+      finding(word, "canonical", buf);
+    }
+    if (isa::disassemble(d, kSweepPc) != isa::disassemble(d2, kSweepPc)) {
+      finding(word, "disasm", "disassembly differs after round-trip");
+    }
+  }
+
+  void enumerate_fmt2() {
+    for (std::uint32_t op2 = 0; op2 < 8; ++op2) {
+      const char* name = op2 == 0x4   ? "fmt2.sethi"
+                         : op2 == 0x2 ? "fmt2.bicc"
+                         : op2 == 0x6 ? "fmt2.fbfcc"
+                                      : "fmt2.reserved";
+      FamilyStats& fam = family(name);
+      for (std::uint32_t top = 0; top < 32; ++top) {  // a+cond / rd field
+        for (const std::uint32_t imm : imm22_) {
+          check_word((top << 25) | (op2 << 22) | imm, fam);
+        }
+      }
+    }
+  }
+
+  void enumerate_call() {
+    FamilyStats& fam = family("fmt1.call");
+    for (const std::uint32_t disp : disp30_) {
+      check_word((1u << 30) | disp, fam);
+    }
+  }
+
+  void fmt3_shapes(std::uint32_t op, std::uint32_t op3, FamilyStats& fam) {
+    const std::uint32_t head = (op << 30) | (op3 << 19);
+    for (const std::uint8_t rd : regs_) {
+      for (const std::uint8_t rs1 : regs_) {
+        const std::uint32_t base =
+            head | (std::uint32_t{rd} << 25) | (std::uint32_t{rs1} << 14);
+        for (const std::uint32_t simm : simm13_) {
+          check_word(base | (1u << 13) | simm, fam);
+        }
+        for (const std::uint8_t rs2 : regs_) {
+          check_word(base | rs2, fam);  // canonical register form
+          for (const std::uint32_t asi : asi_) {
+            check_word(base | (asi << 5) | rs2, fam);
+          }
+        }
+      }
+    }
+  }
+
+  void enumerate_fmt3_alu() {
+    FamilyStats& fam = family("fmt3.alu");
+    for (std::uint32_t op3 = 0; op3 < 0x40; ++op3) {
+      if (op3 == 0x34 || op3 == 0x35) continue;
+      fmt3_shapes(2, op3, fam);
+    }
+  }
+
+  void enumerate_fpop() {
+    for (const std::uint32_t op3 : {0x34u, 0x35u}) {
+      FamilyStats& fam = family(op3 == 0x34 ? "fmt3.fpop1" : "fmt3.fpop2");
+      const std::uint32_t head = (2u << 30) | (op3 << 19);
+      for (std::uint32_t opf = 0; opf < 0x200; ++opf) {
+        for (const std::uint8_t rd : regs_) {
+          for (const std::uint8_t rs1 : regs_) {
+            for (const std::uint8_t rs2 : regs_) {
+              check_word(head | (std::uint32_t{rd} << 25) |
+                             (std::uint32_t{rs1} << 14) | (opf << 5) | rs2,
+                         fam);
+            }
+          }
+        }
+      }
+    }
+  }
+
+  void enumerate_fmt3_mem() {
+    FamilyStats& fam = family("fmt3.mem");
+    for (std::uint32_t op3 = 0; op3 < 0x40; ++op3) {
+      fmt3_shapes(3, op3, fam);
+    }
+  }
+
+  const SweepConfig& cfg_;
+  std::function<Category(Op)> category_;
+  std::uint64_t rng_ = 0;
+  std::vector<std::uint8_t> regs_;
+  std::vector<std::uint32_t> simm13_, imm22_, disp30_, asi_;
+  SweepResult result_;
+};
+
+}  // namespace
+
+std::string SweepResult::table() const {
+  std::string out =
+      "# family enumerated accepted rejected int jump load store nop other "
+      "fparith fpdiv fpsqrt\n";
+  for (const auto& f : families) {
+    char buf[256];
+    std::snprintf(buf, sizeof buf, "%s %llu %llu %llu", f.family.c_str(),
+                  static_cast<unsigned long long>(f.enumerated),
+                  static_cast<unsigned long long>(f.accepted),
+                  static_cast<unsigned long long>(f.rejected));
+    out += buf;
+    for (const auto count : f.categories) {
+      std::snprintf(buf, sizeof buf, " %llu",
+                    static_cast<unsigned long long>(count));
+      out += buf;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+SweepResult run_sweep(const SweepConfig& config) {
+  return Sweep(config).run();
+}
+
+}  // namespace nfp::analyze

@@ -612,6 +612,7 @@ class Unit {
               blob.begin() + (data_base_ - origin_));
 
     Program prog(origin_, std::move(blob));
+    prog.set_text_size(text_off_);
     for (const auto& [name, def] : symbols_) {
       switch (def.section) {
         case 0: prog.define_symbol(name, text_base_ + def.value); break;

@@ -8,7 +8,9 @@ constexpr std::int32_t sign_extend(std::uint32_t value, unsigned bits) {
   return static_cast<std::int32_t>((value ^ mask) - mask);
 }
 
-Op alu_op(std::uint32_t op3) {
+}  // namespace
+
+Op alu_op_from_op3(std::uint32_t op3) {
   switch (op3) {
     case 0x00: return Op::kAdd;
     case 0x01: return Op::kAnd;
@@ -51,7 +53,7 @@ Op alu_op(std::uint32_t op3) {
   }
 }
 
-Op mem_op(std::uint32_t op3) {
+Op mem_op_from_op3(std::uint32_t op3) {
   switch (op3) {
     case 0x00: return Op::kLd;
     case 0x01: return Op::kLdub;
@@ -71,7 +73,7 @@ Op mem_op(std::uint32_t op3) {
   }
 }
 
-Op fp_op(std::uint32_t op3, std::uint32_t opf) {
+Op fp_op_from_opf(std::uint32_t op3, std::uint32_t opf) {
   if (op3 == 0x34) {  // FPop1
     switch (opf) {
       case 0x01: return Op::kFmovs;
@@ -103,8 +105,6 @@ Op fp_op(std::uint32_t op3, std::uint32_t opf) {
     default:   return Op::kInvalid;
   }
 }
-
-}  // namespace
 
 DecodedInsn decode(std::uint32_t word) {
   DecodedInsn d;
@@ -141,11 +141,11 @@ DecodedInsn decode(std::uint32_t word) {
       d.rd = static_cast<std::uint8_t>((word >> 25) & 0x1F);
       d.rs1 = static_cast<std::uint8_t>((word >> 14) & 0x1F);
       if (op3 == 0x34 || op3 == 0x35) {
-        d.op = fp_op(op3, (word >> 5) & 0x1FF);
+        d.op = fp_op_from_opf(op3, (word >> 5) & 0x1FF);
         d.rs2 = static_cast<std::uint8_t>(word & 0x1F);
         return d;
       }
-      d.op = alu_op(op3);
+      d.op = alu_op_from_op3(op3);
       if (d.op == Op::kTicc) {
         d.cond = static_cast<std::uint8_t>((word >> 25) & 0xF);
         d.rd = 0;
@@ -160,7 +160,7 @@ DecodedInsn decode(std::uint32_t word) {
     }
     default: {  // format 3: memory
       const std::uint32_t op3 = (word >> 19) & 0x3F;
-      d.op = mem_op(op3);
+      d.op = mem_op_from_op3(op3);
       d.rd = static_cast<std::uint8_t>((word >> 25) & 0x1F);
       d.rs1 = static_cast<std::uint8_t>((word >> 14) & 0x1F);
       if ((word >> 13) & 1) {

@@ -11,6 +11,14 @@ namespace nfp::isa {
 // Op::kInvalid; the simulator treats executing such a word as a fatal error.
 DecodedInsn decode(std::uint32_t word);
 
+// Decode-table iteration hooks. These expose the raw op3/opf tables behind
+// decode() so the static analyzer (nfp::analyze) can enumerate the encoding
+// space family by family instead of guessing at the tables' contents.
+// Unmapped selector values yield Op::kInvalid.
+Op alu_op_from_op3(std::uint32_t op3);           // format 3, op = 2
+Op mem_op_from_op3(std::uint32_t op3);           // format 3, op = 3
+Op fp_op_from_opf(std::uint32_t op3, std::uint32_t opf);  // FPop1/FPop2
+
 // Morph-time grouping (paper Fig. 3): every decode entry maps to one of a
 // small set of grouped execution functions. The superblock morph cache uses
 // this table to pick a pre-resolved handler once per cached block instead of

@@ -183,4 +183,34 @@ std::uint32_t enc_fp(Op op, std::uint8_t rd, std::uint8_t rs1,
          (static_cast<std::uint32_t>(rs1) << 14) | (e.opf << 5) | rs2;
 }
 
+std::optional<std::uint32_t> reencode(const DecodedInsn& d) {
+  switch (d.op) {
+    case Op::kInvalid:
+      return std::nullopt;
+    case Op::kNop:
+    case Op::kSethi:
+      return enc_sethi(d.rd, static_cast<std::uint32_t>(d.imm));
+    case Op::kBicc:
+      return enc_bicc(static_cast<Cond>(d.cond), d.annul, d.imm);
+    case Op::kFbfcc:
+      return enc_fbfcc(static_cast<FCond>(d.cond), d.annul, d.imm);
+    case Op::kCall:
+      return enc_call(d.imm);
+    case Op::kTicc:
+      // The condition lives in the rd field (bit 29 is reserved-zero and
+      // the decoder clears rd), so the generic ALU encoders cannot be used.
+      return d.has_imm ? format3_imm(2, d.cond, 0x3A, d.rs1, d.imm)
+                       : format3(2, d.cond, 0x3A, d.rs1, d.rs2);
+    default:
+      break;
+  }
+  if (is_fpu(d.op)) return enc_fp(d.op, d.rd, d.rs1, d.rs2);
+  if (is_load(d.op) || is_store(d.op)) {
+    return d.has_imm ? enc_mem_imm(d.op, d.rd, d.rs1, d.imm)
+                     : enc_mem(d.op, d.rd, d.rs1, d.rs2);
+  }
+  return d.has_imm ? enc_alu_imm(d.op, d.rd, d.rs1, d.imm)
+                   : enc_alu(d.op, d.rd, d.rs1, d.rs2);
+}
+
 }  // namespace nfp::isa

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "isa/insn.h"
 
@@ -37,5 +38,13 @@ std::uint32_t enc_ta(std::int32_t swtrap);
 // (fmovs, fsqrt, conversions) rs1 must be 0.
 std::uint32_t enc_fp(Op op, std::uint8_t rd, std::uint8_t rs1,
                      std::uint8_t rs2);
+
+// Re-encodes a decoded instruction into its canonical word: the same
+// operand fields, reserved / don't-care bits zero (the asi field of
+// register-form format-3 instructions, bit 29 of Ticc). Returns nullopt for
+// Op::kInvalid. For every word the decoder accepts,
+// decode(*reencode(decode(w))) has identical fields to decode(w); the
+// analyzer's consistency sweep pins this property over the encoding space.
+std::optional<std::uint32_t> reencode(const DecodedInsn& d);
 
 }  // namespace nfp::isa

@@ -530,7 +530,7 @@ double __sf_i2d(int v) {
   if (v == 0) return sf_zero(0u);
   if (v < 0) {
     sign = 1u;
-    mag = (unsigned)(-v);
+    mag = 0u - (unsigned)v;  /* two's-complement negate; -v is UB at INT_MIN */
   } else {
     sign = 0u;
     mag = (unsigned)v;

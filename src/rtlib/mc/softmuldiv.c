@@ -64,18 +64,19 @@ unsigned __mc_urem(unsigned a, unsigned b) {
 }
 
 int __mc_sdiv(int a, int b) {
-  unsigned ua = a < 0 ? (unsigned)(-a) : (unsigned)a;
-  unsigned ub = b < 0 ? (unsigned)(-b) : (unsigned)b;
+  /* negate in unsigned arithmetic: -a is UB at INT_MIN */
+  unsigned ua = a < 0 ? 0u - (unsigned)a : (unsigned)a;
+  unsigned ub = b < 0 ? 0u - (unsigned)b : (unsigned)b;
   unsigned q = __mc_udiv(ua, ub);
-  if ((a < 0) != (b < 0)) return -(int)q;
+  if ((a < 0) != (b < 0)) return (int)(0u - q);
   return (int)q;
 }
 
 int __mc_srem(int a, int b) {
   /* C semantics: the remainder has the sign of the dividend. */
-  unsigned ua = a < 0 ? (unsigned)(-a) : (unsigned)a;
-  unsigned ub = b < 0 ? (unsigned)(-b) : (unsigned)b;
+  unsigned ua = a < 0 ? 0u - (unsigned)a : (unsigned)a;
+  unsigned ub = b < 0 ? 0u - (unsigned)b : (unsigned)b;
   unsigned r = __mc_urem(ua, ub);
-  if (a < 0) return -(int)r;
+  if (a < 0) return (int)(0u - r);
   return (int)r;
 }

@@ -26,6 +26,8 @@ void Platform::load(const asmkit::Program& program) {
                    program.bytes().size());
 
   code_base_ = program.base();
+  text_size_ = program.text_size();
+  program_ = program;
   const std::size_t words = program.size() / 4;
   dcache_.clear();
   dcache_.reserve(words);

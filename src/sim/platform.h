@@ -41,6 +41,15 @@ class Platform {
   std::uint32_t code_base() const { return code_base_; }
   const std::vector<isa::DecodedInsn>& decode_cache() const { return dcache_; }
 
+  // Image/section accessors for the static analyzer (nfp::analyze): the
+  // loaded program is retained so nfplint-style tooling can cross-check the
+  // predecoded image against a from-scratch CFG recovery.
+  std::uint32_t code_size() const {
+    return static_cast<std::uint32_t>(dcache_.size()) * 4;
+  }
+  std::uint32_t text_size() const { return text_size_; }
+  const asmkit::Program& loaded_program() const { return program_; }
+
   // Superblock morph cache over the predecoded image (Dispatch::kBlock);
   // null until a program is loaded.
   BlockCache* block_cache() { return bcache_.get(); }
@@ -49,6 +58,8 @@ class Platform {
   Bus bus_;
   CpuState cpu_;
   std::uint32_t code_base_ = 0;
+  std::uint32_t text_size_ = 0;
+  asmkit::Program program_;
   std::vector<isa::DecodedInsn> dcache_;
   std::unique_ptr<BlockCache> bcache_;
 };

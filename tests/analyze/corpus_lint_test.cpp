@@ -1,0 +1,44 @@
+// Runs the static CFG lints over every committed fuzz-corpus reproducer.
+// Corpus entries exercise gnarly-but-legal control flow (branch aliasing,
+// self-modification, mid-chain invalidation); the lint must accept them all
+// without errors. Warnings (e.g. trailing unreachable data words) are fine.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "analyze/cfg.h"
+#include "asmkit/assembler.h"
+#include "sim/memmap.h"
+
+#ifndef NFP_FUZZ_CORPUS_DIR
+#error "NFP_FUZZ_CORPUS_DIR must point at the committed corpus"
+#endif
+
+namespace nfp::analyze {
+namespace {
+
+TEST(CorpusLint, EveryCorpusProgramLintsErrorFree) {
+  std::size_t linted = 0;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(NFP_FUZZ_CORPUS_DIR)) {
+    if (entry.path().extension() != ".s") continue;
+    std::ifstream in(entry.path());
+    ASSERT_TRUE(in.is_open()) << entry.path();
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    const Cfg cfg = build_cfg(asmkit::assemble(ss.str(), sim::kTextBase));
+    EXPECT_FALSE(cfg.blocks.empty()) << entry.path();
+    for (const auto& f : cfg.findings) {
+      EXPECT_NE(f.severity, Severity::kError)
+          << entry.path() << ": " << render(f);
+    }
+    ++linted;
+  }
+  EXPECT_GT(linted, 0u) << "no corpus at " << NFP_FUZZ_CORPUS_DIR;
+}
+
+}  // namespace
+}  // namespace nfp::analyze

@@ -1,0 +1,13 @@
+! Hand-written lint fixture: a conditional branch sitting in the live delay
+! slot of another branch. The V8 spec leaves CTI couples implementation-
+! defined; the simulator treats them as faults, so nfplint must flag this
+! as an error (cti-in-delay-slot at the slot address).
+  .text
+_start:
+  mov 1, %g1
+  cmp %g1, 0
+  ba done
+  bne _start        ! CTI in a live delay slot: the error under test
+done:
+  ta 0
+  nop

@@ -1,0 +1,118 @@
+// Decoder-consistency sweep tests: the full enumeration is clean, its
+// per-family totals are pinned (any decode-table drift shows up as a diff
+// here), and deliberately broken category maps are caught with the
+// offending encoding reported.
+#include "analyze/sweep.h"
+
+#include <gtest/gtest.h>
+
+#include "isa/categories.h"
+#include "isa/decode.h"
+
+namespace nfp::analyze {
+namespace {
+
+// Small but representative configuration for the fast tests.
+SweepConfig small_config() {
+  SweepConfig cfg;
+  cfg.imm_samples = 16;
+  cfg.reg_samples = 4;
+  cfg.asi_samples = 2;
+  return cfg;
+}
+
+TEST(Sweep, DefaultEnumerationIsConsistent) {
+  const SweepResult result = run_sweep();
+  EXPECT_TRUE(result.consistent())
+      << result.findings_total << " findings, first: "
+      << (result.findings.empty() ? "" : result.findings[0].check + " "
+                                             + result.findings[0].detail);
+  EXPECT_EQ(result.enumerated, result.accepted + result.rejected);
+  // A few million encodings, as advertised.
+  EXPECT_GT(result.enumerated, 2'000'000u);
+}
+
+TEST(Sweep, FamilyTotalsArePinned) {
+  const SweepResult result = run_sweep();
+  // One row per decode family; these numbers are a function of the decode
+  // tables and the default sample counts only. An unexplained diff means
+  // the decoder accepts or rejects different encodings than before.
+  const char* expected =
+      "# family enumerated accepted rejected"
+      " int jump load store nop other fparith fpdiv fpsqrt\n"
+      "fmt2.reserved 15360 0 15360 0 0 0 0 0 0 0 0 0\n"
+      "fmt2.bicc 3072 3072 0 0 3072 0 0 0 0 0 0 0\n"
+      "fmt2.sethi 3072 3072 0 0 0 0 0 1 3071 0 0 0\n"
+      "fmt2.fbfcc 3072 3072 0 0 3072 0 0 0 0 0 0 0\n"
+      "fmt1.call 384 384 0 0 384 0 0 0 0 0 0 0\n"
+      "fmt3.alu 905200 540200 365000 452600 29200 0 0 0 58400 0 0 0\n"
+      "fmt3.fpop1 512000 19000 493000 0 0 0 0 0 0 15000 2000 2000\n"
+      "fmt3.fpop2 512000 2000 510000 0 0 0 0 0 0 2000 0 0\n"
+      "fmt3.mem 934400 204400 730000 0 0 116800 87600 0 0 0 0 0\n";
+  EXPECT_EQ(result.table(), expected);
+  EXPECT_EQ(result.enumerated, 2'888'560u);
+  EXPECT_EQ(result.accepted, 775'200u);
+}
+
+TEST(Sweep, DeterministicAcrossRuns) {
+  const SweepConfig cfg = small_config();
+  const SweepResult a = run_sweep(cfg);
+  const SweepResult b = run_sweep(cfg);
+  EXPECT_EQ(a.table(), b.table());
+  EXPECT_EQ(a.enumerated, b.enumerated);
+  EXPECT_EQ(a.findings_total, b.findings_total);
+}
+
+// The acceptance gate of the whole subsystem: a category flip anywhere in
+// the map must surface as a "category" finding naming an encoding that
+// actually decodes to the flipped op.
+TEST(Sweep, InjectedCategoryFlipIsReported) {
+  SweepConfig cfg = small_config();
+  cfg.category = [](isa::Op op) {
+    if (op == isa::Op::kLd) return isa::Category::kMemStore;  // the bug
+    return isa::default_category(op);
+  };
+  const SweepResult result = run_sweep(cfg);
+  EXPECT_FALSE(result.consistent());
+  ASSERT_FALSE(result.findings.empty());
+  bool category_finding = false;
+  for (const auto& f : result.findings) {
+    if (f.check != "category") continue;
+    category_finding = true;
+    // The reported word must be a genuine ld encoding.
+    EXPECT_EQ(isa::decode(f.word).op, isa::Op::kLd) << std::hex << f.word;
+  }
+  EXPECT_TRUE(category_finding);
+}
+
+TEST(Sweep, InjectedJumpFlipIsReported) {
+  SweepConfig cfg = small_config();
+  cfg.category = [](isa::Op op) {
+    if (op == isa::Op::kBicc) return isa::Category::kIntArith;
+    return isa::default_category(op);
+  };
+  const SweepResult result = run_sweep(cfg);
+  EXPECT_FALSE(result.consistent());
+  bool found = false;
+  for (const auto& f : result.findings) {
+    if (f.check == "category" && isa::decode(f.word).op == isa::Op::kBicc) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Sweep, FindingCapDoesNotAffectTotals) {
+  SweepConfig broken = small_config();
+  broken.max_findings = 2;
+  broken.category = [](isa::Op op) {
+    if (op == isa::Op::kAdd) return isa::Category::kOther;
+    return isa::default_category(op);
+  };
+  const SweepResult result = run_sweep(broken);
+  EXPECT_LE(result.findings.size(), 2u);
+  EXPECT_GT(result.findings_total, 2u);  // every add encoding misclassified
+}
+
+}  // namespace
+}  // namespace nfp::analyze

@@ -179,5 +179,59 @@ TEST(Categories, EveryOpHasACategory) {
   }
 }
 
+// ---- Edge cases pinned alongside the nfplint decoder-consistency sweep ----
+
+TEST(DecodeEdge, ReservedOp2ValuesRejected) {
+  // Format-2 op2 values 0, 1, 3, 5, 7 are reserved (unimplemented) in V8;
+  // they must be rejected for every rd/imm22 fill.
+  for (const std::uint32_t op2 : {0u, 1u, 3u, 5u, 7u}) {
+    for (const std::uint32_t rd : {0u, 1u, 31u}) {
+      for (const std::uint32_t imm22 : {0u, 1u, 0x3FFFFFu}) {
+        const std::uint32_t word = (rd << 25) | (op2 << 22) | imm22;
+        EXPECT_EQ(decode(word).op, Op::kInvalid) << std::hex << word;
+      }
+    }
+  }
+}
+
+TEST(DecodeEdge, FpopOpfHolesRejected) {
+  const auto fpop1 = [](std::uint32_t opf) {
+    return (2u << 30) | (1u << 25) | (0x34u << 19) | (2u << 14) | (opf << 5) |
+           3u;
+  };
+  const auto fpop2 = [](std::uint32_t opf) {
+    return (2u << 30) | (0u << 25) | (0x35u << 19) | (2u << 14) | (opf << 5) |
+           3u;
+  };
+  // Sanity: the populated codes decode.
+  EXPECT_EQ(decode(fpop1(0x41)).op, Op::kFadds);
+  EXPECT_EQ(decode(fpop1(0x4E)).op, Op::kFdivd);
+  EXPECT_EQ(decode(fpop2(0x51)).op, Op::kFcmps);
+  // Holes between and around populated codes (including the quad-precision
+  // slots 0x43/0x47/0x4B/0x4F, which this implementation does not provide).
+  for (const std::uint32_t opf :
+       {0x00u, 0x02u, 0x0Du, 0x2Bu, 0x43u, 0x47u, 0x4Bu, 0x4Fu, 0xC5u, 0xCAu,
+        0xD3u, 0x1FFu}) {
+    EXPECT_EQ(decode(fpop1(opf)).op, Op::kInvalid) << std::hex << opf;
+  }
+  // FPop2 only implements fcmps/fcmpd; fcmpes/fcmped (0x55/0x56) and the
+  // rest of the space are holes.
+  for (const std::uint32_t opf : {0x00u, 0x50u, 0x53u, 0x55u, 0x56u, 0x1FFu}) {
+    EXPECT_EQ(decode(fpop2(opf)).op, Op::kInvalid) << std::hex << opf;
+  }
+}
+
+TEST(DecodeEdge, SethiNopBoundary) {
+  // Only the exact encoding `sethi 0, %g0` is the canonical NOP; a nonzero
+  // destination or a nonzero imm22 is an architected sethi (Table I counts
+  // them in different categories).
+  EXPECT_EQ(decode(enc_sethi(0, 0)).op, Op::kNop);
+  EXPECT_EQ(decode(enc_sethi(1, 0)).op, Op::kSethi);
+  EXPECT_EQ(decode(enc_sethi(0, 0x400)).op, Op::kSethi);  // imm22 == 1
+  EXPECT_EQ(default_category(decode(enc_sethi(0, 0)).op), Category::kNop);
+  EXPECT_EQ(default_category(decode(enc_sethi(0, 0x400)).op),
+            Category::kOther);
+}
+
 }  // namespace
 }  // namespace nfp::isa

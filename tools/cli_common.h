@@ -1,0 +1,40 @@
+// Small shared helpers for the nfp* command-line tools.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace nfp::cli {
+
+// Accepts "--name=value" or "--name value"; returns nullptr if argv[i] is
+// not this flag, and exits with a usage error if the value is missing.
+inline const char* flag_value(const std::string& name, int argc, char** argv,
+                              int& i, const char* tool) {
+  const std::string arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", tool, name.c_str());
+      std::exit(2);
+    }
+    return argv[++i];
+  }
+  if (arg.rfind(name + "=", 0) == 0) return argv[i] + name.size() + 1;
+  return nullptr;
+}
+
+// Reads a whole file into a string, or exits with a usage error.
+inline std::string read_file(const std::string& path, const char* tool) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open %s\n", tool, path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+}  // namespace nfp::cli

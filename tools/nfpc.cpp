@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "board/board.h"
+#include "cli_common.h"
 #include "mcc/compiler.h"
 #include "nfp/calibration.h"
 #include "nfp/estimator.h"
@@ -36,14 +37,7 @@
 namespace {
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "nfpc: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return nfp::cli::read_file(path, "nfpc");
 }
 
 const char* dispatch_name(nfp::sim::Dispatch d) {

@@ -5,12 +5,11 @@
 //        nfpdis --mc file.c ...   (compile Micro-C, then disassemble)
 #include <cstdio>
 #include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
 #include <vector>
 
 #include "asmkit/assembler.h"
+#include "cli_common.h"
 #include "isa/disasm.h"
 #include "mcc/compiler.h"
 #include "sim/memmap.h"
@@ -18,14 +17,7 @@
 namespace {
 
 std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    std::fprintf(stderr, "nfpdis: cannot open %s\n", path.c_str());
-    std::exit(2);
-  }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  return ss.str();
+  return nfp::cli::read_file(path, "nfpdis");
 }
 
 void listing(const nfp::asmkit::Program& program) {

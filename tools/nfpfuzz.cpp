@@ -27,6 +27,7 @@
 #include <cstring>
 #include <string>
 
+#include "cli_common.h"
 #include "fuzz/corpus.h"
 #include "fuzz/generator.h"
 #include "fuzz/oracle.h"
@@ -45,22 +46,9 @@ struct Options {
   std::string corpus_dir = "tests/fuzz/corpus";
 };
 
-// Accepts "--name=value" or "--name value"; returns nullptr if `arg` is not
-// this flag, and exits with usage error if the value is missing.
 const char* flag_value(const std::string& name, int argc, char** argv,
                        int& i) {
-  const std::string arg = argv[i];
-  if (arg == name) {
-    if (i + 1 >= argc) {
-      std::fprintf(stderr, "nfpfuzz: %s needs a value\n", name.c_str());
-      std::exit(2);
-    }
-    return argv[++i];
-  }
-  if (arg.rfind(name + "=", 0) == 0) {
-    return argv[i] + name.size() + 1;
-  }
-  return nullptr;
+  return nfp::cli::flag_value(name, argc, argv, i, "nfpfuzz");
 }
 
 void usage() {
