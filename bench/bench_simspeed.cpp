@@ -49,8 +49,8 @@ int main() {
 }
 
 // `make` builds the simulator, `go` runs the loaded simulator to completion
-// and returns its RunResult (this indirection lets callers pick a dispatch
-// mode; Board has no dispatch parameter).
+// and returns its RunResult (the indirection lets callers pick a dispatch
+// mode).
 template <typename Make, typename Go>
 void run_sim(benchmark::State& state, Make&& make, Go&& go) {
   std::uint64_t insns = 0;
@@ -123,16 +123,27 @@ void BM_IssWithCounters_Step(benchmark::State& state) {
 }
 BENCHMARK(BM_IssWithCounters_Step)->Unit(benchmark::kMillisecond);
 
+// Board step-vs-block A/B pair: the block-cost dispatch (static per-block
+// profiles + dynamic residual hooks) against the per-instruction stepping
+// baseline, at identical — bit-for-bit — cycle and energy accounting.
 void BM_BoardApproxTimed(benchmark::State& state) {
-  set_provenance(state, "step");
+  set_provenance(state, "block-chained");
   run_sim(
       state, [] { return nfp::board::Board(); },
       [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_BoardApproxTimed)->Unit(benchmark::kMillisecond);
 
-void BM_BoardCycleStepped(benchmark::State& state) {
+void BM_BoardApproxTimed_Step(benchmark::State& state) {
   set_provenance(state, "step");
+  run_sim(
+      state, [] { return nfp::board::Board(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
+}
+BENCHMARK(BM_BoardApproxTimed_Step)->Unit(benchmark::kMillisecond);
+
+void BM_BoardCycleStepped(benchmark::State& state) {
+  set_provenance(state, "block-chained");
   run_sim(
       state,
       [] {
@@ -143,6 +154,19 @@ void BM_BoardCycleStepped(benchmark::State& state) {
       [](auto& sim) { return sim.run(kBudget); });
 }
 BENCHMARK(BM_BoardCycleStepped)->Unit(benchmark::kMillisecond);
+
+void BM_BoardCycleStepped_Step(benchmark::State& state) {
+  set_provenance(state, "step");
+  run_sim(
+      state,
+      [] {
+        nfp::board::BoardConfig cfg;
+        cfg.fidelity = nfp::board::Fidelity::kCycleStepped;
+        return nfp::board::Board(cfg);
+      },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
+}
+BENCHMARK(BM_BoardCycleStepped_Step)->Unit(benchmark::kMillisecond);
 
 void BM_Compile(benchmark::State& state) {
   const auto abi = state.range(0) == 0 ? nfp::mcc::FloatAbi::kHard

@@ -12,18 +12,27 @@ Board::Board(BoardConfig cfg)
 
 void Board::load(const asmkit::Program& program) {
   platform_.load(program);
+  // Block-cost dispatch replays per-op residuals from captured operands, so
+  // every block the fresh cache morphs must use the capture handler
+  // variants. load() rebuilt the cache, so no block pre-dates this.
+  platform_.block_cache()->set_capture(true);
   hooks_ = std::make_unique<BoardHooks>(cfg_, cost_);
 }
 
 void Board::step() {
   sim::Executor<BoardHooks> exec(platform_.cpu(), platform_.bus(), *hooks_);
   exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+  exec.set_block_cache(platform_.block_cache());
+  exec.set_block_dispatch(false);
   if (!platform_.cpu().halted) exec.step();
 }
 
-sim::RunResult Board::run(std::uint64_t max_insns) {
+sim::RunResult Board::run(std::uint64_t max_insns, sim::Dispatch dispatch) {
   sim::Executor<BoardHooks> exec(platform_.cpu(), platform_.bus(), *hooks_);
   exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
+  exec.set_block_cache(platform_.block_cache());
+  exec.set_block_dispatch(dispatch != sim::Dispatch::kStep);
+  exec.set_chaining(dispatch == sim::Dispatch::kBlock);
   exec.run(max_insns);
   sim::RunResult result;
   result.halted = platform_.cpu().halted;

@@ -12,6 +12,7 @@
 #include "board/config.h"
 #include "board/cost_model.h"
 #include "board/hooks.h"
+#include "sim/executor.h"
 #include "sim/platform.h"
 
 namespace nfp::board {
@@ -28,7 +29,14 @@ class Board {
   explicit Board(BoardConfig cfg = {});
 
   void load(const asmkit::Program& program);
-  sim::RunResult run(std::uint64_t max_insns = kDefaultMaxInsns);
+  // Runs under the chosen dispatch mode. Block dispatch retires whole
+  // superblocks against precomputed static cost profiles with per-op
+  // residual callbacks for the flagged subset; cycles, energy, and stats
+  // are bit-for-bit identical across all modes (see board/hooks.h). The
+  // morph cache is attached in every mode, so stores into the code range
+  // re-decode the image even when stepping.
+  sim::RunResult run(std::uint64_t max_insns = kDefaultMaxInsns,
+                     sim::Dispatch dispatch = sim::Dispatch::kBlock);
   // Executes a single instruction (debug monitor support).
   void step();
 
@@ -40,6 +48,9 @@ class Board {
   }
   double true_energy_nj() const { return hooks_->energy_nj(); }
   const BoardStats& stats() const { return hooks_->stats(); }
+  std::uint64_t switching_activity() const {
+    return hooks_->switching_activity();
+  }
 
   // Bench measurement: ground truth seen through the power meter and the
   // clock's tick granularity. `tag` identifies the kernel so repeated

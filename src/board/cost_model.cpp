@@ -70,6 +70,24 @@ CostModel::CostModel() {
   }
   of(Op::kFdivs) = OpCost{15, 15, 290.0};
   of(Op::kFsqrts) = OpCost{21, 21, 60.0};
+
+  // Residual tagging, applied last so the per-op deviation aggregates above
+  // cannot clobber it: which part of each op's cost stays context-dependent
+  // after the static base is lifted into a per-block profile. Loads/stores
+  // see the SDRAM open-row (and optional data-cache) state, control
+  // transfers see their resolved direction, FP arithmetic energy tracks
+  // operand bit activity; everything else is fully static apart from the
+  // board-global operand-toggle variation.
+  for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+    const auto op = static_cast<Op>(i);
+    if (isa::is_load(op) || isa::is_store(op)) {
+      table_[i].kind = sim::ResidualKind::kMemory;
+    } else if (isa::is_control(op)) {
+      table_[i].kind = sim::ResidualKind::kBranch;
+    } else if (isa::is_fpu(op)) {
+      table_[i].kind = sim::ResidualKind::kFpVariable;
+    }
+  }
 }
 
 }  // namespace nfp::board

@@ -10,13 +10,26 @@
 #include <cstdint>
 
 #include "isa/insn.h"
+#include "sim/hooks.h"
 
 namespace nfp::board {
 
+// Per-op cost, split into a statically-precomputable base and a tagged
+// dynamic residual kind. The base (cycles, energy_nj and its leakage share)
+// is what a block-level cost profile can sum at morph time; `kind` says
+// which context-dependent correction — if any — must still be applied per
+// retired instruction (SDRAM row / cache state for memory ops, resolved
+// direction for control transfers, operand bit activity for FP arithmetic).
 struct OpCost {
   std::uint32_t cycles = 2;        // base cycles (taken path for branches)
   std::uint32_t cycles_alt = 2;    // untaken path for branches
-  double energy_nj = 13.0;         // base energy per execution
+  double energy_nj = 13.0;         // base energy per execution (incl. leakage)
+  // Static leakage share of energy_nj: the part that scales with occupancy
+  // (cycles held in the pipeline) rather than with switching activity, and
+  // is therefore exempt from operand-toggle modelling refinements. Purely a
+  // decomposition of energy_nj — totals never change with this value.
+  double leakage_nj = 0.0;
+  sim::ResidualKind kind = sim::ResidualKind::kNone;
 };
 
 class CostModel {

@@ -2,8 +2,27 @@
 // per-instruction cycles and energy with context-dependent effects
 // (SDRAM open-row state, branch direction, operand/address toggling,
 // optional data cache).
+//
+// The accounting is split so whole-block dispatch (Hooks::kBlockCost) can
+// retire most of it statically:
+//
+//  - Static base: every op's base cycles and base energy come straight from
+//    the CostModel table. Energy is tracked as per-op retire counts and
+//    summed lazily in energy_nj(); base cycles of non-residual ops are
+//    precomputed per block (BlockCost::base_cycles) and added in one shot.
+//  - Dynamic residual: ops whose cost depends on machine context carry a
+//    ResidualKind tag, and apply_residual() is the single kernel — shared
+//    verbatim by the stepping and block paths — that turns captured operands
+//    into the per-op cycle count and the energy correction relative to base
+//    (accumulated in residual_energy_).
+//
+// Because both dispatch modes retire every op through the same count
+// increment and the same apply_residual() call sequence in program order,
+// cycles(), energy_nj(), stats() and switching_activity() are bit-for-bit
+// identical between Dispatch::kStep and Dispatch::kBlock.
 #pragma once
 
+#include <array>
 #include <bit>
 #include <cstdint>
 #include <vector>
@@ -11,6 +30,7 @@
 #include "board/config.h"
 #include "board/cost_model.h"
 #include "isa/insn.h"
+#include "sim/block_cache.h"
 #include "sim/bus.h"
 #include "sim/hooks.h"
 
@@ -23,14 +43,18 @@ struct BoardStats {
   std::uint64_t cache_misses = 0;
   std::uint64_t branches_taken = 0;
   std::uint64_t branches_untaken = 0;
+
+  friend bool operator==(const BoardStats&, const BoardStats&) = default;
 };
 
 class BoardHooks {
  public:
   static constexpr bool kWantsDetail = true;
-  // Context-dependent effects (open rows, toggling, cache state) need every
-  // retired instruction in order; block-batched accounting cannot apply.
+  // Not a profile-only batch hook: context-dependent residuals still need
+  // flagged instructions in order. kBlockCost is the middle tier — static
+  // base applied per block, residuals replayed from captured operands.
   static constexpr bool kBatchRetire = false;
+  static constexpr bool kBlockCost = true;
 
   BoardHooks(const BoardConfig& cfg, const CostModel& cost)
       : cfg_(cfg), cost_(cost) {
@@ -51,51 +75,103 @@ class BoardHooks {
           "board error: MUL/DIV instruction executed on a configuration "
           "without the hardware units (compile with soft-muldiv)");
     }
-    const OpCost& oc = cost_.of(d.op);
-    std::uint32_t cyc;
-    double e = oc.energy_nj;
+    // Fold the RetireInfo into the same {x, y} operand pair the block path
+    // captures, then run the shared accounting kernel.
+    std::uint32_t x, y;
+    switch (cost_.of(d.op).kind) {
+      case sim::ResidualKind::kMemory:
+        x = info.ea;
+        y = info.mem_data;
+        break;
+      case sim::ResidualKind::kBranch:
+        x = info.taken ? 1u : 0u;
+        y = 0;
+        break;
+      default:
+        x = info.a;
+        y = info.b;
+        break;
+    }
+    account(d.op, x, y);
+  }
 
-    if (isa::is_load(d.op) || isa::is_store(d.op)) {
-      cyc = memory_cycles(d.op, info.ea, oc, e);
-      if (cfg_.enable_variation) {
-        e *= toggle_factor(info.ea ^ prev_addr_, info.mem_data);
+  // Prefix retire after a fault inside a block: replay the accounting for
+  // one completed instruction from its captured operands. The retire guards
+  // are not re-checked — ensure_block_cost() refused every block containing
+  // a guarded op, so a faulting block has none.
+  void on_retire_captured(isa::Op op, const sim::CapturedOp& cap) {
+    account(op, cap.a, cap.b);
+  }
+
+  // Builds (once) and validates the block's cost profile. Returns false to
+  // demand single-stepping: blocks containing ops whose retire guard must
+  // fault at the exact offending instruction never enter block dispatch.
+  bool ensure_block_cost(sim::Block& block) {
+    if (block.cost_state == sim::BlockCostState::kReady) return true;
+    if (block.cost_state == sim::BlockCostState::kStepOnly) return false;
+    sim::BlockCost cost;
+    for (std::size_t i = 0; i < block.code.size(); ++i) {
+      const auto op = static_cast<isa::Op>(block.code[i].op);
+      if ((!cfg_.has_fpu && uses_fpu(op)) ||
+          (!cfg_.has_hw_muldiv && uses_muldiv(op))) {
+        block.cost_state = sim::BlockCostState::kStepOnly;
+        return false;
       }
-      prev_addr_ = info.ea;
-    } else if (isa::is_control(d.op)) {
-      cyc = info.taken ? oc.cycles : oc.cycles_alt;
-      if (info.taken) {
-        ++stats_.branches_taken;
+      const OpCost& oc = cost_.of(op);
+      cost.base_energy_nj += oc.energy_nj;
+      if (residual_active(oc.kind)) {
+        cost.residuals.push_back(
+            {static_cast<std::uint16_t>(i), block.code[i].op});
       } else {
-        ++stats_.branches_untaken;
-        e *= 0.8;  // the untaken path does not redirect the fetch stream
-      }
-    } else {
-      cyc = oc.cycles;
-      if (cfg_.enable_variation) {
-        e *= toggle_factor(info.a ^ prev_a_, info.b ^ prev_b_);
-        prev_a_ = info.a;
-        prev_b_ = info.b;
+        // Residual ops are excluded: their cycles always come from
+        // apply_residual() — in both dispatch modes — so they are never
+        // counted twice.
+        cost.base_cycles += oc.cycles;
       }
     }
+    block.cost = std::move(cost);
+    block.cost_state = sim::BlockCostState::kReady;
+    return true;
+  }
 
+  // Whole-block retire: per-op counts and precomputed base cycles land in
+  // one shot; only the flagged residual subset replays per instruction, in
+  // program order, against the operands the handlers captured.
+  void on_retire_block_cost(const sim::Block& block,
+                            const sim::CapturedOp* cap) {
+    for (const auto& pc : block.profile) {
+      counts_[pc.op] += pc.count;
+    }
+    std::uint64_t cyc = block.cost.base_cycles;
+    for (const auto& r : block.cost.residuals) {
+      const auto op = static_cast<isa::Op>(r.op);
+      cyc += apply_residual(op, cost_.of(op), cap[r.index].a, cap[r.index].b);
+    }
     if (cfg_.fidelity == Fidelity::kCycleStepped) {
-      // Step the microarchitectural activity tracker cycle by cycle, as a
-      // hardware-description-level simulator would. The totals are the same
-      // as the approximately-timed path; only the simulation cost differs.
-      for (std::uint32_t i = 0; i < cyc; ++i) {
-        activity_lfsr_ ^= activity_lfsr_ << 13;
-        activity_lfsr_ ^= activity_lfsr_ >> 7;
-        activity_lfsr_ ^= activity_lfsr_ << 17;
-        activity_ += std::popcount(activity_lfsr_);
-      }
+      // Batched: the tracker is a pure function of how many cycles it has
+      // advanced, so one block-sized run equals the per-op runs exactly.
+      advance_activity(cyc);
     }
-
     cycles_ += cyc;
-    energy_nj_ += e;
   }
 
   std::uint64_t cycles() const { return cycles_; }
-  double energy_nj() const { return energy_nj_; }
+
+  // Lazy total: static base energy from the retire counts plus the
+  // accumulated dynamic corrections. Summed in ascending op order so the
+  // value is a pure function of the retire multiset — identical for any
+  // dispatch mode that retires the same instructions.
+  double energy_nj() const {
+    double e = 0.0;
+    for (std::size_t i = 0; i < isa::kOpCount; ++i) {
+      if (counts_[i] != 0) {
+        e += static_cast<double>(counts_[i]) *
+             cost_.of(static_cast<isa::Op>(i)).energy_nj;
+      }
+    }
+    return e + residual_energy_;
+  }
+
   const BoardStats& stats() const { return stats_; }
   std::uint64_t switching_activity() const { return activity_; }
 
@@ -116,6 +192,70 @@ class BoardHooks {
         return true;
       default:
         return false;
+    }
+  }
+
+  // Whether ops tagged `kind` need a per-instruction callback on this
+  // configuration. Memory and control residuals are unconditional (row /
+  // cache state, branch direction); operand-toggle residuals exist only
+  // when variation is modelled at all.
+  bool residual_active(sim::ResidualKind kind) const {
+    return kind == sim::ResidualKind::kMemory ||
+           kind == sim::ResidualKind::kBranch || cfg_.enable_variation;
+  }
+
+  // Shared per-instruction accounting: count the op, apply its residual,
+  // track activity, accumulate cycles. The stepping path runs this for every
+  // op; the block path replays it only for faulted-block prefixes.
+  void account(isa::Op op, std::uint32_t x, std::uint32_t y) {
+    ++counts_[static_cast<std::size_t>(op)];
+    const std::uint32_t cyc = apply_residual(op, cost_.of(op), x, y);
+    if (cfg_.fidelity == Fidelity::kCycleStepped) advance_activity(cyc);
+    cycles_ += cyc;
+  }
+
+  // The dynamic-residual kernel, shared by both dispatch modes: given the
+  // op's captured operand pair, returns its cycle count and accumulates its
+  // energy correction relative to the static base into residual_energy_.
+  // For kinds with no active residual this is a no-op returning base cycles.
+  std::uint32_t apply_residual(isa::Op op, const OpCost& oc, std::uint32_t x,
+                               std::uint32_t y) {
+    switch (oc.kind) {
+      case sim::ResidualKind::kMemory: {
+        // x = effective address, y = transferred data word.
+        double e = oc.energy_nj;
+        const std::uint32_t cyc = memory_cycles(op, x, oc, e);
+        if (cfg_.enable_variation) {
+          e *= toggle_factor(x ^ prev_addr_, y);
+        }
+        prev_addr_ = x;
+        residual_energy_ += e - oc.energy_nj;
+        return cyc;
+      }
+      case sim::ResidualKind::kBranch: {
+        // x = resolved direction.
+        if (x != 0) {
+          ++stats_.branches_taken;
+          return oc.cycles;
+        }
+        ++stats_.branches_untaken;
+        // The untaken path does not redirect the fetch stream.
+        residual_energy_ += oc.energy_nj * 0.8 - oc.energy_nj;
+        return oc.cycles_alt;
+      }
+      default: {  // kNone / kFpVariable: operand-toggle variation only
+        if (cfg_.enable_variation) {
+          // Leakage is occupancy-bound, not switching-bound: only the
+          // dynamic share of the base energy is modulated by toggling.
+          const double dyn = oc.energy_nj - oc.leakage_nj;
+          const double e =
+              oc.leakage_nj + dyn * toggle_factor(x ^ prev_a_, y ^ prev_b_);
+          prev_a_ = x;
+          prev_b_ = y;
+          residual_energy_ += e - oc.energy_nj;
+        }
+        return oc.cycles;
+      }
     }
   }
 
@@ -151,11 +291,26 @@ class BoardHooks {
     return oc.cycles;
   }
 
+  // Step the microarchitectural activity tracker cycle by cycle, as a
+  // hardware-description-level simulator would. The totals are the same
+  // as the approximately-timed path; only the simulation cost differs.
+  void advance_activity(std::uint64_t cycles) {
+    for (std::uint64_t i = 0; i < cycles; ++i) {
+      activity_lfsr_ ^= activity_lfsr_ << 13;
+      activity_lfsr_ ^= activity_lfsr_ >> 7;
+      activity_lfsr_ ^= activity_lfsr_ << 17;
+      activity_ += std::popcount(activity_lfsr_);
+    }
+  }
+
   const BoardConfig& cfg_;
   const CostModel& cost_;
 
   std::uint64_t cycles_ = 0;
-  double energy_nj_ = 0.0;
+  // Energy state: per-op retire counts (static base, summed lazily in
+  // energy_nj()) plus the running sum of dynamic corrections.
+  std::array<std::uint64_t, isa::kOpCount> counts_{};
+  double residual_energy_ = 0.0;
   BoardStats stats_;
 
   std::uint32_t prev_a_ = 0, prev_b_ = 0, prev_addr_ = 0;

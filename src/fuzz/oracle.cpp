@@ -1,6 +1,7 @@
 #include "fuzz/oracle.h"
 
 #include <algorithm>
+#include <bit>
 #include <sstream>
 #include <vector>
 
@@ -114,6 +115,120 @@ bool compare_traces(const std::vector<Snapshot>& ref,
   return true;
 }
 
+// ---- board step-vs-block cost differential --------------------------------
+
+// One budget stop of one board dispatch mode: full architectural state plus
+// the board's non-functional accounting. Energy is compared bit-for-bit via
+// its IEEE-754 representation — the block-cost dispatch is required to
+// reproduce the stepping path's float operation sequence exactly, not just
+// approximately.
+struct BoardSnapshot {
+  std::uint64_t instret = 0;
+  std::uint32_t pc = 0;
+  std::uint32_t npc = 0;
+  bool halted = false;
+  std::uint64_t cycles = 0;
+  std::uint64_t energy_bits = 0;
+  std::uint64_t activity = 0;
+  board::BoardStats stats;
+  sim::ArchStateDigest digest{};
+  std::uint64_t uart_digest = 0;
+  std::string fault;
+
+  bool operator==(const BoardSnapshot&) const = default;
+};
+
+std::vector<BoardSnapshot> run_board_mode(
+    board::Board& brd, const asmkit::Program& program, sim::Dispatch dispatch,
+    const std::vector<std::uint64_t>& stops) {
+  std::vector<BoardSnapshot> out;
+  brd.load(program);
+  for (const std::uint64_t stop : stops) {
+    std::string fault;
+    try {
+      const std::uint64_t done = brd.cpu().instret;
+      if (stop > done) brd.run(stop - done, dispatch);
+    } catch (const std::exception& e) {
+      fault = e.what();
+    }
+    BoardSnapshot s;
+    const sim::CpuState& cpu = brd.cpu();
+    s.instret = cpu.instret;
+    s.pc = cpu.pc;
+    s.npc = cpu.npc;
+    s.halted = cpu.halted;
+    s.cycles = brd.cycles();
+    s.energy_bits = std::bit_cast<std::uint64_t>(brd.true_energy_nj());
+    s.activity = brd.switching_activity();
+    s.stats = brd.stats();
+    s.digest = sim::arch_digest(cpu, brd.bus());
+    s.uart_digest = digest_uart(brd.bus().uart_output());
+    s.fault = fault;
+    out.push_back(std::move(s));
+    if (!out.back().fault.empty()) break;
+  }
+  return out;
+}
+
+std::string describe_board_diff(const BoardSnapshot& ref,
+                                const BoardSnapshot& got) {
+  std::ostringstream os;
+  const auto field = [&os](const char* name, auto a, auto b) {
+    if (a != b) os << name << " step=" << a << " block=" << b << "; ";
+  };
+  field("instret", ref.instret, got.instret);
+  field("pc", ref.pc, got.pc);
+  field("npc", ref.npc, got.npc);
+  field("halted", ref.halted, got.halted);
+  field("cycles", ref.cycles, got.cycles);
+  field("energy-bits", ref.energy_bits, got.energy_bits);
+  field("activity", ref.activity, got.activity);
+  field("loads", ref.stats.loads, got.stats.loads);
+  field("row-misses", ref.stats.row_misses, got.stats.row_misses);
+  field("cache-hits", ref.stats.cache_hits, got.stats.cache_hits);
+  field("cache-misses", ref.stats.cache_misses, got.stats.cache_misses);
+  field("branches-taken", ref.stats.branches_taken, got.stats.branches_taken);
+  field("branches-untaken", ref.stats.branches_untaken,
+        got.stats.branches_untaken);
+  field("cpu-digest", ref.digest.cpu, got.digest.cpu);
+  field("ram-digest", ref.digest.ram, got.digest.ram);
+  field("uart", ref.uart_digest, got.uart_digest);
+  if (ref.fault != got.fault) {
+    os << "fault step='" << ref.fault << "' block='" << got.fault << "'; ";
+  }
+  return os.str();
+}
+
+bool compare_board_traces(const std::vector<BoardSnapshot>& ref,
+                          const std::vector<BoardSnapshot>& got,
+                          const std::vector<std::uint64_t>& stops,
+                          DiffReport& report) {
+  const std::size_t n = std::min(ref.size(), got.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ref[i] == got[i]) continue;
+    std::ostringstream os;
+    os << "board block vs step, checkpoint " << i << " (budget " << stops[i]
+       << "): " << describe_board_diff(ref[i], got[i]);
+    report.diverged = true;
+    report.mode = "board-block";
+    report.detail = os.str();
+    return false;
+  }
+  if (ref.size() != got.size()) {
+    std::ostringstream os;
+    os << "board block vs step: trace truncated at " << got.size() << "/"
+       << ref.size() << " checkpoints (fault: '"
+       << (got.size() < ref.size() && !got.empty() ? got.back().fault
+                                                   : std::string())
+       << "')";
+    report.diverged = true;
+    report.mode = "board-block";
+    report.detail = os.str();
+    return false;
+  }
+  return true;
+}
+
 }  // namespace
 
 DiffReport run_differential(const asmkit::Program& program,
@@ -162,7 +277,18 @@ DiffReport run_differential(const asmkit::Program& program,
   }
   const std::vector<Snapshot> chained =
       run_mode(arena.block, program, sim::Dispatch::kBlock, stops);
-  compare_traces(ref, chained, stops, "block", report);
+  if (!compare_traces(ref, chained, stops, "block", report)) return report;
+
+  if (config.check_board) {
+    // Board phase last (it is the most expensive: two more platforms, cost
+    // accounting on). The same stop schedule applies: board streams match
+    // the ISS streams instruction for instruction.
+    const std::vector<BoardSnapshot> bref =
+        run_board_mode(arena.board_step, program, sim::Dispatch::kStep, stops);
+    const std::vector<BoardSnapshot> bblk = run_board_mode(
+        arena.board_block, program, sim::Dispatch::kBlock, stops);
+    compare_board_traces(bref, bblk, stops, report);
+  }
   return report;
 }
 

@@ -16,6 +16,7 @@
 #include <string>
 
 #include "asmkit/program.h"
+#include "board/board.h"
 #include "sim/digest.h"
 #include "sim/iss.h"
 
@@ -29,6 +30,12 @@ struct DiffConfig {
   // program's total instret is always added on top).
   std::uint32_t checkpoints = 4;
   std::uint64_t checkpoint_seed = 0;
+  // Also run the program on a measurement Board under kStep vs kBlock and
+  // compare cycles, true energy (bit-for-bit), BoardStats, and the full
+  // architectural state at every checkpoint. This is the oracle for the
+  // board's block-cost dispatch (static per-block profiles + dynamic
+  // residual hooks).
+  bool check_board = true;
 };
 
 // Architectural state observed at one budget stop of one mode.
@@ -61,6 +68,11 @@ struct DiffArena {
   sim::Iss step;
   sim::Iss unchained;
   sim::Iss block;
+  // Board pair for the step-vs-block cost differential (DiffConfig::
+  // check_board). Default config: variation and the SDRAM row model on, so
+  // every residual kind is exercised.
+  board::Board board_step;
+  board::Board board_block;
 };
 
 DiffReport run_differential(const asmkit::Program& program,

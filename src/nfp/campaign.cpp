@@ -44,7 +44,7 @@ KernelRunRecord Campaign::run_one(const KernelJob& job,
     for (const auto& [addr, bytes] : job.inputs) {
       brd.bus().write_block(addr, bytes.data(), bytes.size());
     }
-    const auto board_result = brd.run();
+    const auto board_result = brd.run(board::Board::kDefaultMaxInsns, dispatch_);
     if (!board_result.halted) {
       throw std::runtime_error("board run did not halt");
     }

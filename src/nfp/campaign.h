@@ -54,6 +54,13 @@ class Campaign {
 
   explicit Campaign(board::BoardConfig cfg, unsigned threads = 0);
 
+  // Dispatch mode for the board runs (the ISS always runs kBlock). Board
+  // accounting is bit-identical across modes, so this is a speed knob — the
+  // default block mode is what campaigns ship with; step is the A/B
+  // baseline surfaced on nfpc as --dispatch=step.
+  void set_board_dispatch(sim::Dispatch dispatch) { dispatch_ = dispatch; }
+  sim::Dispatch board_dispatch() const { return dispatch_; }
+
   // Runs every job on both platforms. Results keep the job order.
   std::vector<KernelRunRecord> run(const std::vector<KernelJob>& jobs) const;
 
@@ -64,6 +71,7 @@ class Campaign {
  private:
   board::BoardConfig cfg_;
   unsigned threads_;
+  sim::Dispatch dispatch_ = sim::Dispatch::kBlock;
 };
 
 }  // namespace nfp::model

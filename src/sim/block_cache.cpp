@@ -3,6 +3,14 @@
 // the corresponding case of the executor's single-step switch — the
 // differential tests in tests/sim/block_cache_test.cpp hold the two paths to
 // bit-identical results, UART output, instret, and op counts.
+//
+// Every handler exists in two variants selected at morph time by the
+// cache-wide capture flag (BlockCache::set_capture): the CAP=true variant
+// additionally writes the record's operand pair into MorphCtx::cap — the
+// exact words the single-step RetireInfo would carry (including its operand
+// aliasing: udiv reads rs1 after writeback, FP retires read the register
+// file after the result lands). kBlockCost hooks (the board) replay those
+// captures for per-op cost residuals after the block ran.
 #include "sim/block_cache.h"
 
 #include <algorithm>
@@ -81,13 +89,21 @@ inline std::uint32_t op2(const MorphInsn& m, const CpuState& st) {
   }
 }
 
+// Operand capture for kBlockCost hooks: record i's pair lands in cap[i].
+template <bool CAP>
+inline void capture(const MorphInsn& m, MorphCtx& c, std::uint32_t a,
+                    std::uint32_t b) {
+  if constexpr (CAP) c.cap[&m - c.base] = CapturedOp{a, b};
+}
+
 // ---- grouped execution functions (Fig. 3) ---------------------------------
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_addsub(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t a = st.r[m.rs1];
   const std::uint32_t b = op2<IMM>(m, st);
+  capture<CAP>(m, c, a, b);
   if constexpr (OP == Op::kAdd || OP == Op::kAddcc || OP == Op::kAddx ||
                 OP == Op::kAddxcc) {
     const std::uint32_t cin =
@@ -104,11 +120,12 @@ void h_addsub(const MorphInsn& m, MorphCtx& c) {
   }
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_logic(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t a = st.r[m.rs1];
   const std::uint32_t b = op2<IMM>(m, st);
+  capture<CAP>(m, c, a, b);
   std::uint32_t result;
   if constexpr (OP == Op::kAnd || OP == Op::kAndcc) {
     result = a & b;
@@ -130,11 +147,12 @@ void h_logic(const MorphInsn& m, MorphCtx& c) {
   set_r(st, m.rd, result);
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_shift(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t a = st.r[m.rs1];
   const std::uint32_t count = op2<IMM>(m, st) & 31;
+  capture<CAP>(m, c, a, count);
   std::uint32_t result;
   if constexpr (OP == Op::kSll) {
     result = a << count;
@@ -147,11 +165,12 @@ void h_shift(const MorphInsn& m, MorphCtx& c) {
   set_r(st, m.rd, result);
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_mul(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t a = st.r[m.rs1];
   const std::uint32_t b = op2<IMM>(m, st);
+  capture<CAP>(m, c, a, b);
   std::uint64_t wide;
   if constexpr (OP == Op::kUmul || OP == Op::kUmulcc) {
     wide = std::uint64_t{a} * b;
@@ -166,7 +185,7 @@ void h_mul(const MorphInsn& m, MorphCtx& c) {
   set_r(st, m.rd, result);
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_udiv(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t b = op2<IMM>(m, st);
@@ -184,9 +203,12 @@ void h_udiv(const MorphInsn& m, MorphCtx& c) {
     st.icc_v = overflow;
   }
   set_r(st, m.rd, result);
+  // The step path reads rs1 for the retire record AFTER writeback, so a
+  // result overwriting its own dividend register is captured post-write.
+  capture<CAP>(m, c, st.r[m.rs1], b);
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_sdiv(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t b = op2<IMM>(m, st);
@@ -208,29 +230,46 @@ void h_sdiv(const MorphInsn& m, MorphCtx& c) {
     st.icc_v = overflow;
   }
   set_r(st, m.rd, result);
+  capture<CAP>(m, c, st.r[m.rs1], b);
 }
 
-void h_rdy(const MorphInsn& m, MorphCtx& c) { set_r(c.st, m.rd, c.st.y); }
+template <bool CAP>
+void h_rdy(const MorphInsn& m, MorphCtx& c) {
+  capture<CAP>(m, c, c.st.y, 0);
+  set_r(c.st, m.rd, c.st.y);
+}
 
-template <bool IMM>
+template <bool IMM, bool CAP>
 void h_wry(const MorphInsn& m, MorphCtx& c) {
-  c.st.y = c.st.r[m.rs1] ^ op2<IMM>(m, c.st);
+  const std::uint32_t v = op2<IMM>(m, c.st);
+  capture<CAP>(m, c, c.st.r[m.rs1], v);
+  c.st.y = c.st.r[m.rs1] ^ v;
 }
 
 // save/restore on the flat register model: a plain add.
-template <bool IMM>
+template <bool IMM, bool CAP>
 void h_plain_add(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
-  set_r(st, m.rd, st.r[m.rs1] + op2<IMM>(m, st));
+  const std::uint32_t a = st.r[m.rs1];
+  const std::uint32_t b = op2<IMM>(m, st);
+  capture<CAP>(m, c, a, b);
+  set_r(st, m.rd, a + b);
 }
 
-void h_sethi(const MorphInsn& m, MorphCtx& c) { set_r(c.st, m.rd, m.op2); }
+template <bool CAP>
+void h_sethi(const MorphInsn& m, MorphCtx& c) {
+  capture<CAP>(m, c, 0, m.op2);
+  set_r(c.st, m.rd, m.op2);
+}
 
-void h_nop(const MorphInsn&, MorphCtx&) {}
+template <bool CAP>
+void h_nop(const MorphInsn& m, MorphCtx& c) {
+  capture<CAP>(m, c, 0, 0);
+}
 
 // ---- memory ---------------------------------------------------------------
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_load(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t ea = st.r[m.rs1] + op2<IMM>(m, st);
@@ -241,40 +280,49 @@ void h_load(const MorphInsn& m, MorphCtx& c) {
                 OP == Op::kLddf) {
     if (!c.bus.in_ram(ea)) c.sync_instret(m);
   }
+  std::uint32_t data;
   if constexpr (OP == Op::kLd) {
     check_align(ea, 4, m, c);
-    set_r(st, m.rd, c.bus.load32(ea));
+    data = c.bus.load32(ea);
+    set_r(st, m.rd, data);
   } else if constexpr (OP == Op::kLdub) {
-    set_r(st, m.rd, c.bus.load8(ea));
+    data = c.bus.load8(ea);
+    set_r(st, m.rd, data);
   } else if constexpr (OP == Op::kLdsb) {
-    set_r(st, m.rd,
-          static_cast<std::uint32_t>(static_cast<std::int32_t>(
-              static_cast<std::int8_t>(c.bus.load8(ea)))));
+    data = static_cast<std::uint32_t>(
+        static_cast<std::int32_t>(static_cast<std::int8_t>(c.bus.load8(ea))));
+    set_r(st, m.rd, data);
   } else if constexpr (OP == Op::kLduh) {
     check_align(ea, 2, m, c);
-    set_r(st, m.rd, c.bus.load16(ea));
+    data = c.bus.load16(ea);
+    set_r(st, m.rd, data);
   } else if constexpr (OP == Op::kLdsh) {
     check_align(ea, 2, m, c);
-    set_r(st, m.rd,
-          static_cast<std::uint32_t>(static_cast<std::int32_t>(
-              static_cast<std::int16_t>(c.bus.load16(ea)))));
+    data = static_cast<std::uint32_t>(static_cast<std::int32_t>(
+        static_cast<std::int16_t>(c.bus.load16(ea))));
+    set_r(st, m.rd, data);
   } else if constexpr (OP == Op::kLdd) {
     check_align(ea, 8, m, c);
     set_r(st, m.rd, c.bus.load32(ea));
-    set_r(st, m.rd + 1, c.bus.load32(ea + 4));
+    data = c.bus.load32(ea + 4);
+    set_r(st, m.rd + 1, data);
   } else if constexpr (OP == Op::kLdf) {
     check_align(ea, 4, m, c);
-    st.f[m.rd] = c.bus.load32(ea);
+    data = c.bus.load32(ea);
+    st.f[m.rd] = data;
   } else {  // kLddf
     check_align(ea, 8, m, c);
     st.f[m.rd] = c.bus.load32(ea);
-    st.f[m.rd + 1] = c.bus.load32(ea + 4);
+    data = c.bus.load32(ea + 4);
+    st.f[m.rd + 1] = data;
   }
+  capture<CAP>(m, c, ea, data);
 }
 
 // ldd/lddf with an odd rd: the fault is hoisted to morph time, but it must
 // fire only if the instruction is actually reached, after the alignment
-// check — matching the single-step fault order exactly.
+// check — matching the single-step fault order exactly. The instruction
+// never retires, so there is nothing to capture.
 template <Op OP, bool IMM>
 void h_load_oddrd(const MorphInsn& m, MorphCtx& c) {
   const std::uint32_t ea = c.st.r[m.rs1] + op2<IMM>(m, c.st);
@@ -288,36 +336,44 @@ void invalidate_code(MorphCtx& c, std::uint32_t ea, std::uint32_t bytes) {
   }
 }
 
-template <Op OP, bool IMM>
+template <Op OP, bool IMM, bool CAP>
 void h_store(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t ea = st.r[m.rs1] + op2<IMM>(m, st);
+  std::uint32_t data;
   if constexpr (OP == Op::kSt) {
     check_align(ea, 4, m, c);
-    c.bus.store32(ea, st.r[m.rd]);
+    data = st.r[m.rd];
+    c.bus.store32(ea, data);
     invalidate_code(c, ea, 4);
   } else if constexpr (OP == Op::kStb) {
-    c.bus.store8(ea, static_cast<std::uint8_t>(st.r[m.rd] & 0xFF));
+    data = st.r[m.rd] & 0xFF;
+    c.bus.store8(ea, static_cast<std::uint8_t>(data));
     invalidate_code(c, ea, 1);
   } else if constexpr (OP == Op::kSth) {
     check_align(ea, 2, m, c);
-    c.bus.store16(ea, static_cast<std::uint16_t>(st.r[m.rd] & 0xFFFF));
+    data = st.r[m.rd] & 0xFFFF;
+    c.bus.store16(ea, static_cast<std::uint16_t>(data));
     invalidate_code(c, ea, 2);
   } else if constexpr (OP == Op::kStd) {
     check_align(ea, 8, m, c);
     c.bus.store32(ea, st.r[m.rd]);
-    c.bus.store32(ea + 4, st.r[m.rd + 1]);
+    data = st.r[m.rd + 1];
+    c.bus.store32(ea + 4, data);
     invalidate_code(c, ea, 8);
   } else if constexpr (OP == Op::kStf) {
     check_align(ea, 4, m, c);
-    c.bus.store32(ea, st.f[m.rd]);
+    data = st.f[m.rd];
+    c.bus.store32(ea, data);
     invalidate_code(c, ea, 4);
   } else {  // kStdf
     check_align(ea, 8, m, c);
     c.bus.store32(ea, st.f[m.rd]);
-    c.bus.store32(ea + 4, st.f[m.rd + 1]);
+    data = st.f[m.rd + 1];
+    c.bus.store32(ea + 4, data);
     invalidate_code(c, ea, 8);
   }
+  capture<CAP>(m, c, ea, data);
 }
 
 template <Op OP, bool IMM>
@@ -328,8 +384,12 @@ void h_store_oddrd(const MorphInsn& m, MorphCtx& c) {
 }
 
 // ---- FPU ------------------------------------------------------------------
+//
+// FP retires capture the register-file words AFTER the result lands, exactly
+// as the step path's retire_fp does — with rd aliasing rs1/rs2, the captured
+// operand is the freshly-written result.
 
-template <Op OP>
+template <Op OP, bool CAP>
 void h_fpu_s(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const float a = st.read_s(m.rs1);
@@ -345,9 +405,10 @@ void h_fpu_s(const MorphInsn& m, MorphCtx& c) {
     result = a / b;
   }
   st.write_s(m.rd, result);
+  capture<CAP>(m, c, st.f[m.rs1], st.f[m.rs2]);
 }
 
-template <Op OP>
+template <Op OP, bool CAP>
 void h_fpu_d(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const double a = st.read_d(m.rs1);
@@ -363,9 +424,10 @@ void h_fpu_d(const MorphInsn& m, MorphCtx& c) {
     result = a / b;
   }
   st.write_d(m.rd, result);
+  capture<CAP>(m, c, st.f[m.rs1], st.f[m.rs2]);
 }
 
-template <Op OP>
+template <Op OP, bool CAP>
 void h_fpu_unary(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   if constexpr (OP == Op::kFsqrts) {
@@ -394,11 +456,13 @@ void h_fpu_unary(const MorphInsn& m, MorphCtx& c) {
   } else {  // kFdtos
     st.write_s(m.rd, static_cast<float>(st.read_d(m.rs2)));
   }
+  capture<CAP>(m, c, 0, st.f[m.rs2]);
 }
 
-template <Op OP>
+template <Op OP, bool CAP>
 void h_fcmp(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
+  capture<CAP>(m, c, st.f[m.rs1], st.f[m.rs2]);
   double a, b;
   if constexpr (OP == Op::kFcmps) {
     a = st.read_s(m.rs1);
@@ -427,14 +491,15 @@ void h_fcmp(const MorphInsn& m, MorphCtx& c) {
 // its sequential pc/npc update for such blocks (Block::ends_with_cti); the
 // delay-slot instruction itself always runs on the single-step path.
 // Encoding: branches keep cond in m.rd, the annul bit in m.rs1, and the
-// byte displacement in m.op2.
+// byte displacement in m.op2. Captured pair: {taken, 0}.
 
-template <bool FBF>
+template <bool FBF, bool CAP>
 void h_bcc(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t pc = c.pc_of(m);
   const bool taken = FBF ? st.eval_fcond(static_cast<isa::FCond>(m.rd))
                          : st.eval_cond(static_cast<isa::Cond>(m.rd));
+  capture<CAP>(m, c, taken ? 1 : 0, 0);
   const std::uint32_t target = pc + m.op2;
   const bool always = m.rd == 8;
   if (m.rs1 != 0 && (always || !taken)) {  // annulled delay slot
@@ -446,20 +511,23 @@ void h_bcc(const MorphInsn& m, MorphCtx& c) {
   }
 }
 
+template <bool CAP>
 void h_call(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t pc = c.pc_of(m);
+  capture<CAP>(m, c, 1, 0);
   set_r(st, isa::kRegO7, pc);
   st.pc = pc + 4;
   st.npc = pc + m.op2;
 }
 
-template <bool IMM>
+template <bool IMM, bool CAP>
 void h_jmpl(const MorphInsn& m, MorphCtx& c) {
   CpuState& st = c.st;
   const std::uint32_t pc = c.pc_of(m);
   const std::uint32_t target = st.r[m.rs1] + op2<IMM>(m, st);
   if (target & 3) fatal(pc, "jmpl to misaligned address");
+  capture<CAP>(m, c, 1, 0);
   set_r(st, m.rd, pc);
   st.pc = pc + 4;
   st.npc = target;
@@ -467,13 +535,15 @@ void h_jmpl(const MorphInsn& m, MorphCtx& c) {
 
 // ---- morph-time handler table ---------------------------------------------
 
-#define MORPH_II(OPK, H) \
-  case Op::OPK:          \
-    return d.has_imm ? &H<Op::OPK, true> : &H<Op::OPK, false>
+#define MORPH_II(OPK, H)                                    \
+  case Op::OPK:                                             \
+    return d.has_imm ? &H<Op::OPK, true, CAP>               \
+                     : &H<Op::OPK, false, CAP>
 #define MORPH_F(OPK, H) \
   case Op::OPK:         \
-    return &H<Op::OPK>
+    return &H<Op::OPK, CAP>
 
+template <bool CAP>
 MorphFn select_handler(const isa::DecodedInsn& d) {
   switch (d.op) {
     MORPH_II(kAdd, h_addsub);
@@ -508,18 +578,17 @@ MorphFn select_handler(const isa::DecodedInsn& d) {
     MORPH_II(kSdiv, h_sdiv);
     MORPH_II(kSdivcc, h_sdiv);
     case Op::kRdy:
-      return &h_rdy;
+      return &h_rdy<CAP>;
     case Op::kWry:
-      return d.has_imm ? &h_wry<true> : &h_wry<false>;
+      return d.has_imm ? &h_wry<true, CAP> : &h_wry<false, CAP>;
     case Op::kSave:
     case Op::kRestore:
-      return d.has_imm ? &h_plain_add<true> : &h_plain_add<false>;
+      return d.has_imm ? &h_plain_add<true, CAP> : &h_plain_add<false, CAP>;
     case Op::kSethi:
-      return &h_sethi;
+      return &h_sethi<CAP>;
     case Op::kNop:
-      return &h_nop;
-    case Op::kLd:
-      return d.has_imm ? &h_load<Op::kLd, true> : &h_load<Op::kLd, false>;
+      return &h_nop<CAP>;
+    MORPH_II(kLd, h_load);
     MORPH_II(kLdub, h_load);
     MORPH_II(kLdsb, h_load);
     MORPH_II(kLduh, h_load);
@@ -529,14 +598,16 @@ MorphFn select_handler(const isa::DecodedInsn& d) {
         return d.has_imm ? &h_load_oddrd<Op::kLdd, true>
                          : &h_load_oddrd<Op::kLdd, false>;
       }
-      return d.has_imm ? &h_load<Op::kLdd, true> : &h_load<Op::kLdd, false>;
+      return d.has_imm ? &h_load<Op::kLdd, true, CAP>
+                       : &h_load<Op::kLdd, false, CAP>;
     MORPH_II(kLdf, h_load);
     case Op::kLddf:
       if (d.rd & 1) {
         return d.has_imm ? &h_load_oddrd<Op::kLddf, true>
                          : &h_load_oddrd<Op::kLddf, false>;
       }
-      return d.has_imm ? &h_load<Op::kLddf, true> : &h_load<Op::kLddf, false>;
+      return d.has_imm ? &h_load<Op::kLddf, true, CAP>
+                       : &h_load<Op::kLddf, false, CAP>;
     MORPH_II(kSt, h_store);
     MORPH_II(kStb, h_store);
     MORPH_II(kSth, h_store);
@@ -545,15 +616,16 @@ MorphFn select_handler(const isa::DecodedInsn& d) {
         return d.has_imm ? &h_store_oddrd<Op::kStd, true>
                          : &h_store_oddrd<Op::kStd, false>;
       }
-      return d.has_imm ? &h_store<Op::kStd, true> : &h_store<Op::kStd, false>;
+      return d.has_imm ? &h_store<Op::kStd, true, CAP>
+                       : &h_store<Op::kStd, false, CAP>;
     MORPH_II(kStf, h_store);
     case Op::kStdf:
       if (d.rd & 1) {
         return d.has_imm ? &h_store_oddrd<Op::kStdf, true>
                          : &h_store_oddrd<Op::kStdf, false>;
       }
-      return d.has_imm ? &h_store<Op::kStdf, true>
-                       : &h_store<Op::kStdf, false>;
+      return d.has_imm ? &h_store<Op::kStdf, true, CAP>
+                       : &h_store<Op::kStdf, false, CAP>;
     MORPH_F(kFadds, h_fpu_s);
     MORPH_F(kFsubs, h_fpu_s);
     MORPH_F(kFmuls, h_fpu_s);
@@ -583,9 +655,10 @@ MorphFn select_handler(const isa::DecodedInsn& d) {
 #undef MORPH_II
 #undef MORPH_F
 
+template <bool CAP>
 MorphInsn morph_record(const isa::DecodedInsn& d) {
   MorphInsn m;
-  m.fn = select_handler(d);
+  m.fn = select_handler<CAP>(d);
   m.op = static_cast<std::uint8_t>(d.op);
   m.rd = d.rd;
   m.rs1 = d.rs1;
@@ -606,23 +679,24 @@ bool morphable_cti(Op op) {
          op == Op::kJmpl;
 }
 
+template <bool CAP>
 MorphInsn morph_cti_record(const isa::DecodedInsn& d) {
   MorphInsn m;
   m.op = static_cast<std::uint8_t>(d.op);
   switch (d.op) {
     case Op::kBicc:
     case Op::kFbfcc:
-      m.fn = d.op == Op::kBicc ? &h_bcc<false> : &h_bcc<true>;
+      m.fn = d.op == Op::kBicc ? &h_bcc<false, CAP> : &h_bcc<true, CAP>;
       m.rd = d.cond;
       m.rs1 = d.annul ? 1 : 0;
       m.op2 = static_cast<std::uint32_t>(d.imm);
       break;
     case Op::kCall:
-      m.fn = &h_call;
+      m.fn = &h_call<CAP>;
       m.op2 = static_cast<std::uint32_t>(d.imm);
       break;
     default:  // kJmpl
-      m.fn = d.has_imm ? &h_jmpl<true> : &h_jmpl<false>;
+      m.fn = d.has_imm ? &h_jmpl<true, CAP> : &h_jmpl<false, CAP>;
       m.rd = d.rd;
       m.rs1 = d.rs1;
       m.rs2 = d.rs2;
@@ -666,12 +740,14 @@ Block* BlockCache::morph(std::uint32_t idx) {
   std::array<std::uint32_t, isa::kOpCount> hist{};
   for (std::uint32_t i = 0; i < n; ++i) {
     const isa::DecodedInsn& d = dcache_[idx + i];
-    block->code.push_back(morph_record(d));
+    block->code.push_back(capture_ ? morph_record<true>(d)
+                                   : morph_record<false>(d));
     ++hist[static_cast<std::size_t>(d.op)];
   }
   if (with_cti) {
     const isa::DecodedInsn& d = dcache_[idx + n];
-    block->code.push_back(morph_cti_record(d));
+    block->code.push_back(capture_ ? morph_cti_record<true>(d)
+                                   : morph_cti_record<false>(d));
     ++hist[static_cast<std::size_t>(d.op)];
     n = block->len;
   }

@@ -60,6 +60,10 @@ struct MorphCtx {
   // (MMIO word loads hitting the timer/instret registers) must restore the
   // exact architectural value first via sync_instret().
   std::uint64_t entry_instret;
+  // Per-instruction operand capture buffer (kBlockCost dispatch): the
+  // capture variants of the handlers write record i's operands to cap[i].
+  // Null for hooks that never replay per-op residuals.
+  CapturedOp* cap = nullptr;
 
   std::uint32_t pc_of(const MorphInsn& m) const;
   void sync_instret(const MorphInsn& m) const;
@@ -117,6 +121,12 @@ struct Block {
   std::vector<MorphInsn> code;
   // Static retire profile: per-op counts for one front-to-back execution.
   std::vector<BlockOpCount> profile;
+  // Per-block cost profile for kBlockCost hooks (board), built lazily by
+  // the hook on first dispatch — the cache itself knows nothing about cost
+  // tables. Dies with the block on invalidation: flushed blocks never
+  // re-enter dispatch, so a stale profile can never be applied.
+  BlockCostState cost_state = BlockCostState::kUnbuilt;
+  BlockCost cost;
 
   Block* chain_next(std::uint32_t pc) {
     if (links[0].target != nullptr && links[0].pc == pc) return links[0].target;
@@ -152,6 +162,13 @@ class BlockCache {
   // in place when stores invalidate them. Both must outlive the cache.
   BlockCache(Bus& bus, std::uint32_t code_base,
              std::vector<isa::DecodedInsn>& dcache);
+
+  // Selects the operand-capturing morph handler variants for every block
+  // morphed from now on (kBlockCost dispatch needs each record's operands
+  // in MorphCtx::cap). Must be chosen before the first lookup(); the board
+  // sets it right after its platform (re)builds the cache.
+  void set_capture(bool on) { capture_ = on; }
+  bool capture() const { return capture_; }
 
   // Returns the block entered at `pc`, morphing it on first use. Returns
   // nullptr when `pc` is misaligned, outside the cached image, or when the
@@ -240,6 +257,7 @@ class BlockCache {
   std::vector<std::unique_ptr<Block>> graveyard_;
   std::array<BtcEntry, kBtcEntries> btc_{};
   Stats stats_;
+  bool capture_ = false;
 };
 
 }  // namespace nfp::sim

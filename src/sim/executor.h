@@ -19,6 +19,7 @@
 //    through lookup(). The A/B baseline for the chaining speedup.
 #pragma once
 
+#include <array>
 #include <cmath>
 #include <cstdio>
 #include <limits>
@@ -72,7 +73,7 @@ class Executor {
   // Returns the number of instructions executed in this call.
   std::uint64_t run(std::uint64_t max_insns) {
     std::uint64_t executed = 0;
-    if constexpr (Hooks::kBatchRetire) {
+    if constexpr (Hooks::kBatchRetire || Hooks::kBlockCost) {
       if (block_cache_ != nullptr && block_dispatch_) {
         while (!st_.halted && executed < max_insns) {
           // Block entry requires a sequential pc/npc pair: a delay-slot
@@ -80,7 +81,8 @@ class Executor {
           const std::uint32_t pc = st_.pc;
           if (st_.npc == pc + 4) {
             Block* block = block_cache_->lookup(pc);
-            if (block != nullptr && block->len <= max_insns - executed) {
+            if (block != nullptr && block->len <= max_insns - executed &&
+                block_enterable(*block)) {
               // Both modes run the same block loop so A/B timings compare
               // link-following against lookup(), not two code layouts.
               executed += chain_ ? run_blocks<true>(*block, max_insns - executed)
@@ -135,12 +137,28 @@ class Executor {
   // unresolved edges (memoizing the result). Without, every transition is a
   // plain lookup(): the pre-chaining dispatch loop, kept in this one
   // function so the A/B pair differs only in edge resolution.
+  // kBlockCost hooks own a per-block cost profile: a block may only enter
+  // whole-block dispatch once the hook has built (and accepted) its profile.
+  // Blocks the hook refuses — e.g. containing instructions whose retire
+  // guards must fault at the exact offending instruction — single-step.
+  bool block_enterable(Block& block) {
+    if constexpr (Hooks::kBlockCost) {
+      return hooks_.ensure_block_cost(block);
+    } else {
+      return true;
+    }
+  }
+
   template <bool Chained>
   std::uint64_t run_blocks(Block& first, std::uint64_t budget) {
     Block* block = &first;
     std::uint64_t executed = 0;
     for (;;) {
-      exec_block(*block);
+      if constexpr (Hooks::kBlockCost) {
+        exec_block_cost(*block);
+      } else {
+        exec_block(*block);
+      }
       executed += block->len;
       Block* const prev = block;
       if (prev->ends_with_cti && st_.npc != st_.pc + 4) {
@@ -181,6 +199,7 @@ class Executor {
         if (next == nullptr) return executed;
       }
       if (next->len > budget - executed) return executed;
+      if (!block_enterable(*next)) return executed;
       block = next;
     }
   }
@@ -219,6 +238,42 @@ class Executor {
     }
     st_.instret = ctx.entry_instret + n;
     hooks_.on_retire_block(block.profile.data(), block.profile.size(), n);
+  }
+
+  // exec_block for kBlockCost hooks: same dispatch loop, but every handler
+  // additionally records its retire operands into the capture buffer (the
+  // cache morphs capture variants when the hook attached — see
+  // BlockCache::set_capture), and the block retires through the cost-profile
+  // hook, which applies the precomputed static cost in one shot and replays
+  // only the flagged residual subset against the captured operands. On a
+  // fault the completed prefix retires per instruction from the captures, so
+  // cost accounting stays bit-identical to the stepping path.
+  void exec_block_cost(const Block& block) {
+    const MorphInsn* code = block.code.data();
+    MorphCtx ctx{st_, bus_,         *block_cache_, block.start,
+                 code, st_.instret, capture_.data()};
+    const std::uint32_t n = block.len;
+    std::uint32_t i = 0;
+    try {
+      for (; i < n; ++i) code[i].fn(code[i], ctx);
+    } catch (...) {
+      st_.pc = block.start + 4 * i;
+      st_.npc = st_.pc + 4;
+      st_.instret = ctx.entry_instret + i;
+      // Blocks with retire-guarded instructions never enter this path
+      // (ensure_block_cost refuses them), so the prefix retire is pure
+      // accounting replay.
+      for (std::uint32_t j = 0; j < i; ++j) {
+        hooks_.on_retire_captured(static_cast<Op>(code[j].op), capture_[j]);
+      }
+      throw;
+    }
+    if (!block.ends_with_cti) {
+      st_.pc = block.start + 4 * n;
+      st_.npc = st_.pc + 4;
+    }
+    st_.instret = ctx.entry_instret + n;
+    hooks_.on_retire_block_cost(block, capture_.data());
   }
 
   // Store paths call this when a block cache is attached: a store landing in
@@ -799,6 +854,9 @@ class Executor {
   BlockCache* block_cache_ = nullptr;
   bool chain_ = true;
   bool block_dispatch_ = true;
+  // Per-block retire-operand capture buffer (kBlockCost dispatch only);
+  // record i of the running block writes its operand pair to capture_[i].
+  std::array<CapturedOp, BlockCache::kMaxBlockLen> capture_{};
 };
 
 }  // namespace nfp::sim

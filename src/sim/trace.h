@@ -15,8 +15,9 @@ namespace nfp::sim {
 struct TraceHooks {
   static constexpr bool kWantsDetail = true;
   // A trace is inherently per-instruction; block-batched retire would skip
-  // the disassembly callback.
+  // the disassembly callback, and a cost profile has nothing to precompute.
   static constexpr bool kBatchRetire = false;
+  static constexpr bool kBlockCost = false;
 
   std::string* out = nullptr;
   std::size_t limit = 0;

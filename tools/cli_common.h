@@ -7,7 +7,32 @@
 #include <sstream>
 #include <string>
 
+#include "sim/executor.h"
+
 namespace nfp::cli {
+
+// Shared --dispatch value parsing (nfpc, nfpfuzz). Exits with a usage error
+// on anything but step/block/block-unchained.
+inline sim::Dispatch parse_dispatch(const std::string& value,
+                                    const char* tool) {
+  if (value == "step") return sim::Dispatch::kStep;
+  if (value == "block") return sim::Dispatch::kBlock;
+  if (value == "block-unchained") return sim::Dispatch::kBlockUnchained;
+  std::fprintf(stderr,
+               "%s: unknown dispatch mode '%s' "
+               "(expected step, block, or block-unchained)\n",
+               tool, value.c_str());
+  std::exit(2);
+}
+
+inline const char* dispatch_name(sim::Dispatch dispatch) {
+  switch (dispatch) {
+    case sim::Dispatch::kStep: return "step";
+    case sim::Dispatch::kBlock: return "block";
+    case sim::Dispatch::kBlockUnchained: return "block-unchained";
+  }
+  return "?";
+}
 
 // Accepts "--name=value" or "--name value"; returns nullptr if argv[i] is
 // not this flag, and exits with a usage error if the value is missing.

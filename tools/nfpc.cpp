@@ -12,9 +12,12 @@
 //     --dispatch=MODE   simulator dispatch: block (superblock morph cache
 //                       with chaining, default), block-unchained (morph
 //                       cache, every transition through lookup), or step
-//                       (per-instruction switch)
+//                       (per-instruction switch); applies to the ISS run
+//                       and to the --board run (board accounting is
+//                       bit-identical across modes)
 //     --sim-stats       print the full BlockCache::Stats after the run
-//                       (morphs, flushes, chain/BTC counters)
+//                       (morphs, flushes, chain/BTC counters); with
+//                       --board, also the board's cache stats
 //     --seed N          board/calibration noise seed for --estimate and
 //                       --board campaigns (also --seed=N)
 #include <chrono>
@@ -40,13 +43,7 @@ std::string read_file(const std::string& path) {
   return nfp::cli::read_file(path, "nfpc");
 }
 
-const char* dispatch_name(nfp::sim::Dispatch d) {
-  switch (d) {
-    case nfp::sim::Dispatch::kStep: return "step";
-    case nfp::sim::Dispatch::kBlockUnchained: return "block-unchained";
-    default: return "block";
-  }
-}
+using nfp::cli::dispatch_name;
 
 void print_sim_stats(const nfp::sim::BlockCache* cache) {
   if (cache == nullptr) {
@@ -98,17 +95,9 @@ int main(int argc, char** argv) {
       want_board = true;
     } else if (arg == "--counts") {
       want_counts = true;
-    } else if (arg == "--dispatch=step") {
-      dispatch = nfp::sim::Dispatch::kStep;
-    } else if (arg == "--dispatch=block") {
-      dispatch = nfp::sim::Dispatch::kBlock;
-    } else if (arg == "--dispatch=block-unchained") {
-      dispatch = nfp::sim::Dispatch::kBlockUnchained;
-    } else if (arg.rfind("--dispatch", 0) == 0) {
-      std::fprintf(stderr,
-                   "nfpc: bad %s (use --dispatch=step|block|block-unchained)\n",
-                   arg.c_str());
-      return 2;
+    } else if (const char* v =
+                   nfp::cli::flag_value("--dispatch", argc, argv, i, "nfpc")) {
+      dispatch = nfp::cli::parse_dispatch(v, "nfpc");
     } else if (arg == "--sim-stats") {
       want_sim_stats = true;
     } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
@@ -227,7 +216,21 @@ int main(int argc, char** argv) {
       if (want_board) {
         nfp::board::Board board(cfg);
         board.load(program);
-        board.run();
+        const auto b0 = std::chrono::steady_clock::now();
+        const auto board_run =
+            board.run(nfp::board::Board::kDefaultMaxInsns, dispatch);
+        const double board_s = std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - b0)
+                                   .count();
+        std::printf("board dispatch %s: %.1f MIPS (%.3f ms host)\n",
+                    dispatch_name(dispatch),
+                    board_s > 0.0 ? static_cast<double>(board_run.instret) /
+                                        board_s * 1e-6
+                                  : 0.0,
+                    board_s * 1e3);
+        if (want_sim_stats) {
+          print_sim_stats(board.platform().block_cache());
+        }
         const auto meas = board.measure("nfpc");
         std::printf("measured:  %.4f ms, %.3f uJ  (error: time %+.2f%%, "
                     "energy %+.2f%%)\n",

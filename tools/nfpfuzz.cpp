@@ -18,6 +18,10 @@
 //     --checkpoints N   randomized mid-run stops per program; default 4
 //     --shrink / --no-shrink
 //                       minimise diverging programs (default on)
+//     --board / --no-board
+//                       also cross-check the measurement board under
+//                       kStep vs kBlock — cycles, energy (bit-for-bit),
+//                       BoardStats, architectural state (default on)
 //     --corpus-dir DIR  where reproducers are written;
 //                       default tests/fuzz/corpus
 //   All value flags accept both "--flag N" and "--flag=N".
@@ -43,6 +47,7 @@ struct Options {
   std::uint64_t max_insns = 4'000'000;
   std::uint32_t checkpoints = 4;
   bool shrink = true;
+  bool board = true;
   std::string corpus_dir = "tests/fuzz/corpus";
 };
 
@@ -55,7 +60,7 @@ void usage() {
   std::printf(
       "usage: nfpfuzz [--seed N] [--runs N] [--mix NAME|all] [--chunks N]\n"
       "               [--max-insns N] [--checkpoints N] [--shrink|--no-shrink]\n"
-      "               [--corpus-dir DIR]\n");
+      "               [--board|--no-board] [--corpus-dir DIR]\n");
 }
 
 }  // namespace
@@ -81,6 +86,10 @@ int main(int argc, char** argv) {
       opt.shrink = true;
     } else if (arg == "--no-shrink") {
       opt.shrink = false;
+    } else if (arg == "--board") {
+      opt.board = true;
+    } else if (arg == "--no-board") {
+      opt.board = false;
     } else if (const char* v = flag_value("--corpus-dir", argc, argv, i)) {
       opt.corpus_dir = v;
     } else if (arg == "--help" || arg == "-h") {
@@ -116,6 +125,7 @@ int main(int argc, char** argv) {
     diff_cfg.max_insns = opt.max_insns;
     diff_cfg.checkpoints = opt.checkpoints;
     diff_cfg.checkpoint_seed = gen_cfg.seed;
+    diff_cfg.check_board = opt.board;
 
     nfp::fuzz::DiffReport report;
     try {
