@@ -91,6 +91,22 @@ int main() {
     r.mips = instret / r.wall_s / 1e6;
     rungs.push_back(r);
   }
+  {  // 2b. functional simulation under the x86-64 template JIT — the
+     // fastest rung that still executes every instruction (on hosts
+     // without the jit this measures chained-block dispatch instead).
+    nfp::sim::FunctionalSim sim;
+    sim.load(job.program);
+    for (const auto& [addr, bytes] : job.inputs) {
+      sim.bus().write_block(addr, bytes.data(), bytes.size());
+    }
+    t0 = std::chrono::steady_clock::now();
+    sim.run(nfp::sim::Iss::kDefaultMaxInsns, nfp::sim::Dispatch::kJit);
+    Rung r;
+    r.name = "functional simulation (jit)";
+    r.wall_s = wall_of(t0);
+    r.mips = instret / r.wall_s / 1e6;
+    rungs.push_back(r);
+  }
   {  // 3. ISS + NFP model (the paper).
     nfp::sim::Iss iss;
     t0 = std::chrono::steady_clock::now();

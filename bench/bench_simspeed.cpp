@@ -97,6 +97,18 @@ void BM_FunctionalSim_Step(benchmark::State& state) {
 }
 BENCHMARK(BM_FunctionalSim_Step)->Unit(benchmark::kMillisecond);
 
+// The x86-64 template-JIT tier (Dispatch::kJit). On hosts where the jit
+// cannot run this silently measures chained-block dispatch instead — the
+// label still says jit, but such a bench box is outside the snapshot's
+// provenance anyway.
+void BM_FunctionalSim_Jit(benchmark::State& state) {
+  set_provenance(state, "jit");
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kJit); });
+}
+BENCHMARK(BM_FunctionalSim_Jit)->Unit(benchmark::kMillisecond);
+
 void BM_IssWithCounters(benchmark::State& state) {
   set_provenance(state, "block-chained");
   run_sim(
@@ -122,6 +134,14 @@ void BM_IssWithCounters_Step(benchmark::State& state) {
       [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
 }
 BENCHMARK(BM_IssWithCounters_Step)->Unit(benchmark::kMillisecond);
+
+void BM_IssWithCounters_Jit(benchmark::State& state) {
+  set_provenance(state, "jit");
+  run_sim(
+      state, [] { return nfp::sim::Iss(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kJit); });
+}
+BENCHMARK(BM_IssWithCounters_Jit)->Unit(benchmark::kMillisecond);
 
 // Board step-vs-block A/B pair: the block-cost dispatch (static per-block
 // profiles + dynamic residual hooks) against the per-instruction stepping

@@ -32,7 +32,10 @@ sim::RunResult Board::run(std::uint64_t max_insns, sim::Dispatch dispatch) {
   exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
   exec.set_block_cache(platform_.block_cache());
   exec.set_block_dispatch(dispatch != sim::Dispatch::kStep);
-  exec.set_chaining(dispatch == sim::Dispatch::kBlock);
+  // BoardHooks are kBlockCost hooks, which the jit cannot model (per-block
+  // cost replay needs captured operands); kJit degrades to chained kBlock.
+  exec.set_chaining(dispatch == sim::Dispatch::kBlock ||
+                    dispatch == sim::Dispatch::kJit);
   exec.run(max_insns);
   sim::RunResult result;
   result.halted = platform_.cpu().halted;

@@ -279,6 +279,12 @@ DiffReport run_differential(const asmkit::Program& program,
       run_mode(arena.block, program, sim::Dispatch::kBlock, stops);
   if (!compare_traces(ref, chained, stops, "block", report)) return report;
 
+  if (config.check_jit && sim::jit_available()) {
+    const std::vector<Snapshot> jit =
+        run_mode(arena.jit, program, sim::Dispatch::kJit, stops);
+    if (!compare_traces(ref, jit, stops, "jit", report)) return report;
+  }
+
   if (config.check_board) {
     // Board phase last (it is the most expensive: two more platforms, cost
     // accounting on). The same stop schedule applies: board streams match

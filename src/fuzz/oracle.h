@@ -36,6 +36,10 @@ struct DiffConfig {
   // board's block-cost dispatch (static per-block profiles + dynamic
   // residual hooks).
   bool check_board = true;
+  // Also run the program under Dispatch::kJit and compare against kStep at
+  // every checkpoint. Silently skipped when jit_available() is false (the
+  // oracle degrades rather than testing jit-that-is-really-block twice).
+  bool check_jit = true;
 };
 
 // Architectural state observed at one budget stop of one mode.
@@ -68,6 +72,7 @@ struct DiffArena {
   sim::Iss step;
   sim::Iss unchained;
   sim::Iss block;
+  sim::Iss jit;
   // Board pair for the step-vs-block cost differential (DiffConfig::
   // check_board). Default config: variation and the SDRAM row model on, so
   // every residual kind is exercised.

@@ -20,6 +20,8 @@
 #include <limits>
 #include <string>
 
+#include "sim/jit.h"
+
 namespace nfp::sim {
 namespace {
 
@@ -716,6 +718,19 @@ BlockCache::BlockCache(Bus& bus, std::uint32_t code_base,
       dcache_(dcache),
       index_(dcache.size(), kUnknown) {}
 
+BlockCache::~BlockCache() = default;
+
+JitRuntime* BlockCache::ensure_jit() {
+  if (jit_ == nullptr && !jit_failed_) {
+    if (jit_available()) {
+      jit_ = std::make_unique<JitRuntime>(bus_, *this);
+      if (!jit_->ok()) jit_.reset();
+    }
+    jit_failed_ = jit_ == nullptr;
+  }
+  return jit_.get();
+}
+
 Block* BlockCache::morph(std::uint32_t idx) {
   if (!graveyard_.empty()) graveyard_.clear();
 
@@ -783,6 +798,11 @@ void BlockCache::install_link(Block& from, std::uint32_t pc, Block& to) {
 }
 
 void BlockCache::unlink(Block& b) {
+  // Emitted chain jumps are the jit's equivalent of the links below: every
+  // patched jump into b must be redirected back through its exit stub before
+  // b's SPARC words can change, and b's own patches must be withdrawn so a
+  // later flush of a successor never misses the (now-dead) edge.
+  if (jit_ != nullptr) jit_->on_block_death(b);
   // Incoming edges: predecessors drop their links into b. A self-loop puts
   // b in its own pred list, which this pass handles like any other.
   for (Block* p : b.preds) {
@@ -825,7 +845,10 @@ void BlockCache::invalidate(std::uint32_t ea, std::uint32_t bytes) {
   const std::uint32_t hi = code_base_ + 4 * w1 + 4;
   for (auto& slot : blocks_) {
     if (!slot) continue;
-    if (slot->start < hi && slot->start + 4 * slot->len > lo) {
+    // Jit-compiled blocks that fold their CTI's delay slot bake the word one
+    // past the block into the emitted code, so it counts as footprint here.
+    const std::uint32_t jit_tail = slot->jit_folds_delay ? 1u : 0u;
+    if (slot->start < hi && slot->start + 4 * (slot->len + jit_tail) > lo) {
       unlink(*slot);
       for (auto& e : btc_) {
         if (e.block == slot.get()) e = BtcEntry{};

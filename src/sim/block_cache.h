@@ -44,6 +44,8 @@
 namespace nfp::sim {
 
 class BlockCache;
+class JitRuntime;
+struct JitBlockMeta;
 struct MorphInsn;
 
 // Execution context shared by all handler records of one block dispatch.
@@ -127,6 +129,17 @@ struct Block {
   // re-enter dispatch, so a stale profile can never be applied.
   BlockCostState cost_state = BlockCostState::kUnbuilt;
   BlockCost cost;
+  // JIT compilation state (Dispatch::kJit), owned by the cache's JitRuntime:
+  // kNone until the first jit dispatch reaches the block, then kCompiled
+  // (jit_meta names the emitted code) or kRejected (the block single-runs
+  // through the interpreter's exec_block — the per-block kBlock fallback).
+  enum class JitState : std::uint8_t { kNone = 0, kCompiled, kRejected };
+  JitState jit_state = JitState::kNone;
+  // The emitted code folds the CTI's delay-slot instruction — one word PAST
+  // [start, start + 4*len) — so invalidation must treat that word as part of
+  // the block's footprint (see BlockCache::invalidate).
+  bool jit_folds_delay = false;
+  JitBlockMeta* jit_meta = nullptr;
 
   Block* chain_next(std::uint32_t pc) {
     if (links[0].target != nullptr && links[0].pc == pc) return links[0].target;
@@ -162,6 +175,7 @@ class BlockCache {
   // in place when stores invalidate them. Both must outlive the cache.
   BlockCache(Bus& bus, std::uint32_t code_base,
              std::vector<isa::DecodedInsn>& dcache);
+  ~BlockCache();  // out of line: JitRuntime is incomplete here
 
   // Selects the operand-capturing morph handler variants for every block
   // morphed from now on (kBlockCost dispatch needs each record's operands
@@ -229,6 +243,22 @@ class BlockCache {
 
   const Stats& stats() const { return stats_; }
 
+  // ---- JIT tier (Dispatch::kJit) ------------------------------------------
+  // The runtime owning the executable arena and per-block code lives with
+  // the cache so invalidation can unpatch emitted chain jumps exactly when
+  // it severs the interpreter's chain links. ensure_jit() builds it on first
+  // use; it returns nullptr when the host cannot execute emitted code (the
+  // executor then stays on the kBlock path).
+  JitRuntime* ensure_jit();
+  JitRuntime* jit() { return jit_.get(); }
+
+  // Compiler-facing views of the predecoded image: the jit compiles from
+  // DecodedInsn (it needs has_imm, which MorphInsn erases), which is valid
+  // because a live block proves its words are unchanged since morph time.
+  const std::vector<isa::DecodedInsn>& dcache() const { return dcache_; }
+  std::uint32_t code_base() const { return code_base_; }
+  std::uint32_t code_limit() const { return limit_; }
+
  private:
   static constexpr std::int32_t kUnknown = -1;
   static constexpr std::int32_t kNoBlock = -2;
@@ -258,6 +288,8 @@ class BlockCache {
   std::array<BtcEntry, kBtcEntries> btc_{};
   Stats stats_;
   bool capture_ = false;
+  std::unique_ptr<JitRuntime> jit_;
+  bool jit_failed_ = false;  // ensure_jit() probe failed; don't retry
 };
 
 }  // namespace nfp::sim

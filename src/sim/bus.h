@@ -37,6 +37,10 @@ class Bus {
   std::uint8_t* ram_data() { return ram_.data(); }
   const std::uint8_t* ram_data() const { return ram_.data(); }
 
+  // Fast-path view of the dirty-page flags for the JIT's inlined store
+  // templates, which must mark granules exactly like store8/16/32 do.
+  std::uint8_t* touched_data() { return touched_.data(); }
+
   std::uint32_t load32(std::uint32_t addr) {
     if (in_ram(addr)) {
       const std::uint8_t* p = &ram_[addr - kRamBase];

@@ -17,6 +17,12 @@
 //    unresolved edges, budget exhaustion, faults, and flushed links.
 //  - kBlockUnchained: kBlock with chaining disabled — every transition goes
 //    through lookup(). The A/B baseline for the chaining speedup.
+//  - kJit: the x86-64 template JIT tier above the morph cache (sim/jit.h):
+//    compiled blocks execute natively with retire counters and instret
+//    batched to one add per counter per block, and resolved transitions
+//    patched directly into the emitted code. Per-block fallback to the
+//    kBlock interpreter for blocks the compiler rejects (FPU), global
+//    fallback to chained kBlock when the host cannot execute emitted code.
 #pragma once
 
 #include <array>
@@ -31,12 +37,13 @@
 #include "sim/bus.h"
 #include "sim/cpu_state.h"
 #include "sim/hooks.h"
+#include "sim/jit.h"
 
 namespace nfp::sim {
 
 // Execution-mode selector surfaced on the simulator front ends (and on the
-// nfpc CLI as --dispatch={step,block,block-unchained}).
-enum class Dispatch { kStep, kBlock, kBlockUnchained };
+// nfpc CLI as --dispatch={step,block,block-unchained,jit}).
+enum class Dispatch { kStep, kBlock, kBlockUnchained, kJit };
 
 template <class Hooks>
 class Executor {
@@ -62,6 +69,12 @@ class Executor {
   // pre-chaining dispatch loop for A/B measurement.
   void set_chaining(bool on) { chain_ = on; }
 
+  // Requests the JIT tier (Dispatch::kJit). Engages only for batch-retire
+  // hooks without per-op cost residuals and only when jit_available(); in
+  // every other combination run() silently stays on the (chained) kBlock
+  // path, so kJit is always a safe request.
+  void set_jit(bool on) { jit_ = on; }
+
   // Disables whole-block dispatch while keeping the attached cache's store
   // invalidation live (Dispatch::kStep with a cache attached): every
   // instruction goes through the op switch, but stores into the code range
@@ -73,6 +86,12 @@ class Executor {
   // Returns the number of instructions executed in this call.
   std::uint64_t run(std::uint64_t max_insns) {
     std::uint64_t executed = 0;
+    if constexpr (Hooks::kBatchRetire && !Hooks::kBlockCost) {
+      if (block_cache_ != nullptr && block_dispatch_ && jit_) {
+        JitRuntime* jr = block_cache_->ensure_jit();
+        if (jr != nullptr) return run_jit(*jr, max_insns);
+      }
+    }
     if constexpr (Hooks::kBatchRetire || Hooks::kBlockCost) {
       if (block_cache_ != nullptr && block_dispatch_) {
         while (!st_.halted && executed < max_insns) {
@@ -201,6 +220,83 @@ class Executor {
       if (next->len > budget - executed) return executed;
       if (!block_enterable(*next)) return executed;
       block = next;
+    }
+  }
+
+  // Dispatch::kJit host loop. Native code covers intra-block execution,
+  // batched retire/instret accounting, and patched block-to-block chaining;
+  // this loop covers everything else: delay slots (single-step), pcs with no
+  // block, rejected blocks (exec_block, the per-block kBlock fallback),
+  // budget tails, transition patching, and fault reconciliation.
+  std::uint64_t run_jit(JitRuntime& jr, std::uint64_t max_insns) {
+    jr.configure(&st_, counts_ptr());
+    std::uint64_t executed = 0;
+    while (!st_.halted && executed < max_insns) {
+      const std::uint32_t pc = st_.pc;
+      if (st_.npc != pc + 4) {  // delay slot: single-step
+        step();
+        ++executed;
+        continue;
+      }
+      // The source side of transition patching must be latched before
+      // lookup(): a morph may drain the graveyard and free a flushed
+      // predecessor (last_block() filters dead metas for exactly that).
+      Block* const prev = jr.last_block();
+      Block* block = block_cache_->lookup(pc);
+      if (block == nullptr) {
+        step();
+        ++executed;
+        continue;
+      }
+      const std::uint64_t budget = max_insns - executed;
+      if (block->len > budget) {
+        step();
+        ++executed;
+        continue;
+      }
+      if (jr.ensure_compiled(*block) != Block::JitState::kCompiled) {
+        exec_block(*block);  // rejected (FPU): kBlock fallback for one block
+        executed += block->len;
+        continue;
+      }
+      if (prev != nullptr && prev->jit_state == Block::JitState::kCompiled) {
+        jr.patch_transition(*prev->jit_meta, pc, *block);
+      }
+      const std::uint64_t remaining = jr.enter(*block, budget);
+      if (jr.faulted()) {
+        const auto [meta, idx] = jr.take_fault();
+        // The faulting block may have been flushed mid-flight (it stored
+        // over itself before faulting); its Block object is still alive in
+        // the graveyard — no lookup() has run since the native entry.
+        const Block* fb = meta->block;
+        // The faulting block's prologue claimed its full length from the
+        // budget but only idx records retired; earlier blocks in the chain
+        // settled their own accounting at their exits. Same protocol as
+        // exec_block: state at the faulting instruction, prefix retired
+        // through the per-instruction hook.
+        executed += (budget - remaining) - (meta->len - idx);
+        st_.pc = meta->start + 4 * idx;
+        st_.npc = st_.pc + 4;
+        st_.instret += idx;
+        for (std::uint32_t j = 0; j < idx; ++j) {
+          isa::DecodedInsn d;
+          d.op = static_cast<Op>(fb->code[j].op);
+          hooks_.on_retire(d, RetireInfo{});
+        }
+        std::rethrow_exception(jr.take_exception());
+      }
+      executed += budget - remaining;
+    }
+    return executed;
+  }
+
+  // The retire-counter vector emitted code bumps at block exits; hooks
+  // without a counts array (NullHooks) run uncounted native code.
+  std::uint64_t* counts_ptr() {
+    if constexpr (requires { hooks_.counts; }) {
+      return hooks_.counts.data();
+    } else {
+      return nullptr;
     }
   }
 
@@ -854,6 +950,7 @@ class Executor {
   BlockCache* block_cache_ = nullptr;
   bool chain_ = true;
   bool block_dispatch_ = true;
+  bool jit_ = false;
   // Per-block retire-operand capture buffer (kBlockCost dispatch only);
   // record i of the running block writes its operand pair to capture_[i].
   std::array<CapturedOp, BlockCache::kMaxBlockLen> capture_{};

@@ -31,7 +31,10 @@ class Iss {
     // stepping reference valid on self-modifying programs.
     exec.set_block_cache(platform_.block_cache());
     exec.set_block_dispatch(dispatch != Dispatch::kStep);
-    exec.set_chaining(dispatch == Dispatch::kBlock);
+    // kJit chains too: native block-to-block patching is the jit's chaining,
+    // and the host loop falls back to chained kBlock for rejected blocks.
+    exec.set_chaining(dispatch == Dispatch::kBlock || dispatch == Dispatch::kJit);
+    exec.set_jit(dispatch == Dispatch::kJit);
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;
@@ -62,7 +65,8 @@ class FunctionalSim {
     exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
     exec.set_block_cache(platform_.block_cache());
     exec.set_block_dispatch(dispatch != Dispatch::kStep);
-    exec.set_chaining(dispatch == Dispatch::kBlock);
+    exec.set_chaining(dispatch == Dispatch::kBlock || dispatch == Dispatch::kJit);
+    exec.set_jit(dispatch == Dispatch::kJit);
     exec.run(max_insns);
     RunResult result;
     result.halted = platform_.cpu().halted;

@@ -12,15 +12,16 @@
 namespace nfp::cli {
 
 // Shared --dispatch value parsing (nfpc, nfpfuzz). Exits with a usage error
-// on anything but step/block/block-unchained.
+// on anything but step/block/block-unchained/jit.
 inline sim::Dispatch parse_dispatch(const std::string& value,
                                     const char* tool) {
   if (value == "step") return sim::Dispatch::kStep;
   if (value == "block") return sim::Dispatch::kBlock;
   if (value == "block-unchained") return sim::Dispatch::kBlockUnchained;
+  if (value == "jit") return sim::Dispatch::kJit;
   std::fprintf(stderr,
                "%s: unknown dispatch mode '%s' "
-               "(expected step, block, or block-unchained)\n",
+               "(expected step, block, block-unchained, or jit)\n",
                tool, value.c_str());
   std::exit(2);
 }
@@ -30,8 +31,28 @@ inline const char* dispatch_name(sim::Dispatch dispatch) {
     case sim::Dispatch::kStep: return "step";
     case sim::Dispatch::kBlock: return "block";
     case sim::Dispatch::kBlockUnchained: return "block-unchained";
+    case sim::Dispatch::kJit: return "jit";
   }
   return "?";
+}
+
+// Degrades a requested dispatch mode to what the host can actually run:
+// --dispatch=jit on a host without executable-page support (or a build with
+// the backend compiled out) falls back to kBlock, warning once on stderr.
+inline sim::Dispatch effective_dispatch(sim::Dispatch requested,
+                                        const char* tool) {
+  if (requested == sim::Dispatch::kJit && !sim::jit_available()) {
+    static bool warned = false;
+    if (!warned) {
+      warned = true;
+      std::fprintf(stderr,
+                   "%s: warning: jit dispatch unavailable on this host; "
+                   "falling back to block\n",
+                   tool);
+    }
+    return sim::Dispatch::kBlock;
+  }
+  return requested;
 }
 
 // Accepts "--name=value" or "--name value"; returns nullptr if argv[i] is

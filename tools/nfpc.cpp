@@ -11,10 +11,13 @@
 //     --counts          print per-category instruction counts
 //     --dispatch=MODE   simulator dispatch: block (superblock morph cache
 //                       with chaining, default), block-unchained (morph
-//                       cache, every transition through lookup), or step
+//                       cache, every transition through lookup), jit
+//                       (x86-64 template JIT above the morph cache; falls
+//                       back to block on unsupported hosts), or step
 //                       (per-instruction switch); applies to the ISS run
 //                       and to the --board run (board accounting is
-//                       bit-identical across modes)
+//                       bit-identical across modes; the board itself runs
+//                       jit as chained block — cost hooks are host-side)
 //     --sim-stats       print the full BlockCache::Stats after the run
 //                       (morphs, flushes, chain/BTC counters); with
 //                       --board, also the board's cache stats
@@ -97,7 +100,8 @@ int main(int argc, char** argv) {
       want_counts = true;
     } else if (const char* v =
                    nfp::cli::flag_value("--dispatch", argc, argv, i, "nfpc")) {
-      dispatch = nfp::cli::parse_dispatch(v, "nfpc");
+      dispatch = nfp::cli::effective_dispatch(
+          nfp::cli::parse_dispatch(v, "nfpc"), "nfpc");
     } else if (arg == "--sim-stats") {
       want_sim_stats = true;
     } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
@@ -122,7 +126,7 @@ int main(int argc, char** argv) {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
                   "[--estimate] [--board] [--counts] [--sim-stats] "
                   "[--seed N] "
-                  "[--dispatch=step|block|block-unchained] file.c ...\n");
+                  "[--dispatch=step|block|block-unchained|jit] file.c ...\n");
       return 0;
     } else {
       sources.push_back(read_file(arg));
@@ -182,6 +186,21 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.btc_hits),
                   static_cast<unsigned long long>(s.lookup_fallbacks),
                   static_cast<unsigned long long>(s.links_installed));
+    }
+    if (dispatch == nfp::sim::Dispatch::kJit &&
+        iss.platform().block_cache() != nullptr &&
+        iss.platform().block_cache()->jit() != nullptr) {
+      const auto& j = iss.platform().block_cache()->jit()->stats();
+      std::printf("jit: %llu blocks compiled (%llu rejected), %llu code "
+                  "bytes, %llu entries, %llu patches (%llu withdrawn), "
+                  "%llu slow-path insns\n",
+                  static_cast<unsigned long long>(j.blocks_compiled),
+                  static_cast<unsigned long long>(j.blocks_rejected),
+                  static_cast<unsigned long long>(j.code_bytes),
+                  static_cast<unsigned long long>(j.entries),
+                  static_cast<unsigned long long>(j.patches),
+                  static_cast<unsigned long long>(j.unpatches),
+                  static_cast<unsigned long long>(j.helper_exec));
     }
     if (want_sim_stats) {
       print_sim_stats(dispatch == nfp::sim::Dispatch::kStep

@@ -2,7 +2,8 @@
 //
 // Generates constrained-random SPARC V8 programs (src/fuzz/generator.h) and
 // cross-checks full architectural state across Dispatch::kStep,
-// kBlockUnchained and kBlock at randomized mid-run budget stops
+// kBlockUnchained, kBlock and kJit (on hosts where the jit can run) at
+// randomized mid-run budget stops
 // (src/fuzz/oracle.h). On divergence the program is ddmin-shrunk to a
 // minimal reproducer and written into the corpus directory as a `.s` file
 // ready to commit as a regression test.
@@ -22,6 +23,9 @@
 //                       also cross-check the measurement board under
 //                       kStep vs kBlock — cycles, energy (bit-for-bit),
 //                       BoardStats, architectural state (default on)
+//     --jit / --no-jit  include Dispatch::kJit in the cross-check matrix
+//                       (default on; skipped automatically on hosts where
+//                       jit_available() is false)
 //     --corpus-dir DIR  where reproducers are written;
 //                       default tests/fuzz/corpus
 //   All value flags accept both "--flag N" and "--flag=N".
@@ -48,6 +52,7 @@ struct Options {
   std::uint32_t checkpoints = 4;
   bool shrink = true;
   bool board = true;
+  bool jit = true;
   std::string corpus_dir = "tests/fuzz/corpus";
 };
 
@@ -60,7 +65,8 @@ void usage() {
   std::printf(
       "usage: nfpfuzz [--seed N] [--runs N] [--mix NAME|all] [--chunks N]\n"
       "               [--max-insns N] [--checkpoints N] [--shrink|--no-shrink]\n"
-      "               [--board|--no-board] [--corpus-dir DIR]\n");
+      "               [--board|--no-board] [--jit|--no-jit] "
+      "[--corpus-dir DIR]\n");
 }
 
 }  // namespace
@@ -90,6 +96,10 @@ int main(int argc, char** argv) {
       opt.board = true;
     } else if (arg == "--no-board") {
       opt.board = false;
+    } else if (arg == "--jit") {
+      opt.jit = true;
+    } else if (arg == "--no-jit") {
+      opt.jit = false;
     } else if (const char* v = flag_value("--corpus-dir", argc, argv, i)) {
       opt.corpus_dir = v;
     } else if (arg == "--help" || arg == "-h") {
@@ -126,6 +136,7 @@ int main(int argc, char** argv) {
     diff_cfg.checkpoints = opt.checkpoints;
     diff_cfg.checkpoint_seed = gen_cfg.seed;
     diff_cfg.check_board = opt.board;
+    diff_cfg.check_jit = opt.jit;
 
     nfp::fuzz::DiffReport report;
     try {
