@@ -7,6 +7,7 @@
 #include "board/board.h"
 #include "mcc/compiler.h"
 #include "sim/iss.h"
+#include "sim/jit.h"
 
 // Build provenance, stamped per entry: an unoptimized simulator makes every
 // MIPS number meaningless for before/after comparisons.
@@ -143,6 +144,30 @@ void BM_IssWithCounters_Jit(benchmark::State& state) {
 }
 BENCHMARK(BM_IssWithCounters_Jit)->Unit(benchmark::kMillisecond);
 
+// Inline-vs-host BTC A/B pair on the call-dense workload (every mix() call
+// returns through a register-indirect jmpl): with the inline BTC the retl's
+// emitted probe chains straight into the return block; without it every
+// return re-enters the host loop, resolves through the interpreter's BTC,
+// and calls back into emitted code.
+void BM_FunctionalSim_Jit_InlineBtc(benchmark::State& state) {
+  set_provenance(state, "jit-inline-btc");
+  nfp::sim::jit_set_inline_btc(true);
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kJit); });
+}
+BENCHMARK(BM_FunctionalSim_Jit_InlineBtc)->Unit(benchmark::kMillisecond);
+
+void BM_FunctionalSim_Jit_HostBtc(benchmark::State& state) {
+  set_provenance(state, "jit-host-btc");
+  nfp::sim::jit_set_inline_btc(false);
+  run_sim(
+      state, [] { return nfp::sim::FunctionalSim(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kJit); });
+  nfp::sim::jit_set_inline_btc(true);
+}
+BENCHMARK(BM_FunctionalSim_Jit_HostBtc)->Unit(benchmark::kMillisecond);
+
 // Board step-vs-block A/B pair: the block-cost dispatch (static per-block
 // profiles + dynamic residual hooks) against the per-instruction stepping
 // baseline, at identical — bit-for-bit — cycle and energy accounting.
@@ -161,6 +186,17 @@ void BM_BoardApproxTimed_Step(benchmark::State& state) {
       [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kStep); });
 }
 BENCHMARK(BM_BoardApproxTimed_Step)->Unit(benchmark::kMillisecond);
+
+// Board cost tier on the jit: static base cycles retire inline in emitted
+// code, dynamic residuals are captured and replayed in batch — accounting
+// stays bit-for-bit identical to both rows above.
+void BM_BoardApproxTimed_Jit(benchmark::State& state) {
+  set_provenance(state, "jit");
+  run_sim(
+      state, [] { return nfp::board::Board(); },
+      [](auto& sim) { return sim.run(kBudget, nfp::sim::Dispatch::kJit); });
+}
+BENCHMARK(BM_BoardApproxTimed_Jit)->Unit(benchmark::kMillisecond);
 
 void BM_BoardCycleStepped(benchmark::State& state) {
   set_provenance(state, "block-chained");

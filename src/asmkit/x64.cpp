@@ -277,6 +277,18 @@ void Emitter::add_mr64(const Mem& m, Gp src) {
   modrm_mem(static_cast<unsigned>(src), m);
 }
 
+void Emitter::cmp_rm(Gp a, const Mem& m) {
+  rex_rm(false, a, m);
+  u8(0x3B);
+  modrm_mem(static_cast<unsigned>(a), m);
+}
+
+void Emitter::cmp_rm64(Gp a, const Mem& m) {
+  rex_rm(true, a, m);
+  u8(0x3B);
+  modrm_mem(static_cast<unsigned>(a), m);
+}
+
 void Emitter::or_rm8(Gp dst, const Mem& m) {
   rex_rm(false, dst, m, static_cast<unsigned>(dst) >= 4);
   u8(0x0A);
@@ -431,6 +443,12 @@ void Emitter::call_r(Gp r) {
   rex(false, 0, 0, static_cast<unsigned>(r));
   u8(0xFF);
   modrm_reg(2, static_cast<unsigned>(r));
+}
+
+void Emitter::jmp_m(const Mem& m) {
+  rex_rm(false, Gp::rax, m);  // reg field carries the /4 extension, no REX.R
+  u8(0xFF);
+  modrm_mem(4, m);
 }
 
 void Emitter::ret() { u8(0xC3); }

@@ -104,6 +104,8 @@ class Emitter {
   void xor_ri(Gp dst, std::uint32_t imm);
   void xor_rm8(Gp dst, const Mem& m);         // xor r8, byte [m]
   void cmp_rr(Gp a, Gp b);
+  void cmp_rm(Gp a, const Mem& m);            // cmp r32, [m]
+  void cmp_rm64(Gp a, const Mem& m);          // cmp r64, [m]
   void cmp_ri(Gp a, std::uint32_t imm);
   void cmp_ri64(Gp a, std::int32_t imm);      // cmp r64, imm (sign-extended)
   void test_rr(Gp a, Gp b);
@@ -135,6 +137,7 @@ class Emitter {
   // byte offset of the rel32 field — the block chainer's patch site.
   std::uint32_t jmp_patchable();
   void call_r(Gp r);               // call r64
+  void jmp_m(const Mem& m);        // jmp qword [m]
   void ret();
   void push_r(Gp r);               // push r64
   void pop_r(Gp r);                // pop r64

@@ -32,8 +32,12 @@ sim::RunResult Board::run(std::uint64_t max_insns, sim::Dispatch dispatch) {
   exec.set_decode_cache(platform_.code_base(), platform_.decode_cache());
   exec.set_block_cache(platform_.block_cache());
   exec.set_block_dispatch(dispatch != sim::Dispatch::kStep);
-  // BoardHooks are kBlockCost hooks, which the jit cannot model (per-block
-  // cost replay needs captured operands); kJit degrades to chained kBlock.
+  // BoardHooks expose the jit cost interface (jit_counts/jit_cycles/
+  // jit_replay/jit_advance_activity), so kJit runs cost-mode native code:
+  // static base cycles retire inline, dynamic residuals are captured and
+  // replayed in batch. When jit_available() is false the executor degrades
+  // to chained kBlock on its own.
+  exec.set_jit(dispatch == sim::Dispatch::kJit);
   exec.set_chaining(dispatch == sim::Dispatch::kBlock ||
                     dispatch == sim::Dispatch::kJit);
   exec.run(max_insns);

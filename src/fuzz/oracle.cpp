@@ -174,7 +174,7 @@ std::string describe_board_diff(const BoardSnapshot& ref,
                                 const BoardSnapshot& got) {
   std::ostringstream os;
   const auto field = [&os](const char* name, auto a, auto b) {
-    if (a != b) os << name << " step=" << a << " block=" << b << "; ";
+    if (a != b) os << name << " step=" << a << " got=" << b << "; ";
   };
   field("instret", ref.instret, got.instret);
   field("pc", ref.pc, got.pc);
@@ -194,7 +194,7 @@ std::string describe_board_diff(const BoardSnapshot& ref,
   field("ram-digest", ref.digest.ram, got.digest.ram);
   field("uart", ref.uart_digest, got.uart_digest);
   if (ref.fault != got.fault) {
-    os << "fault step='" << ref.fault << "' block='" << got.fault << "'; ";
+    os << "fault step='" << ref.fault << "' got='" << got.fault << "'; ";
   }
   return os.str();
 }
@@ -202,27 +202,27 @@ std::string describe_board_diff(const BoardSnapshot& ref,
 bool compare_board_traces(const std::vector<BoardSnapshot>& ref,
                           const std::vector<BoardSnapshot>& got,
                           const std::vector<std::uint64_t>& stops,
-                          DiffReport& report) {
+                          const char* mode_name, DiffReport& report) {
   const std::size_t n = std::min(ref.size(), got.size());
   for (std::size_t i = 0; i < n; ++i) {
     if (ref[i] == got[i]) continue;
     std::ostringstream os;
-    os << "board block vs step, checkpoint " << i << " (budget " << stops[i]
-       << "): " << describe_board_diff(ref[i], got[i]);
+    os << mode_name << " vs board step, checkpoint " << i << " (budget "
+       << stops[i] << "): " << describe_board_diff(ref[i], got[i]);
     report.diverged = true;
-    report.mode = "board-block";
+    report.mode = mode_name;
     report.detail = os.str();
     return false;
   }
   if (ref.size() != got.size()) {
     std::ostringstream os;
-    os << "board block vs step: trace truncated at " << got.size() << "/"
-       << ref.size() << " checkpoints (fault: '"
+    os << mode_name << " vs board step: trace truncated at " << got.size()
+       << "/" << ref.size() << " checkpoints (fault: '"
        << (got.size() < ref.size() && !got.empty() ? got.back().fault
                                                    : std::string())
        << "')";
     report.diverged = true;
-    report.mode = "board-block";
+    report.mode = mode_name;
     report.detail = os.str();
     return false;
   }
@@ -285,15 +285,25 @@ DiffReport run_differential(const asmkit::Program& program,
     if (!compare_traces(ref, jit, stops, "jit", report)) return report;
   }
 
-  if (config.check_board) {
-    // Board phase last (it is the most expensive: two more platforms, cost
+  const bool board_jit = config.check_board_jit && sim::jit_available();
+  if (config.check_board || board_jit) {
+    // Board phase last (it is the most expensive: more platforms, cost
     // accounting on). The same stop schedule applies: board streams match
     // the ISS streams instruction for instruction.
     const std::vector<BoardSnapshot> bref =
         run_board_mode(arena.board_step, program, sim::Dispatch::kStep, stops);
-    const std::vector<BoardSnapshot> bblk = run_board_mode(
-        arena.board_block, program, sim::Dispatch::kBlock, stops);
-    compare_board_traces(bref, bblk, stops, report);
+    if (config.check_board) {
+      const std::vector<BoardSnapshot> bblk = run_board_mode(
+          arena.board_block, program, sim::Dispatch::kBlock, stops);
+      if (!compare_board_traces(bref, bblk, stops, "board-block", report)) {
+        return report;
+      }
+    }
+    if (board_jit) {
+      const std::vector<BoardSnapshot> bjit = run_board_mode(
+          arena.board_jit, program, sim::Dispatch::kJit, stops);
+      compare_board_traces(bref, bjit, stops, "board-jit", report);
+    }
   }
   return report;
 }

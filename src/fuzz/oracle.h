@@ -40,6 +40,11 @@ struct DiffConfig {
   // every checkpoint. Silently skipped when jit_available() is false (the
   // oracle degrades rather than testing jit-that-is-really-block twice).
   bool check_jit = true;
+  // Also run the board under Dispatch::kJit (the cost-mode jit tier: native
+  // static-cost retirement + batched residual replay) against the board's
+  // kStep reference, same bit-for-bit comparison as check_board. Skipped
+  // when jit_available() is false.
+  bool check_board_jit = true;
 };
 
 // Architectural state observed at one budget stop of one mode.
@@ -73,11 +78,12 @@ struct DiffArena {
   sim::Iss unchained;
   sim::Iss block;
   sim::Iss jit;
-  // Board pair for the step-vs-block cost differential (DiffConfig::
-  // check_board). Default config: variation and the SDRAM row model on, so
-  // every residual kind is exercised.
+  // Board set for the step-vs-block and step-vs-jit cost differentials
+  // (DiffConfig::check_board / check_board_jit). Default config: variation
+  // and the SDRAM row model on, so every residual kind is exercised.
   board::Board board_step;
   board::Board board_block;
+  board::Board board_jit;
 };
 
 DiffReport run_differential(const asmkit::Program& program,

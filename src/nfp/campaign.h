@@ -56,8 +56,9 @@ class Campaign {
 
   // Dispatch mode for the board runs (the ISS always runs kBlock). Board
   // accounting is bit-identical across modes, so this is a speed knob — the
-  // default block mode is what campaigns ship with; step is the A/B
-  // baseline surfaced on nfpc as --dispatch=step.
+  // default is kJit wherever emitted code can run (resolved through the
+  // same jit-availability probe as the CLI; chained kBlock elsewhere); step
+  // is the A/B baseline surfaced on nfpc as --dispatch=step.
   void set_board_dispatch(sim::Dispatch dispatch) { dispatch_ = dispatch; }
   sim::Dispatch board_dispatch() const { return dispatch_; }
 
@@ -71,7 +72,7 @@ class Campaign {
  private:
   board::BoardConfig cfg_;
   unsigned threads_;
-  sim::Dispatch dispatch_ = sim::Dispatch::kBlock;
+  sim::Dispatch dispatch_;  // resolved in the constructor (jit probe)
 };
 
 }  // namespace nfp::model

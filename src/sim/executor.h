@@ -20,9 +20,12 @@
 //  - kJit: the x86-64 template JIT tier above the morph cache (sim/jit.h):
 //    compiled blocks execute natively with retire counters and instret
 //    batched to one add per counter per block, and resolved transitions
-//    patched directly into the emitted code. Per-block fallback to the
-//    kBlock interpreter for blocks the compiler rejects (FPU), global
-//    fallback to chained kBlock when the host cannot execute emitted code.
+//    patched directly into the emitted code. kBlockCost hooks exposing the
+//    jit cost interface (the board) run a cost-mode variant: static base
+//    cycles retire natively, dynamic residuals are captured and replayed in
+//    batch. Per-block fallback to the kBlock interpreter for blocks the
+//    compiler rejects (FPU), global fallback to chained kBlock when the
+//    host cannot execute emitted code.
 #pragma once
 
 #include <array>
@@ -69,10 +72,11 @@ class Executor {
   // pre-chaining dispatch loop for A/B measurement.
   void set_chaining(bool on) { chain_ = on; }
 
-  // Requests the JIT tier (Dispatch::kJit). Engages only for batch-retire
-  // hooks without per-op cost residuals and only when jit_available(); in
-  // every other combination run() silently stays on the (chained) kBlock
-  // path, so kJit is always a safe request.
+  // Requests the JIT tier (Dispatch::kJit). Engages for batch-retire hooks
+  // (functional/counting) and for kBlockCost hooks exposing the jit cost
+  // interface (the board), and only when jit_available(); in every other
+  // combination run() silently stays on the (chained) kBlock path, so kJit
+  // is always a safe request.
   void set_jit(bool on) { jit_ = on; }
 
   // Disables whole-block dispatch while keeping the attached cache's store
@@ -90,6 +94,12 @@ class Executor {
       if (block_cache_ != nullptr && block_dispatch_ && jit_) {
         JitRuntime* jr = block_cache_->ensure_jit();
         if (jr != nullptr) return run_jit(*jr, max_insns);
+      }
+    }
+    if constexpr (Hooks::kBlockCost && kHasJitCostInterface) {
+      if (block_cache_ != nullptr && block_dispatch_ && jit_) {
+        JitRuntime* jr = block_cache_->ensure_jit();
+        if (jr != nullptr) return run_jit_cost(*jr, max_insns);
       }
     }
     if constexpr (Hooks::kBatchRetire || Hooks::kBlockCost) {
@@ -143,6 +153,18 @@ class Executor {
 
  private:
   using Op = isa::Op;
+
+  // Detected, not declared: kBlockCost hooks that additionally expose the
+  // four-method jit cost interface (the measurement board — see
+  // board/hooks.h) may ride Dispatch::kJit with native static-cost
+  // retirement and batched residual replay.
+  static constexpr bool kHasJitCostInterface =
+      requires(Hooks& h, const JitCapture* c) {
+        h.jit_counts();
+        h.jit_cycles();
+        h.jit_replay(c, std::size_t{});
+        h.jit_advance_activity(std::uint64_t{});
+      };
 
   // Executes `first` and keeps dispatching successor blocks until a
   // transition fails to resolve, the next block would exceed `budget`,
@@ -260,7 +282,13 @@ class Executor {
         continue;
       }
       if (prev != nullptr && prev->jit_state == Block::JitState::kCompiled) {
-        jr.patch_transition(*prev->jit_meta, pc, *block);
+        if (prev->indirect_exit) {
+          // Register-indirect exits are not rel32-patchable; memoize the
+          // resolved target in the inline BTC the emitted probe consults.
+          jr.btc_insert(pc, *block);
+        } else {
+          jr.patch_transition(*prev->jit_meta, pc, *block);
+        }
       }
       const std::uint64_t remaining = jr.enter(*block, budget);
       if (jr.faulted()) {
@@ -285,6 +313,102 @@ class Executor {
         }
         std::rethrow_exception(jr.take_exception());
       }
+      executed += budget - remaining;
+    }
+    return executed;
+  }
+
+  // Dispatch::kJit host loop for kBlockCost hooks (the measurement board).
+  // Native code settles the per-op retire counters and the profile's static
+  // base cycles at block exits and appends the tagged dynamic-residual
+  // operand pairs into the runtime's capture buffer; after every native
+  // entry this loop drains the buffer through the hook's residual-replay
+  // kernel — in program order, so floating-point energy accumulation
+  // matches the interpreted paths bit-for-bit — and advances switching
+  // activity once over the whole batch (the activity stream is a pure
+  // function of cumulative advanced cycles, so batching is exact).
+  std::uint64_t run_jit_cost(JitRuntime& jr, std::uint64_t max_insns) {
+    jr.configure_cost(&st_, hooks_.jit_counts(), hooks_.jit_cycles());
+    std::uint64_t executed = 0;
+    while (!st_.halted && executed < max_insns) {
+      const std::uint32_t pc = st_.pc;
+      if (st_.npc != pc + 4) {  // delay slot: single-step
+        step();
+        ++executed;
+        continue;
+      }
+      Block* const prev = jr.last_block();
+      Block* block = block_cache_->lookup(pc);
+      if (block == nullptr) {
+        step();
+        ++executed;
+        continue;
+      }
+      const std::uint64_t budget = max_insns - executed;
+      if (block->len > budget) {
+        step();
+        ++executed;
+        continue;
+      }
+      // Cost profile before compilation: the compiler bakes the profile's
+      // base cycles and residual map into the emitted code, so a block may
+      // only compile once its profile is ready (and accepted).
+      if (!block_enterable(*block)) {
+        step();
+        ++executed;
+        continue;
+      }
+      if (jr.ensure_compiled(*block) != Block::JitState::kCompiled) {
+        exec_block_cost(*block);  // rejected (FPU): kBlock fallback
+        executed += block->len;
+        continue;
+      }
+      // Cost-mode blocks never fold delay slots, so register-indirect exits
+      // always end in a delay-pending state handled by the host; only
+      // rel32-patchable static edges chain natively here.
+      if (prev != nullptr && prev->jit_state == Block::JitState::kCompiled &&
+          !prev->indirect_exit) {
+        jr.patch_transition(*prev->jit_meta, pc, *block);
+      }
+      const std::uint64_t mark = *hooks_.jit_cycles();
+      const std::uint64_t remaining = jr.enter(*block, budget);
+      if (jr.faulted()) {
+        const auto [meta, idx] = jr.take_fault();
+        const Block* fb = meta->block;
+        const auto caps = jr.drain_captures();
+        // Captures appended by the faulting block's completed prefix belong
+        // to the per-instruction prefix retire below, not the batch replay:
+        // the faulting block settled neither counts nor base cycles (both
+        // are exit-batched), so its prefix retires through the full per-op
+        // hook, exactly as exec_block_cost reconciles.
+        std::size_t prefix = 0;
+        for (const auto& r : fb->cost.residuals) {
+          if (r.index >= idx) break;
+          ++prefix;
+        }
+        hooks_.jit_replay(caps.data(), caps.size() - prefix);
+        hooks_.jit_advance_activity(mark);
+        executed += (budget - remaining) - (meta->len - idx);
+        st_.pc = meta->start + 4 * idx;
+        st_.npc = st_.pc + 4;
+        st_.instret += idx;
+        const JitCapture* tail = caps.data() + (caps.size() - prefix);
+        std::size_t cursor = 0;
+        auto rit = fb->cost.residuals.begin();
+        for (std::uint32_t j = 0; j < idx; ++j) {
+          CapturedOp cap{};
+          if (rit != fb->cost.residuals.end() && rit->index == j) {
+            cap = CapturedOp{tail[cursor].a, tail[cursor].b};
+            ++cursor;
+            ++rit;
+          }
+          hooks_.on_retire_captured(static_cast<Op>(fb->code[j].op), cap);
+        }
+        std::rethrow_exception(jr.take_exception());
+      }
+      const auto caps = jr.drain_captures();
+      hooks_.jit_replay(caps.data(), caps.size());
+      hooks_.jit_advance_activity(mark);
       executed += budget - remaining;
     }
     return executed;

@@ -22,9 +22,11 @@
 // chained-block path entirely.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <exception>
 #include <memory>
+#include <span>
 #include <utility>
 #include <vector>
 
@@ -53,6 +55,31 @@ bool jit_available();
 // kBlock degradation paths without a foreign host.
 void jit_set_forced_off(bool off);
 
+// Bench/test hook: suppress the inline branch-target-cache probe on
+// register-indirect exits (A/B against the host-loop re-entry path).
+// Consulted at compile time; flip it only against a fresh runtime.
+void jit_set_inline_btc(bool on);
+
+// One dynamic-residual operand pair captured by cost-mode emitted code
+// (Hooks::kBlockCost — the measurement board). `a`/`b` mirror CapturedOp
+// for the record's op; `op`/`idx` identify it for replay and fault
+// reconciliation. Layout is baked into emitted appends.
+struct JitCapture {
+  std::uint32_t a = 0;
+  std::uint32_t b = 0;
+  std::uint32_t op = 0;   // isa::Op of the captured record
+  std::uint32_t idx = 0;  // record index within its block
+};
+
+// One slot of the JIT-resident branch-target cache probed inline on
+// register-indirect exits (jmpl/retl). Direct-mapped on (pc >> 2); the
+// sentinel tag 1 can never match a 4-aligned target.
+struct JitBtcSlot {
+  std::uint32_t tag = 1;
+  std::uint32_t pad = 0;
+  std::uint64_t native = 0;  // absolute address of the target block prologue
+};
+
 // State block anchored in %r14 during native execution. Field offsets are
 // baked into emitted code and pinned by static_asserts in jit.cpp.
 struct JitRt {
@@ -64,6 +91,13 @@ struct JitRt {
   std::uint32_t fault_idx = 0;      // +40  record index of a stashed fault
   std::uint32_t pad = 0;
   JitRuntime* owner = nullptr;      // +48
+  // Cost mode only: bump-pointer residual capture buffer (drained by the
+  // host after every enter) and the hooks' cycle accumulator.
+  JitCapture* cap_ptr = nullptr;        // +56  write cursor
+  const JitCapture* cap_end = nullptr;  // +64  one past the last slot
+  std::uint64_t* cost_cycles = nullptr; // +72  BoardHooks cycle counter
+  const JitBtcSlot* btc = nullptr;      // +80  inline BTC table base
+  std::uint64_t btc_hits = 0;           // +88  inline probe hits
 };
 
 // One potentially-patchable block exit: a static successor pc, the rel32
@@ -110,6 +144,18 @@ class JitRuntime {
   // counts pointer discards all previously compiled code.
   void configure(CpuState* cpu, std::uint64_t* counts);
 
+  // Cost-tier configuration (Hooks::kBlockCost — the board): binds the
+  // per-op retire counters and the cycle accumulator the emitted code adds
+  // into, and switches the compiler into cost mode (residual capture
+  // appends, per-exit base-cycle adds, no delay folding). Switching between
+  // cost and functional mode discards all previously compiled code.
+  void configure_cost(CpuState* cpu, std::uint64_t* counts,
+                      std::uint64_t* cycles);
+
+  // Returns every residual capture appended since the last drain (program
+  // order) and resets the buffer. The host drains after every enter().
+  std::span<const JitCapture> drain_captures();
+
   // Compiles `b` on first sight (updating b.jit_state); later calls are a
   // cheap state read. Rejected blocks stay rejected.
   Block::JitState ensure_compiled(Block& b);
@@ -134,6 +180,12 @@ class JitRuntime {
   // emitted entry. No-op if no such exit exists or it is already patched.
   void patch_transition(JitBlockMeta& from, std::uint32_t pc, Block& to);
 
+  // Installs `pc -> to` in the inline branch-target cache probed by
+  // register-indirect exits. No-op when `to` is not compiled or the inline
+  // BTC is disabled; entries are withdrawn on block death and code reset.
+  void btc_insert(std::uint32_t pc, Block& to);
+  std::uint64_t inline_btc_hits() const { return rt_.btc_hits; }
+
   // Invalidation hook (called from BlockCache::unlink): withdraw every
   // patched jump into and out of `b` so no native path can reach its stale
   // code or trust its stale edges.
@@ -151,13 +203,21 @@ class JitRuntime {
     std::uint64_t patches = 0;        // chain jumps patched in
     std::uint64_t unpatches = 0;      // chain jumps withdrawn
     std::uint64_t helper_exec = 0;    // slow-path records executed
+    std::uint64_t btc_inserts = 0;    // inline-BTC entries installed
   };
   const Stats& stats() const { return stats_; }
   // The generic slow path bumps helper_exec through this (hot, but only on
   // slow records).
   void count_helper_exec() { ++stats_.helper_exec; }
 
+  // Scratch CapturedOp array the generic slow path hands to the morph
+  // handler as MorphCtx::cap; in cost mode append_helper_capture forwards
+  // the handler's capture into the run buffer for residual-flagged records.
+  CapturedOp* helper_capture() { return helper_capture_.data(); }
+  void append_helper_capture(const Block& b, std::uint32_t idx);
+
   static constexpr std::uint32_t kNoFault = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kInlineBtcEntries = 512;
 
  private:
   struct Impl;  // arena + emitted-code bookkeeping (x86-64 only)
@@ -170,6 +230,10 @@ class JitRuntime {
   std::exception_ptr pending_;
   std::vector<std::unique_ptr<JitBlockMeta>> metas_;
   Stats stats_;
+  bool cost_mode_ = false;
+  std::vector<JitCapture> capture_;  // cost-mode residual run buffer
+  std::array<CapturedOp, BlockCache::kMaxBlockLen> helper_capture_{};
+  std::vector<JitBtcSlot> btc_;
   std::unique_ptr<Impl> impl_;
 };
 

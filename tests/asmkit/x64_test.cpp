@@ -255,6 +255,27 @@ TEST(X64Encoding, Alu64) {
                   {0x03, 0x43, 0x04});
 }
 
+TEST(X64Encoding, CmpMem) {
+  // cmp 0x4(%rbx),%eax
+  expect_encoding("cmp_rm disp8",
+                  [](Emitter& e) { e.cmp_rm(Gp::rax, ptr(Gp::rbx, 4)); },
+                  {0x3b, 0x43, 0x04});
+  // cmp (%rdx,%rax,1),%ecx — the inline-BTC tag probe shape
+  expect_encoding(
+      "cmp_rm sib",
+      [](Emitter& e) { e.cmp_rm(Gp::rcx, ptr_idx(Gp::rdx, Gp::rax)); },
+      {0x3b, 0x0c, 0x02});
+  // cmp 0x40(%r14),%rax — the residual-buffer capacity check shape
+  expect_encoding("cmp_rm64 [r14+0x40]",
+                  [](Emitter& e) { e.cmp_rm64(Gp::rax, ptr(Gp::r14, 0x40)); },
+                  {0x49, 0x3b, 0x46, 0x40});
+  // cmp 0x8(%rax,%rdx,1),%rcx
+  expect_encoding(
+      "cmp_rm64 sib",
+      [](Emitter& e) { e.cmp_rm64(Gp::rcx, ptr_idx(Gp::rax, Gp::rdx, 8)); },
+      {0x48, 0x3b, 0x4c, 0x10, 0x08});
+}
+
 TEST(X64Encoding, ByteAlu) {
   // or 0x3e(%rbx),%al
   expect_encoding("or_rm8",
@@ -334,6 +355,19 @@ TEST(X64Encoding, Control) {
                   {0xff, 0xd0});
   expect_encoding("call r10", [](Emitter& e) { e.call_r(Gp::r10); },
                   {0x41, 0xff, 0xd2});
+  // jmp *0x8(%rdx) — FF /4 indirect through memory
+  expect_encoding("jmp_m disp8",
+                  [](Emitter& e) { e.jmp_m(ptr(Gp::rdx, 8)); },
+                  {0xff, 0x62, 0x08});
+  // jmp *0x8(%rdx,%rax,1) — the inline-BTC dispatch shape
+  expect_encoding(
+      "jmp_m sib",
+      [](Emitter& e) { e.jmp_m(ptr_idx(Gp::rdx, Gp::rax, 8)); },
+      {0xff, 0x64, 0x02, 0x08});
+  // jmp *0x8(%r14) — REX.B for high base
+  expect_encoding("jmp_m r14",
+                  [](Emitter& e) { e.jmp_m(ptr(Gp::r14, 8)); },
+                  {0x41, 0xff, 0x66, 0x08});
   expect_encoding("push rbx", [](Emitter& e) { e.push_r(Gp::rbx); }, {0x53});
   expect_encoding("push r15", [](Emitter& e) { e.push_r(Gp::r15); },
                   {0x41, 0x57});

@@ -6,6 +6,7 @@
 #include <bit>
 #include <cstdint>
 #include <string>
+#include <tuple>
 
 #include <gtest/gtest.h>
 
@@ -14,6 +15,7 @@
 #include "board/hooks.h"
 #include "isa/decode.h"
 #include "sim/bus.h"
+#include "sim/jit.h"
 #include "sim/memmap.h"
 
 namespace nfp::board {
@@ -67,8 +69,13 @@ void expect_all_modes_identical(const std::string& src,
   const Outcome step = run_board(p, cfg, sim::Dispatch::kStep);
   const Outcome block = run_board(p, cfg, sim::Dispatch::kBlock);
   const Outcome unchained = run_board(p, cfg, sim::Dispatch::kBlockUnchained);
+  // kJit runs the cost-mode jit tier where the host can execute emitted
+  // code (native static-cost retirement + batched residual replay) and
+  // degrades to chained kBlock elsewhere; either way it must match.
+  const Outcome jit = run_board(p, cfg, sim::Dispatch::kJit);
   EXPECT_EQ(step, block);
   EXPECT_EQ(step, unchained);
+  EXPECT_EQ(step, jit);
   EXPECT_GT(step.cycles, 0u);
 }
 
@@ -231,7 +238,9 @@ loop:   ld [%l0], %l2
 )");
   const Outcome step = run_board(p, cfg, sim::Dispatch::kStep);
   const Outcome block = run_board(p, cfg, sim::Dispatch::kBlock);
+  const Outcome jit = run_board(p, cfg, sim::Dispatch::kJit);
   EXPECT_EQ(step, block);
+  EXPECT_EQ(step, jit);
   EXPECT_GT(step.activity, 0u);
 }
 
@@ -265,6 +274,123 @@ _start: mov 5, %l0
   const auto block = run_to_fault(sim::Dispatch::kBlock);
   EXPECT_EQ(step, block);
   EXPECT_NE(std::get<0>(step).find("MUL/DIV"), std::string::npos);
+}
+
+TEST(BoardDispatch, JitCostTierCompilesAndMatchesStep) {
+  // On hosts where the jit can run, a board kJit run must actually engage
+  // the cost-mode jit tier (blocks compiled, native entries) — not silently
+  // degrade to the interpreter — while every cost channel stays
+  // bit-identical to stepping (covered by the run_board comparison).
+  if (!sim::jit_available()) {
+    GTEST_SKIP() << "jit unavailable on this host";
+  }
+  const auto p = prog(R"(
+_start: set 0x40010000, %l0
+        mov 500, %l2
+loop:   ld [%l0], %l3
+        add %l3, %l2, %l3
+        st %l3, [%l0]
+        subcc %l2, 1, %l2
+        bne loop
+        nop
+        mov 0, %o0
+        ta 0
+)");
+  Board brd(loud_config());
+  brd.load(p);
+  ASSERT_TRUE(brd.run(Board::kDefaultMaxInsns, sim::Dispatch::kJit).halted);
+  const sim::JitRuntime* jr = brd.platform().block_cache()->jit();
+  ASSERT_NE(jr, nullptr) << "board kJit run never built the jit runtime";
+  EXPECT_GE(jr->stats().blocks_compiled, 1u);
+  EXPECT_GE(jr->stats().entries, 1u);
+  const Outcome step = run_board(p, loud_config(), sim::Dispatch::kStep);
+  const Outcome jit = run_board(p, loud_config(), sim::Dispatch::kJit);
+  EXPECT_EQ(step, jit);
+}
+
+TEST(BoardDispatch, FaultMidCompiledCostBlockReconcilesResiduals) {
+  // The third record of the hot block is a load whose address degrades to
+  // misaligned after enough iterations: the block is compiled and cost-
+  // profiled long before the fault, which then fires mid-block from native
+  // code with two residual-active memory ops already captured. The
+  // reconciled fault state — message, instret, cycles, energy bit pattern,
+  // and switching activity — must match stepping exactly: the completed
+  // blocks replay their residual batch, the faulting block's prefix retires
+  // per instruction from its captured operands.
+  BoardConfig cfg = loud_config();
+  cfg.fidelity = Fidelity::kCycleStepped;
+  const auto p = prog(R"(
+_start: set 0x40100000, %g1
+        set 0x40200000, %g2
+        mov 4, %l0
+        mov 0, %o0
+loop:   ld [%g1], %o1
+        st %o1, [%g1]
+        ld [%g2], %o2
+        add %o0, %o2, %o0
+        add %g2, %l0, %g2
+        srl %l0, 1, %l0
+        ba loop
+        nop
+)");
+  auto run_to_fault = [&](sim::Dispatch dispatch) {
+    Board brd(cfg);
+    brd.load(p);
+    std::string what;
+    try {
+      brd.run(Board::kDefaultMaxInsns, dispatch);
+    } catch (const sim::SimError& e) {
+      what = e.what();
+    }
+    return std::tuple(what, brd.cpu().instret, brd.cpu().pc, brd.cycles(),
+                      std::bit_cast<std::uint64_t>(brd.true_energy_nj()),
+                      brd.switching_activity(), brd.stats().loads,
+                      brd.stats().row_misses);
+  };
+  const auto step = run_to_fault(sim::Dispatch::kStep);
+  const auto block = run_to_fault(sim::Dispatch::kBlock);
+  const auto jit = run_to_fault(sim::Dispatch::kJit);
+  EXPECT_FALSE(std::get<0>(step).empty()) << "expected an alignment fault";
+  EXPECT_EQ(step, block);
+  EXPECT_EQ(step, jit);
+}
+
+TEST(BoardDispatch, SelfModifyingStoreKillsCompiledCostBlockInFlight) {
+  // Jit-focused variant of the mid-flight flush kernel: under kJit the
+  // store invalidates the very block whose emitted code is executing (its
+  // cost profile and captures included). The run must recompile and stay
+  // bit-identical to stepping; on jit hosts the flush must actually have
+  // gone through the jit's invalidation path.
+  const std::string src = R"(
+_start: mov 40, %l0
+        mov 0, %g1
+        set patch, %l1
+        set insn_b, %l2
+        ld [%l2], %l3
+loop:
+patch:  add %g1, 1, %g1
+        st %l3, [%l1]
+        subcc %l0, 1, %l0
+        bne loop
+        nop
+        mov 0, %o0
+        ta 0
+insn_b: add %g1, 2, %g1
+)";
+  const auto p = prog(src);
+  Board brd(loud_config());
+  brd.load(p);
+  ASSERT_TRUE(brd.run(Board::kDefaultMaxInsns, sim::Dispatch::kJit).halted);
+  EXPECT_EQ(brd.cpu().r[1], 79u);
+  EXPECT_GE(brd.platform().block_cache()->stats().flushes, 1u);
+  if (sim::jit_available()) {
+    const sim::JitRuntime* jr = brd.platform().block_cache()->jit();
+    ASSERT_NE(jr, nullptr);
+    EXPECT_GE(jr->stats().blocks_compiled, 1u);
+  }
+  const Outcome step = run_board(p, loud_config(), sim::Dispatch::kStep);
+  const Outcome jit = run_board(p, loud_config(), sim::Dispatch::kJit);
+  EXPECT_EQ(step, jit);
 }
 
 TEST(BoardDispatch, LeakageShareIsExemptFromToggleVariation) {

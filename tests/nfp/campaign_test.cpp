@@ -5,6 +5,7 @@
 
 #include "asmkit/assembler.h"
 #include "mcc/compiler.h"
+#include "sim/jit.h"
 #include "sim/memmap.h"
 
 namespace nfp::model {
@@ -61,19 +62,25 @@ TEST(Campaign, DeterministicAcrossThreadCounts) {
 }
 
 TEST(Campaign, BlockDispatchMatchesStepBitForBit) {
-  // The campaign defaults to block-cost dispatch on the board; a campaign
-  // pinned to per-instruction stepping must reproduce every record exactly
+  // The campaign defaults to the fastest cost-exact board dispatch (jit
+  // where emitted code can run, chained block elsewhere); a campaign pinned
+  // to per-instruction stepping must reproduce every record exactly
   // (measured energy/time compare bit-for-bit, not approximately).
   std::vector<KernelJob> jobs;
   for (int i = 0; i < 6; ++i) {
     jobs.push_back(loop_job("disp" + std::to_string(i), 150 + i * 40));
   }
   Campaign block_campaign(board::BoardConfig{}, 2);
-  EXPECT_EQ(block_campaign.board_dispatch(), sim::Dispatch::kBlock);
+  EXPECT_EQ(block_campaign.board_dispatch(), sim::jit_available()
+                                                 ? sim::Dispatch::kJit
+                                                 : sim::Dispatch::kBlock);
   Campaign step_campaign(board::BoardConfig{}, 2);
   step_campaign.set_board_dispatch(sim::Dispatch::kStep);
+  Campaign pinned_block_campaign(board::BoardConfig{}, 2);
+  pinned_block_campaign.set_board_dispatch(sim::Dispatch::kBlock);
   const auto block = block_campaign.run(jobs);
   const auto step = step_campaign.run(jobs);
+  const auto pinned = pinned_block_campaign.run(jobs);
   for (std::size_t i = 0; i < jobs.size(); ++i) {
     EXPECT_TRUE(step[i].ok) << step[i].error;
     EXPECT_EQ(step[i].instret, block[i].instret);
@@ -81,6 +88,9 @@ TEST(Campaign, BlockDispatchMatchesStepBitForBit) {
     EXPECT_EQ(step[i].measured.energy_nj, block[i].measured.energy_nj);
     EXPECT_EQ(step[i].measured.time_s, block[i].measured.time_s);
     EXPECT_EQ(step[i].counts, block[i].counts);
+    EXPECT_EQ(step[i].cycles, pinned[i].cycles);
+    EXPECT_EQ(step[i].measured.energy_nj, pinned[i].measured.energy_nj);
+    EXPECT_EQ(step[i].counts, pinned[i].counts);
   }
 }
 

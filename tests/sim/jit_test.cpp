@@ -453,6 +453,80 @@ other:  ba loop
       << "hot cycle kept bouncing back into the host loop";
 }
 
+// ---- inline branch-target cache (register-indirect exits) -----------------
+
+TEST(Jit, InlineBtcKeepsCallReturnLoopNative) {
+  SKIP_WITHOUT_JIT();
+  // call/retl hot loop: the retl's register-indirect exit must stay native
+  // once the inline BTC memoizes the return target — a long run shows a
+  // handful of host entries and a hit count close to the iteration count,
+  // with results bit-identical to stepping.
+  const auto prog = asmkit::assemble(R"(
+_start: mov 0, %o0
+        set 50000, %l1
+loop:   call fn
+        nop
+        subcc %l1, 1, %l1
+        bne loop
+        nop
+        ta 0
+fn:     retl
+        add %o0, 1, %o0
+)",
+                                     kTextBase);
+  Iss iss;
+  iss.load(prog);
+  const auto r = iss.run(10'000'000, Dispatch::kJit);
+  ASSERT_TRUE(r.halted);
+  const JitRuntime* jr = iss.platform().block_cache()->jit();
+  ASSERT_NE(jr, nullptr);
+  EXPECT_GE(jr->stats().btc_inserts, 1u);
+  EXPECT_GT(jr->inline_btc_hits(), 10'000u);
+  EXPECT_LT(jr->stats().entries, 64u)
+      << "indirect exits kept bouncing back into the host loop";
+  expect_step_jit_identical(prog, 10'000'000, "inline-btc");
+}
+
+TEST(Jit, InlineBtcAliasingReturnSitesStayCorrect) {
+  SKIP_WITHOUT_JIT();
+  // Two call sites whose return addresses are 2048 bytes apart — exactly
+  // kInlineBtcEntries slots at word granularity — so both returns hash to
+  // the same direct-mapped BTC slot. Each return evicts the other's entry;
+  // the probe must miss (tag mismatch), fall back to the host, and never
+  // jump to the aliased target.
+  std::string src = R"(
+_start: mov 0, %o0
+        set 2000, %l1
+loop:   call fn
+        nop
+)";
+  // 510 nops + the call's own two words put the second return site exactly
+  // 512 words past the first.
+  for (int i = 0; i < 510; ++i) src += "        nop\n";
+  src += R"(
+        call fn
+        nop
+        subcc %l1, 1, %l1
+        bne loop
+        nop
+        ta 0
+fn:     retl
+        add %o0, 1, %o0
+)";
+  const auto prog = asmkit::assemble(src, kTextBase);
+  {
+    Iss iss;
+    iss.load(prog);
+    const auto r = iss.run(10'000'000, Dispatch::kJit);
+    ASSERT_TRUE(r.halted);
+    const JitRuntime* jr = iss.platform().block_cache()->jit();
+    ASSERT_NE(jr, nullptr);
+    // Both sites resolve through the host and re-install the shared slot.
+    EXPECT_GE(jr->stats().btc_inserts, 2u);
+  }
+  expect_step_jit_identical(prog, 10'000'000, "inline-btc-aliasing");
+}
+
 // ---- faults ---------------------------------------------------------------
 
 TEST(Jit, DivisionByZeroFaultStateIdenticalToStep) {

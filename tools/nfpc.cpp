@@ -16,11 +16,13 @@
 //                       back to block on unsupported hosts), or step
 //                       (per-instruction switch); applies to the ISS run
 //                       and to the --board run (board accounting is
-//                       bit-identical across modes; the board itself runs
-//                       jit as chained block — cost hooks are host-side)
+//                       bit-identical across modes; under jit the board
+//                       runs cost-mode native code — static base cycles
+//                       retire inline, dynamic residuals are captured and
+//                       replayed in batch)
 //     --sim-stats       print the full BlockCache::Stats after the run
 //                       (morphs, flushes, chain/BTC counters); with
-//                       --board, also the board's cache stats
+//                       --board, also the board's cache and jit stats
 //     --seed N          board/calibration noise seed for --estimate and
 //                       --board campaigns (also --seed=N)
 #include <chrono>
@@ -73,6 +75,26 @@ void print_sim_stats(const nfp::sim::BlockCache* cache) {
               static_cast<unsigned long long>(s.btc_misses));
   std::printf("  lookup_fallbacks %llu\n",
               static_cast<unsigned long long>(s.lookup_fallbacks));
+}
+
+void print_jit_stats(nfp::sim::BlockCache* cache) {
+  if (cache == nullptr) return;
+  const nfp::sim::JitRuntime* jr = cache->jit();
+  if (jr == nullptr) return;
+  const auto& j = jr->stats();
+  std::printf("jit: %llu blocks compiled (%llu rejected), %llu code "
+              "bytes, %llu entries, %llu patches (%llu withdrawn), "
+              "%llu slow-path insns, %llu inline-btc inserts "
+              "(%llu hits)\n",
+              static_cast<unsigned long long>(j.blocks_compiled),
+              static_cast<unsigned long long>(j.blocks_rejected),
+              static_cast<unsigned long long>(j.code_bytes),
+              static_cast<unsigned long long>(j.entries),
+              static_cast<unsigned long long>(j.patches),
+              static_cast<unsigned long long>(j.unpatches),
+              static_cast<unsigned long long>(j.helper_exec),
+              static_cast<unsigned long long>(j.btc_inserts),
+              static_cast<unsigned long long>(jr->inline_btc_hits()));
 }
 
 }  // namespace
@@ -187,20 +209,8 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(s.lookup_fallbacks),
                   static_cast<unsigned long long>(s.links_installed));
     }
-    if (dispatch == nfp::sim::Dispatch::kJit &&
-        iss.platform().block_cache() != nullptr &&
-        iss.platform().block_cache()->jit() != nullptr) {
-      const auto& j = iss.platform().block_cache()->jit()->stats();
-      std::printf("jit: %llu blocks compiled (%llu rejected), %llu code "
-                  "bytes, %llu entries, %llu patches (%llu withdrawn), "
-                  "%llu slow-path insns\n",
-                  static_cast<unsigned long long>(j.blocks_compiled),
-                  static_cast<unsigned long long>(j.blocks_rejected),
-                  static_cast<unsigned long long>(j.code_bytes),
-                  static_cast<unsigned long long>(j.entries),
-                  static_cast<unsigned long long>(j.patches),
-                  static_cast<unsigned long long>(j.unpatches),
-                  static_cast<unsigned long long>(j.helper_exec));
+    if (dispatch == nfp::sim::Dispatch::kJit) {
+      print_jit_stats(iss.platform().block_cache());
     }
     if (want_sim_stats) {
       print_sim_stats(dispatch == nfp::sim::Dispatch::kStep
@@ -247,6 +257,9 @@ int main(int argc, char** argv) {
                                         board_s * 1e-6
                                   : 0.0,
                     board_s * 1e3);
+        if (dispatch == nfp::sim::Dispatch::kJit) {
+          print_jit_stats(board.platform().block_cache());
+        }
         if (want_sim_stats) {
           print_sim_stats(board.platform().block_cache());
         }

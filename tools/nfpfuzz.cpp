@@ -26,6 +26,12 @@
 //     --jit / --no-jit  include Dispatch::kJit in the cross-check matrix
 //                       (default on; skipped automatically on hosts where
 //                       jit_available() is false)
+//     --board-jit / --no-board-jit
+//                       also cross-check the board under kStep vs kJit (the
+//                       cost-mode jit tier: native static-cost retirement +
+//                       batched residual replay), same bit-for-bit compare
+//                       as --board (default on; skipped when the jit is
+//                       unavailable)
 //     --corpus-dir DIR  where reproducers are written;
 //                       default tests/fuzz/corpus
 //   All value flags accept both "--flag N" and "--flag=N".
@@ -53,6 +59,7 @@ struct Options {
   bool shrink = true;
   bool board = true;
   bool jit = true;
+  bool board_jit = true;
   std::string corpus_dir = "tests/fuzz/corpus";
 };
 
@@ -65,8 +72,8 @@ void usage() {
   std::printf(
       "usage: nfpfuzz [--seed N] [--runs N] [--mix NAME|all] [--chunks N]\n"
       "               [--max-insns N] [--checkpoints N] [--shrink|--no-shrink]\n"
-      "               [--board|--no-board] [--jit|--no-jit] "
-      "[--corpus-dir DIR]\n");
+      "               [--board|--no-board] [--jit|--no-jit]\n"
+      "               [--board-jit|--no-board-jit] [--corpus-dir DIR]\n");
 }
 
 }  // namespace
@@ -96,6 +103,10 @@ int main(int argc, char** argv) {
       opt.board = true;
     } else if (arg == "--no-board") {
       opt.board = false;
+    } else if (arg == "--board-jit") {
+      opt.board_jit = true;
+    } else if (arg == "--no-board-jit") {
+      opt.board_jit = false;
     } else if (arg == "--jit") {
       opt.jit = true;
     } else if (arg == "--no-jit") {
@@ -137,6 +148,7 @@ int main(int argc, char** argv) {
     diff_cfg.checkpoint_seed = gen_cfg.seed;
     diff_cfg.check_board = opt.board;
     diff_cfg.check_jit = opt.jit;
+    diff_cfg.check_board_jit = opt.board_jit;
 
     nfp::fuzz::DiffReport report;
     try {
