@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <string_view>
 
@@ -57,6 +58,15 @@ class Board {
   // measurements of the same kernel are reproducible but distinct kernels
   // draw independent noise.
   Measurement measure(std::string_view tag) const;
+
+  // Versioned snapshot of the whole stand: platform state plus the board's
+  // configuration fingerprint and accumulator state (SDRAM open row, cache
+  // tags, meter accumulators, switching-activity LFSR). Restore refuses
+  // snapshots taken under a different BoardConfig (kConfigMismatch) and is
+  // all-or-nothing; a resumed run produces bit-identical cycles, energy,
+  // stats, and activity in every dispatch mode (see sim/state_io.h).
+  void save_state(std::ostream& out) const;
+  void restore_state(std::istream& in);
 
   const BoardConfig& config() const { return cfg_; }
   sim::Platform& platform() { return platform_; }

@@ -39,6 +39,10 @@ struct BoardConfig {
   std::uint32_t cache_line_bytes = 32;
 
   Fidelity fidelity = Fidelity::kApproxTimed;
+
+  // Snapshot restore refuses state saved under a different configuration
+  // (board/board.cpp): every field participates in the fingerprint.
+  friend bool operator==(const BoardConfig&, const BoardConfig&) = default;
 };
 
 }  // namespace nfp::board

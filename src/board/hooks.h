@@ -48,6 +48,23 @@ struct BoardStats {
   friend bool operator==(const BoardStats&, const BoardStats&) = default;
 };
 
+// The accumulator state a snapshot carries (board/board.cpp save/restore):
+// everything on which future accounting depends — cycle and energy
+// accumulators, SDRAM open row, cache tags, operand-toggle history, and the
+// switching-activity LFSR. Derived per-block cost profiles are NOT state
+// (they rebuild deterministically), so they are absent by design.
+struct BoardHooksState {
+  std::uint64_t cycles = 0;
+  std::array<std::uint64_t, isa::kOpCount> counts{};
+  double residual_energy = 0.0;
+  BoardStats stats;
+  std::uint32_t prev_a = 0, prev_b = 0, prev_addr = 0;
+  std::uint32_t open_row = 0;
+  std::vector<std::uint32_t> tags;
+  std::uint64_t activity_lfsr = 0;
+  std::uint64_t activity = 0;
+};
+
 class BoardHooks {
  public:
   static constexpr bool kWantsDetail = true;
@@ -201,6 +218,39 @@ class BoardHooks {
     if (cfg_.fidelity == Fidelity::kCycleStepped) {
       advance_activity(cycles_ - mark);
     }
+  }
+
+  // ---- snapshot support (sim/state_io.h, board/board.cpp) -----------------
+  BoardHooksState export_state() const {
+    BoardHooksState s;
+    s.cycles = cycles_;
+    s.counts = counts_;
+    s.residual_energy = residual_energy_;
+    s.stats = stats_;
+    s.prev_a = prev_a_;
+    s.prev_b = prev_b_;
+    s.prev_addr = prev_addr_;
+    s.open_row = open_row_;
+    s.tags = tags_;
+    s.activity_lfsr = activity_lfsr_;
+    s.activity = activity_;
+    return s;
+  }
+
+  // Caller (Board::restore_state) has already validated s.tags against the
+  // configuration, so this cannot fail.
+  void import_state(const BoardHooksState& s) {
+    cycles_ = s.cycles;
+    counts_ = s.counts;
+    residual_energy_ = s.residual_energy;
+    stats_ = s.stats;
+    prev_a_ = s.prev_a;
+    prev_b_ = s.prev_b;
+    prev_addr_ = s.prev_addr;
+    open_row_ = s.open_row;
+    tags_ = s.tags;
+    activity_lfsr_ = s.activity_lfsr;
+    activity_ = s.activity;
   }
 
  private:

@@ -60,6 +60,46 @@ std::vector<Snapshot> run_mode(sim::Iss& iss, const asmkit::Program& program,
   return out;
 }
 
+// The durable-checkpoint arm: executes the same budget schedule, but at
+// every stop the machine is serialized (sim/state_io.h) and restored into
+// the OTHER half of a ping-pong executor pair, which continues the run.
+// Dispatch rotates segment by segment so save/restore boundaries cut through
+// warmed morph caches, chains, and jit translations in every mode; the
+// restored executor re-warms from scratch and must still match the
+// straight-through kStep reference at every checkpoint.
+std::vector<Snapshot> run_snapshot_mode(
+    sim::Iss& a, sim::Iss& b, const asmkit::Program& program,
+    const std::vector<std::uint64_t>& stops) {
+  std::vector<sim::Dispatch> rota = {sim::Dispatch::kBlock,
+                                     sim::Dispatch::kStep};
+  if (sim::jit_available()) rota.push_back(sim::Dispatch::kJit);
+  rota.push_back(sim::Dispatch::kBlockUnchained);
+
+  std::vector<Snapshot> out;
+  sim::Iss* cur = &a;
+  sim::Iss* other = &b;
+  cur->load(program);
+  std::size_t seg = 0;
+  for (const std::uint64_t stop : stops) {
+    std::string fault;
+    try {
+      const std::uint64_t done = cur->cpu().instret;
+      if (stop > done) cur->run(stop - done, rota[seg % rota.size()]);
+    } catch (const std::exception& e) {
+      fault = e.what();
+    }
+    ++seg;
+    out.push_back(take_snapshot(*cur));
+    out.back().fault = fault;
+    if (!fault.empty()) break;
+    std::stringstream buf;
+    cur->save_state(buf);
+    other->restore_state(buf);
+    std::swap(cur, other);
+  }
+  return out;
+}
+
 std::string describe_diff(const Snapshot& ref, const Snapshot& got) {
   std::ostringstream os;
   const auto field = [&os](const char* name, auto a, auto b) {
@@ -138,6 +178,22 @@ struct BoardSnapshot {
   bool operator==(const BoardSnapshot&) const = default;
 };
 
+BoardSnapshot take_board_snapshot(board::Board& brd) {
+  BoardSnapshot s;
+  const sim::CpuState& cpu = brd.cpu();
+  s.instret = cpu.instret;
+  s.pc = cpu.pc;
+  s.npc = cpu.npc;
+  s.halted = cpu.halted;
+  s.cycles = brd.cycles();
+  s.energy_bits = std::bit_cast<std::uint64_t>(brd.true_energy_nj());
+  s.activity = brd.switching_activity();
+  s.stats = brd.stats();
+  s.digest = sim::arch_digest(cpu, brd.bus());
+  s.uart_digest = digest_uart(brd.bus().uart_output());
+  return s;
+}
+
 std::vector<BoardSnapshot> run_board_mode(
     board::Board& brd, const asmkit::Program& program, sim::Dispatch dispatch,
     const std::vector<std::uint64_t>& stops) {
@@ -151,21 +207,44 @@ std::vector<BoardSnapshot> run_board_mode(
     } catch (const std::exception& e) {
       fault = e.what();
     }
-    BoardSnapshot s;
-    const sim::CpuState& cpu = brd.cpu();
-    s.instret = cpu.instret;
-    s.pc = cpu.pc;
-    s.npc = cpu.npc;
-    s.halted = cpu.halted;
-    s.cycles = brd.cycles();
-    s.energy_bits = std::bit_cast<std::uint64_t>(brd.true_energy_nj());
-    s.activity = brd.switching_activity();
-    s.stats = brd.stats();
-    s.digest = sim::arch_digest(cpu, brd.bus());
-    s.uart_digest = digest_uart(brd.bus().uart_output());
-    s.fault = fault;
-    out.push_back(std::move(s));
+    out.push_back(take_board_snapshot(brd));
+    out.back().fault = fault;
     if (!out.back().fault.empty()) break;
+  }
+  return out;
+}
+
+// Board flavour of the durable-checkpoint arm: snapshots carry the SDRAM
+// open-row state, meter accumulators, and the activity LFSR, so the restored
+// half's ground truth must stay bit-for-bit on the reference trajectory.
+std::vector<BoardSnapshot> run_board_snapshot_mode(
+    board::Board& a, board::Board& b, const asmkit::Program& program,
+    const std::vector<std::uint64_t>& stops) {
+  std::vector<sim::Dispatch> rota = {sim::Dispatch::kBlock,
+                                     sim::Dispatch::kStep};
+  if (sim::jit_available()) rota.push_back(sim::Dispatch::kJit);
+
+  std::vector<BoardSnapshot> out;
+  board::Board* cur = &a;
+  board::Board* other = &b;
+  cur->load(program);
+  std::size_t seg = 0;
+  for (const std::uint64_t stop : stops) {
+    std::string fault;
+    try {
+      const std::uint64_t done = cur->cpu().instret;
+      if (stop > done) cur->run(stop - done, rota[seg % rota.size()]);
+    } catch (const std::exception& e) {
+      fault = e.what();
+    }
+    ++seg;
+    out.push_back(take_board_snapshot(*cur));
+    out.back().fault = fault;
+    if (!fault.empty()) break;
+    std::stringstream buf;
+    cur->save_state(buf);
+    other->restore_state(buf);
+    std::swap(cur, other);
   }
   return out;
 }
@@ -285,6 +364,12 @@ DiffReport run_differential(const asmkit::Program& program,
     if (!compare_traces(ref, jit, stops, "jit", report)) return report;
   }
 
+  if (config.check_snapshot) {
+    const std::vector<Snapshot> snap =
+        run_snapshot_mode(arena.snap_a, arena.snap_b, program, stops);
+    if (!compare_traces(ref, snap, stops, "snapshot", report)) return report;
+  }
+
   const bool board_jit = config.check_board_jit && sim::jit_available();
   if (config.check_board || board_jit) {
     // Board phase last (it is the most expensive: more platforms, cost
@@ -302,7 +387,14 @@ DiffReport run_differential(const asmkit::Program& program,
     if (board_jit) {
       const std::vector<BoardSnapshot> bjit = run_board_mode(
           arena.board_jit, program, sim::Dispatch::kJit, stops);
-      compare_board_traces(bref, bjit, stops, "board-jit", report);
+      if (!compare_board_traces(bref, bjit, stops, "board-jit", report)) {
+        return report;
+      }
+    }
+    if (config.check_snapshot && config.check_board) {
+      const std::vector<BoardSnapshot> bsnap = run_board_snapshot_mode(
+          arena.board_snap_a, arena.board_snap_b, program, stops);
+      compare_board_traces(bref, bsnap, stops, "board-snapshot", report);
     }
   }
   return report;

@@ -45,6 +45,13 @@ struct DiffConfig {
   // kStep reference, same bit-for-bit comparison as check_board. Skipped
   // when jit_available() is false.
   bool check_board_jit = true;
+  // Save→restore→continue leg (sim/state_io.h): at every budget stop the run
+  // is serialized and restored into a second fresh executor which continues
+  // the schedule — rotating through the dispatch modes segment by segment —
+  // and every checkpoint must match the straight-through kStep reference.
+  // With check_board on, a board pair runs the same durable-checkpoint arm
+  // against the board reference (cycles/energy/stats/activity bit-for-bit).
+  bool check_snapshot = true;
 };
 
 // Architectural state observed at one budget stop of one mode.
@@ -84,6 +91,12 @@ struct DiffArena {
   board::Board board_step;
   board::Board board_block;
   board::Board board_jit;
+  // Ping-pong pairs for the snapshot leg (DiffConfig::check_snapshot): the
+  // run alternates between the two halves across save/restore boundaries.
+  sim::Iss snap_a;
+  sim::Iss snap_b;
+  board::Board board_snap_a;
+  board::Board board_snap_b;
 };
 
 DiffReport run_differential(const asmkit::Program& program,

@@ -114,6 +114,8 @@ class Bus {
 
   const std::string& uart_output() const { return uart_; }
   void clear_uart() { uart_.clear(); }
+  // Reinstates a saved UART stream on restore (sim/state_io.h).
+  void set_uart_output(std::string s) { uart_ = std::move(s); }
 
   // Dirty-page metadata, exposed for cheap architectural digests
   // (sim/digest.h): one flag per 4 KiB granule, set by every store and by

@@ -3,11 +3,13 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 
 #include "asmkit/program.h"
 #include "sim/executor.h"
 #include "sim/hooks.h"
 #include "sim/platform.h"
+#include "sim/state_io.h"
 
 namespace nfp::sim {
 
@@ -43,10 +45,41 @@ class Iss {
     return result;
   }
 
+  // Serializes the platform plus the retire-count vector; restore is
+  // all-or-nothing (see sim/state_io.h) and the resumed run retires
+  // bit-for-bit identically to the uninterrupted one in every dispatch mode.
+  void save_state(std::ostream& out) const {
+    StateWriter w;
+    append_platform_chunks(w, platform_);
+    w.begin_chunk(kChunkCounts);
+    w.put_u32(static_cast<std::uint32_t>(hooks_.counts.size()));
+    for (const std::uint64_t c : hooks_.counts) w.put_u64(c);
+    w.end_chunk();
+    w.finish(out);
+  }
+
+  void restore_state(std::istream& in) {
+    auto tags = platform_chunk_tags();
+    tags.push_back(kChunkCounts);
+    const StateReader r(in, tags);
+    OpCountHooks hooks;
+    ChunkCursor c(r.payload(kChunkCounts));
+    if (c.get_u32() != hooks.counts.size()) {
+      throw StateError(StateErrorCode::kBadPayload,
+                       "retire-count vector has the wrong arity");
+    }
+    for (std::uint64_t& count : hooks.counts) count = c.get_u64();
+    c.done();
+    apply_platform_chunks(r, platform_);
+    hooks_ = hooks;
+  }
+
   const OpCountHooks& counters() const { return hooks_; }
   Platform& platform() { return platform_; }
+  const Platform& platform() const { return platform_; }
   Bus& bus() { return platform_.bus(); }
   CpuState& cpu() { return platform_.cpu(); }
+  const CpuState& cpu() const { return platform_.cpu(); }
 
  private:
   Platform platform_;

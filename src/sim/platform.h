@@ -55,6 +55,10 @@ class Platform {
   BlockCache* block_cache() { return bcache_.get(); }
 
  private:
+  // Snapshot restore (sim/state_io.cpp) replays load() from serialized state
+  // and needs to reseat the private image/cache members atomically.
+  friend void apply_platform_chunks(const class StateReader& r, Platform& p);
+
   Bus bus_;
   CpuState cpu_;
   std::uint32_t code_base_ = 0;

@@ -32,6 +32,30 @@ TEST(FuzzCorpus, CommittedReproducersReplayClean) {
   }
 }
 
+TEST(FuzzCorpus, ReplayExercisesSnapshotArm) {
+  // The save→restore→continue leg is on by default, so the replay above
+  // already runs it; pin the default so a regressed flag can't silently
+  // drop the arm, then replay the corpus with ONLY the snapshot leg on top
+  // of the plain dispatch legs — a divergence here is unambiguously a
+  // serialization bug, not a dispatch bug.
+  EXPECT_TRUE(DiffConfig{}.check_snapshot);
+  const auto corpus = load_corpus_dir(NFP_FUZZ_CORPUS_DIR);
+  ASSERT_FALSE(corpus.empty()) << "no corpus at " << NFP_FUZZ_CORPUS_DIR;
+  DiffArena arena;
+  for (const auto& entry : corpus) {
+    DiffConfig diff;
+    diff.check_board = false;
+    diff.check_jit = false;
+    diff.check_board_jit = false;
+    diff.check_snapshot = true;
+    diff.checkpoint_seed =
+        sim::fnv1a64(entry.path.data(), entry.path.size()) ^ 0x5a5au;
+    const DiffReport report =
+        run_differential_source(entry.source, diff, arena);
+    EXPECT_FALSE(report.diverged) << entry.path << ": " << report.detail;
+  }
+}
+
 TEST(FuzzCorpus, MissingDirectoryYieldsEmptyCorpus) {
   EXPECT_TRUE(load_corpus_dir("/nonexistent/fuzz/corpus").empty());
 }

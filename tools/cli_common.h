@@ -55,20 +55,60 @@ inline sim::Dispatch effective_dispatch(sim::Dispatch requested,
   return requested;
 }
 
+// Result of matching one argv slot against a value-taking flag.
+enum class FlagMatch {
+  kNoMatch,       // argv[i] is not this flag
+  kMatched,       // value produced (i advanced for the two-token form)
+  kMissingValue,  // "--name" at end of argv, or empty "--name="
+};
+
+// Pure core of flag_value, shared with the tests: accepts "--name value" and
+// "--name=value". An empty inline value ("--name=") is a usage error, not an
+// empty string — every flag in these tools takes a non-empty operand.
+inline FlagMatch match_flag_value(const std::string& name, int argc,
+                                  char** argv, int& i, const char** value) {
+  const std::string arg = argv[i];
+  if (arg == name) {
+    if (i + 1 >= argc) return FlagMatch::kMissingValue;
+    *value = argv[++i];
+    return FlagMatch::kMatched;
+  }
+  if (arg.rfind(name + "=", 0) == 0) {
+    *value = argv[i] + name.size() + 1;
+    return **value == '\0' ? FlagMatch::kMissingValue : FlagMatch::kMatched;
+  }
+  return FlagMatch::kNoMatch;
+}
+
 // Accepts "--name=value" or "--name value"; returns nullptr if argv[i] is
 // not this flag, and exits with a usage error if the value is missing.
 inline const char* flag_value(const std::string& name, int argc, char** argv,
                               int& i, const char* tool) {
-  const std::string arg = argv[i];
-  if (arg == name) {
-    if (i + 1 >= argc) {
+  const char* value = nullptr;
+  switch (match_flag_value(name, argc, argv, i, &value)) {
+    case FlagMatch::kNoMatch: return nullptr;
+    case FlagMatch::kMatched: return value;
+    case FlagMatch::kMissingValue:
       std::fprintf(stderr, "%s: %s needs a value\n", tool, name.c_str());
       std::exit(2);
-    }
-    return argv[++i];
   }
-  if (arg.rfind(name + "=", 0) == 0) return argv[i] + name.size() + 1;
   return nullptr;
+}
+
+// Matches a "--name" / "--no-name" toggle pair; `name` is the positive
+// spelling ("--board"). Returns true if argv[i] was either form, with `out`
+// set accordingly.
+inline bool bool_flag(const std::string& arg, const std::string& name,
+                      bool& out) {
+  if (arg == name) {
+    out = true;
+    return true;
+  }
+  if (arg.rfind("--", 0) == 0 && arg == "--no-" + name.substr(2)) {
+    out = false;
+    return true;
+  }
+  return false;
 }
 
 // Reads a whole file into a string, or exits with a usage error.

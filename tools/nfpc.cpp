@@ -25,10 +25,19 @@
 //                       --board, also the board's cache and jit stats
 //     --seed N          board/calibration noise seed for --estimate and
 //                       --board campaigns (also --seed=N)
+//     --max-insns N     ISS retirement budget (default 200M); with
+//                       --save-state this is the checkpoint boundary
+//     --save-state FILE write a versioned snapshot (sim/state_io.h) of the
+//                       ISS after the run — halted or at the budget stop —
+//                       so a later --load-state resumes bit-identically
+//     --load-state FILE resume from a snapshot instead of compiling
+//                       (no .c inputs); continues under --dispatch up to
+//                       --max-insns and may itself --save-state again
 #include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -106,6 +115,9 @@ int main(int argc, char** argv) {
   std::size_t trace_limit = 0;
   bool have_seed = false;
   std::uint32_t seed = 0;
+  std::uint64_t max_insns = nfp::sim::Iss::kDefaultMaxInsns;
+  std::string save_state_path;
+  std::string load_state_path;
   std::vector<std::string> sources;
 
   for (int i = 1; i < argc; ++i) {
@@ -126,19 +138,19 @@ int main(int argc, char** argv) {
           nfp::cli::parse_dispatch(v, "nfpc"), "nfpc");
     } else if (arg == "--sim-stats") {
       want_sim_stats = true;
-    } else if (arg == "--seed" || arg.rfind("--seed=", 0) == 0) {
-      const char* value = nullptr;
-      if (arg[6] == '=') {
-        value = arg.c_str() + 7;
-      } else if (i + 1 < argc) {
-        value = argv[++i];
-      }
-      if (value == nullptr || *value == '\0') {
-        std::fprintf(stderr, "nfpc: --seed needs a value\n");
-        return 2;
-      }
-      seed = static_cast<std::uint32_t>(std::strtoul(value, nullptr, 0));
+    } else if (const char* v =
+                   nfp::cli::flag_value("--seed", argc, argv, i, "nfpc")) {
+      seed = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
       have_seed = true;
+    } else if (const char* v = nfp::cli::flag_value("--max-insns", argc, argv,
+                                                    i, "nfpc")) {
+      max_insns = std::strtoull(v, nullptr, 0);
+    } else if (const char* v = nfp::cli::flag_value("--save-state", argc,
+                                                    argv, i, "nfpc")) {
+      save_state_path = v;
+    } else if (const char* v = nfp::cli::flag_value("--load-state", argc,
+                                                    argv, i, "nfpc")) {
+      load_state_path = v;
     } else if (arg.rfind("--trace", 0) == 0) {
       trace_limit = 64;
       if (arg.size() > 8 && arg[7] == '=') {
@@ -147,14 +159,22 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
                   "[--estimate] [--board] [--counts] [--sim-stats] "
-                  "[--seed N] "
+                  "[--seed N] [--max-insns N] [--save-state FILE] "
+                  "[--load-state FILE] "
                   "[--dispatch=step|block|block-unchained|jit] file.c ...\n");
       return 0;
     } else {
       sources.push_back(read_file(arg));
     }
   }
-  if (sources.empty()) {
+  if (!load_state_path.empty()) {
+    if (!sources.empty() || want_asm || want_board || trace_limit > 0) {
+      std::fprintf(stderr,
+                   "nfpc: --load-state resumes a snapshot; it takes no .c "
+                   "inputs and excludes --asm/--trace/--board\n");
+      return 2;
+    }
+  } else if (sources.empty()) {
     std::fprintf(stderr, "nfpc: no input files (try --help)\n");
     return 2;
   }
@@ -165,24 +185,38 @@ int main(int argc, char** argv) {
   const nfp::mcc::Compiler compiler(opts);
 
   try {
-    if (want_asm) {
-      std::fputs(compiler.compile_to_asm(sources).c_str(), stdout);
-      return 0;
-    }
-    const auto program = compiler.compile(sources);
-    std::printf("nfpc: %u bytes at 0x%08x (%s ABI)\n", program.size(),
-                program.base(), soft ? "soft-float" : "hard-float");
-
-    if (trace_limit > 0) {
-      nfp::sim::TraceSim tracer(trace_limit);
-      tracer.load(program);
-      std::fputs(tracer.run().c_str(), stdout);
-    }
-
+    std::optional<nfp::asmkit::Program> program;
     nfp::sim::Iss iss;
-    iss.load(program);
+    if (!load_state_path.empty()) {
+      std::ifstream in(load_state_path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "nfpc: cannot open %s\n",
+                     load_state_path.c_str());
+        return 2;
+      }
+      iss.restore_state(in);
+      std::printf("nfpc: resumed %s at %llu instructions\n",
+                  load_state_path.c_str(),
+                  static_cast<unsigned long long>(iss.cpu().instret));
+    } else {
+      if (want_asm) {
+        std::fputs(compiler.compile_to_asm(sources).c_str(), stdout);
+        return 0;
+      }
+      program = compiler.compile(sources);
+      std::printf("nfpc: %u bytes at 0x%08x (%s ABI)\n", program->size(),
+                  program->base(), soft ? "soft-float" : "hard-float");
+
+      if (trace_limit > 0) {
+        nfp::sim::TraceSim tracer(trace_limit);
+        tracer.load(*program);
+        std::fputs(tracer.run().c_str(), stdout);
+      }
+
+      iss.load(*program);
+    }
     const auto t0 = std::chrono::steady_clock::now();
-    const auto run = iss.run(nfp::sim::Iss::kDefaultMaxInsns, dispatch);
+    const auto run = iss.run(max_insns, dispatch);
     const double host_s =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
             .count();
@@ -217,7 +251,23 @@ int main(int argc, char** argv) {
                           ? nullptr
                           : iss.platform().block_cache());
     }
-    if (!run.halted) return 1;
+    if (!save_state_path.empty()) {
+      std::ofstream out(save_state_path,
+                        std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "nfpc: cannot write %s\n",
+                     save_state_path.c_str());
+        return 2;
+      }
+      iss.save_state(out);
+      out.flush();
+      std::printf("nfpc: state saved to %s (%lld bytes)\n",
+                  save_state_path.c_str(),
+                  static_cast<long long>(out.tellp()));
+    }
+    // A budget stop with --save-state is a checkpoint, not a failure: the
+    // run continues under a later --load-state.
+    if (!run.halted) return save_state_path.empty() ? 1 : 0;
 
     const auto& scheme = nfp::model::CategoryScheme::paper();
     if (want_counts) {
@@ -244,7 +294,7 @@ int main(int argc, char** argv) {
                   est.energy_nj * 1e-3);
       if (want_board) {
         nfp::board::Board board(cfg);
-        board.load(program);
+        board.load(*program);
         const auto b0 = std::chrono::steady_clock::now();
         const auto board_run =
             board.run(nfp::board::Board::kDefaultMaxInsns, dispatch);

@@ -32,6 +32,13 @@
 //                       batched residual replay), same bit-for-bit compare
 //                       as --board (default on; skipped when the jit is
 //                       unavailable)
+//     --snapshot / --no-snapshot
+//                       also run the save→restore→continue leg: serialize
+//                       the run at every budget stop, restore into a fresh
+//                       executor rotating dispatch modes per segment, and
+//                       compare every checkpoint against the straight kStep
+//                       reference; with --board a board pair does the same
+//                       against the board reference (default on)
 //     --corpus-dir DIR  where reproducers are written;
 //                       default tests/fuzz/corpus
 //   All value flags accept both "--flag N" and "--flag=N".
@@ -60,6 +67,7 @@ struct Options {
   bool board = true;
   bool jit = true;
   bool board_jit = true;
+  bool snapshot = true;
   std::string corpus_dir = "tests/fuzz/corpus";
 };
 
@@ -73,7 +81,8 @@ void usage() {
       "usage: nfpfuzz [--seed N] [--runs N] [--mix NAME|all] [--chunks N]\n"
       "               [--max-insns N] [--checkpoints N] [--shrink|--no-shrink]\n"
       "               [--board|--no-board] [--jit|--no-jit]\n"
-      "               [--board-jit|--no-board-jit] [--corpus-dir DIR]\n");
+      "               [--board-jit|--no-board-jit] [--snapshot|--no-snapshot]\n"
+      "               [--corpus-dir DIR]\n");
 }
 
 }  // namespace
@@ -95,22 +104,12 @@ int main(int argc, char** argv) {
     } else if (const char* v = flag_value("--checkpoints", argc, argv, i)) {
       opt.checkpoints =
           static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
-    } else if (arg == "--shrink") {
-      opt.shrink = true;
-    } else if (arg == "--no-shrink") {
-      opt.shrink = false;
-    } else if (arg == "--board") {
-      opt.board = true;
-    } else if (arg == "--no-board") {
-      opt.board = false;
-    } else if (arg == "--board-jit") {
-      opt.board_jit = true;
-    } else if (arg == "--no-board-jit") {
-      opt.board_jit = false;
-    } else if (arg == "--jit") {
-      opt.jit = true;
-    } else if (arg == "--no-jit") {
-      opt.jit = false;
+    } else if (nfp::cli::bool_flag(arg, "--shrink", opt.shrink) ||
+               nfp::cli::bool_flag(arg, "--board", opt.board) ||
+               nfp::cli::bool_flag(arg, "--board-jit", opt.board_jit) ||
+               nfp::cli::bool_flag(arg, "--jit", opt.jit) ||
+               nfp::cli::bool_flag(arg, "--snapshot", opt.snapshot)) {
+      // handled by bool_flag
     } else if (const char* v = flag_value("--corpus-dir", argc, argv, i)) {
       opt.corpus_dir = v;
     } else if (arg == "--help" || arg == "-h") {
@@ -149,6 +148,7 @@ int main(int argc, char** argv) {
     diff_cfg.check_board = opt.board;
     diff_cfg.check_jit = opt.jit;
     diff_cfg.check_board_jit = opt.board_jit;
+    diff_cfg.check_snapshot = opt.snapshot;
 
     nfp::fuzz::DiffReport report;
     try {
