@@ -6,99 +6,12 @@
 #include <queue>
 #include <set>
 
+#include "analyze/cost.h"
+
 namespace nfp::analyze {
 namespace {
 
 using isa::Op;
-
-bool writes_icc(Op op) {
-  switch (op) {
-    case Op::kAddcc: case Op::kAddxcc: case Op::kSubcc: case Op::kSubxcc:
-    case Op::kAndcc: case Op::kAndncc: case Op::kOrcc: case Op::kOrncc:
-    case Op::kXorcc: case Op::kXnorcc: case Op::kUmulcc: case Op::kSmulcc:
-    case Op::kUdivcc: case Op::kSdivcc:
-      return true;
-    default:
-      return false;
-  }
-}
-
-bool writes_int_reg(Op op) {
-  if (isa::is_fpu(op) || isa::is_store(op)) return false;
-  switch (op) {
-    case Op::kInvalid: case Op::kNop: case Op::kBicc: case Op::kFbfcc:
-    case Op::kTicc: case Op::kWry: case Op::kLdf: case Op::kLddf:
-      return false;
-    default:
-      return true;  // ALU, sethi, integer loads, jmpl, call, rdy
-  }
-}
-
-std::uint8_t written_reg(const isa::DecodedInsn& d) {
-  return d.op == Op::kCall ? isa::kRegO7 : d.rd;
-}
-
-std::string hex(std::uint32_t value) {
-  char buf[16];
-  std::snprintf(buf, sizeof buf, "0x%08x", value);
-  return buf;
-}
-
-// Index of the control-transfer instruction inside a block's insn list (the
-// delay slot, when present, follows it).
-std::size_t cti_index(const BasicBlock& b) {
-  return b.insns.size() - 1 - (b.has_slot ? 1 : 0);
-}
-
-// How the block is left, for branch cycle selection.
-enum class Exit { kTaken, kUntaken, kTerminal, kWorst };
-
-struct BlockCost {
-  double cycles = 0.0;
-  double energy_nj = 0.0;
-};
-
-// Cost of executing `b` once and leaving it the given way. `include_slot`
-// matters only for CTI couples (annul semantics).
-BlockCost block_cost(const BasicBlock& b, const board::CostModel& costs,
-                     Exit exit, bool include_slot) {
-  BlockCost out;
-  const std::size_t cti = b.has_cti ? cti_index(b) : b.insns.size();
-  for (std::size_t i = 0; i < b.insns.size(); ++i) {
-    if (b.has_slot && i == b.insns.size() - 1 && !include_slot) continue;
-    const board::OpCost& c = costs.of(b.insns[i].op);
-    std::uint32_t cycles = c.cycles;
-    if (i == cti) {
-      if (exit == Exit::kUntaken) cycles = c.cycles_alt;
-      if (exit == Exit::kWorst) cycles = std::max(c.cycles, c.cycles_alt);
-    }
-    out.cycles += cycles;
-    out.energy_nj += c.energy_nj;
-  }
-  return out;
-}
-
-void add_counts(model::OpCounts& acc, const BasicBlock& b, bool include_slot,
-                std::uint64_t times = 1) {
-  for (std::size_t i = 0; i < b.insns.size(); ++i) {
-    if (b.has_slot && i == b.insns.size() - 1 && !include_slot) continue;
-    acc[static_cast<std::size_t>(b.insns[i].op)] += times;
-  }
-}
-
-Exit edge_exit(const CfgEdge& e) {
-  switch (e.kind) {
-    case CfgEdge::Kind::kUntaken: return Exit::kUntaken;
-    default: return Exit::kTaken;  // taken, call, fall-through (base cycles)
-  }
-}
-
-// A block where execution can leave the program: static halt, fault,
-// indirect jmpl, a dead end, or a conditional trap that may fire.
-bool is_exit(const BasicBlock& b) {
-  return b.halt || b.faults || b.indirect || b.edges.empty() ||
-         (b.has_cti && b.cti_op == Op::kTicc);
-}
 
 struct PathStep {
   std::uint32_t block = 0;
@@ -127,8 +40,16 @@ Shortest shortest_path(const Cfg& cfg, const board::CostModel& costs,
   if (cfg.blocks.count(cfg.entry) == 0) return best;
   dist[cfg.entry] = 0.0;
   queue.push({0.0, cfg.entry});
-  const auto weight = [&](const BlockCost& c) {
-    return energy_metric ? c.energy_nj : c.cycles;
+  // The energy metric is priced at the residual-envelope floor
+  // (block_cost_dir): the board's dynamic corrections — operand-toggle
+  // modulation, untaken-branch fetch discount — can push a real execution's
+  // energy below the base table sum, and a guaranteed lower bound must sit
+  // below all of them. Cycle residuals only ever add cycles, so the base
+  // table already floors that metric.
+  const auto weight = [&](const BasicBlock& blk, Exit exit, bool slot) {
+    return energy_metric
+               ? block_cost_dir(blk, costs, exit, slot, Dir::kLower).energy_nj
+               : block_cost(blk, costs, exit, slot).cycles;
   };
   while (!queue.empty()) {
     const auto [d, addr] = queue.top();
@@ -136,8 +57,7 @@ Shortest shortest_path(const Cfg& cfg, const board::CostModel& costs,
     if (d > dist[addr]) continue;
     const BasicBlock& b = cfg.blocks.at(addr);
     if (is_exit(b)) {
-      const double total =
-          d + weight(block_cost(b, costs, Exit::kTerminal, true));
+      const double total = d + weight(b, Exit::kTerminal, true);
       if (total < best_total) {
         best_total = total;
         best_exit = addr;
@@ -147,8 +67,7 @@ Shortest shortest_path(const Cfg& cfg, const board::CostModel& costs,
     for (int i = 0; i < static_cast<int>(b.edges.size()); ++i) {
       const CfgEdge& e = b.edges[static_cast<std::size_t>(i)];
       if (cfg.blocks.count(e.target) == 0) continue;
-      const double w =
-          weight(block_cost(b, costs, edge_exit(e), e.includes_slot));
+      const double w = weight(b, edge_exit(e), e.includes_slot);
       const double nd = d + w;
       const auto it = dist.find(e.target);
       if (it == dist.end() || nd < it->second) {
@@ -343,16 +262,23 @@ BoundsResult analyze_bounds(const Cfg& cfg, const board::CostModel& costs,
   }
 
   // Upper estimate: sum over blocks with loop multipliers.
+  const auto refuse = [&result](const char* code, std::uint32_t block,
+                                std::string human) {
+    result.upper_reason_code = code;
+    result.upper_reason_block = block;
+    result.upper_unavailable = std::move(human);
+  };
   for (const auto& [addr, b] : cfg.blocks) {
     if (b.indirect) {
-      result.upper_unavailable =
-          "indirect control flow (jmpl) at " + hex(b.cti_pc);
+      refuse("indirect-jmpl", addr,
+             "indirect control flow (jmpl) at " + hex(b.cti_pc));
       break;
     }
     for (const CfgEdge& e : b.edges) {
       if (e.kind == CfgEdge::Kind::kCall) {
-        result.upper_unavailable = "call at " + hex(b.cti_pc) +
-                                   " (interprocedural bounds unsupported)";
+        refuse("call-edge", addr,
+               "call at " + hex(b.cti_pc) +
+                   " (interprocedural bounds unsupported)");
         break;
       }
     }
@@ -372,8 +298,8 @@ BoundsResult analyze_bounds(const Cfg& cfg, const board::CostModel& costs,
     std::optional<std::uint64_t> inferred;
     if (config.infer_counted_loops) inferred = infer_counted_bound(cfg, loop);
     if (!inferred.has_value()) {
-      result.upper_unavailable =
-          "loop at " + hex(loop.header) + " has no static bound";
+      refuse("unbounded-loop", loop.header,
+             "loop at " + hex(loop.header) + " has no static bound");
       return result;
     }
     bound_of[loop.header] = *inferred;
@@ -433,8 +359,72 @@ std::string render(const BoundsResult& r) {
                   r.upper.time_s, r.upper.energy_nj);
     out += buf;
   } else {
-    out += "upper estimate unavailable: " + r.upper_unavailable + "\n";
+    // Human text first, then the machine-parseable key=value tail so both
+    // audiences get one stable line.
+    out += "upper estimate unavailable: " + r.upper_unavailable + " [reason=" +
+           r.upper_reason_code + " block=" + hex(r.upper_reason_block) + "]\n";
   }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    if (static_cast<unsigned char>(c) < 0x20) {
+      out += ' ';
+      continue;
+    }
+    out += c;
+  }
+  return out;
+}
+
+std::string vector_json(const StaticVector& v) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "{\"insns\":%llu,\"cycles\":%llu,\"time_s\":%.17g,"
+                "\"energy_nj\":%.17g}",
+                static_cast<unsigned long long>(v.insns),
+                static_cast<unsigned long long>(v.cycles), v.time_s,
+                v.energy_nj);
+  return buf;
+}
+
+}  // namespace
+
+std::string to_json(const BoundsResult& r) {
+  char buf[64];
+  std::string out = "{\"has_exit\":";
+  out += r.has_exit ? "true" : "false";
+  if (r.has_exit) {
+    out += ",\"lower\":" + vector_json(r.lower);
+    std::snprintf(buf, sizeof buf, ",\"lower_energy_nj\":%.17g",
+                  r.lower_energy_nj);
+    out += buf;
+    out += std::string(",\"lower_exact\":") + (r.lower_exact ? "true" : "false");
+  }
+  out += ",\"has_upper\":";
+  out += r.has_upper ? "true" : "false";
+  if (r.has_upper) {
+    out += ",\"upper\":" + vector_json(r.upper);
+  } else {
+    out += ",\"reason\":\"" + json_escape(r.upper_reason_code) + "\"";
+    out += ",\"block\":\"" + hex(r.upper_reason_block) + "\"";
+    out += ",\"detail\":\"" + json_escape(r.upper_unavailable) + "\"";
+  }
+  out += ",\"loops\":[";
+  for (std::size_t i = 0; i < r.loops.size(); ++i) {
+    if (i != 0) out += ",";
+    out += "{\"header\":\"" + hex(r.loops[i].header) + "\"";
+    out += ",\"bound\":" + std::to_string(r.loops[i].bound);
+    out += std::string(",\"inferred\":") +
+           (r.loops[i].inferred ? "true" : "false") + "}";
+  }
+  out += "]}";
   return out;
 }
 

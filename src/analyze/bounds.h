@@ -54,7 +54,11 @@ struct BoundsConfig {
 struct BoundsResult {
   bool has_exit = false;  // some halting/exiting path exists statically
   StaticVector lower;     // along the min-time path (zero when !has_exit)
-  double lower_energy_nj = 0.0;  // min-energy path total (may differ)
+  // Min-energy path total (may follow a different path), priced at the
+  // residual-envelope floor (cost.h block_cost_dir): a guaranteed lower
+  // bound even against the board's operand-toggle and untaken-branch energy
+  // discounts.
+  double lower_energy_nj = 0.0;
   // True when the lower path is the only execution path (every block on it
   // has at most one successor): the static vector then equals the dynamic
   // retire vector exactly.
@@ -62,7 +66,12 @@ struct BoundsResult {
 
   bool has_upper = false;
   StaticVector upper;
-  std::string upper_unavailable;  // reason when !has_upper
+  std::string upper_unavailable;  // human-readable reason when !has_upper
+  // Machine-parseable refusal: a stable reason code ("indirect-jmpl",
+  // "call-edge", "unbounded-loop") plus the offending block address. Render
+  // appends them as a `[reason=<code> block=0x...]` tail on the human line.
+  std::string upper_reason_code;
+  std::uint32_t upper_reason_block = 0;
   std::vector<LoopInfo> loops;
 };
 
@@ -79,5 +88,8 @@ inline model::Estimate fold(const StaticVector& v,
 
 // Human-readable report (used by nfplint --bounds).
 std::string render(const BoundsResult& result);
+
+// Single JSON object (no trailing newline) for nfplint --bounds --json.
+std::string to_json(const BoundsResult& result);
 
 }  // namespace nfp::analyze

@@ -1,0 +1,153 @@
+#include "analyze/callgraph.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "analyze/cost.h"
+
+namespace nfp::analyze {
+
+using isa::Op;
+
+bool is_return_block(const BasicBlock& b) {
+  if (!b.indirect || !b.has_cti) return false;
+  const isa::DecodedInsn& d = b.insns[cti_index(b)];
+  return d.op == Op::kJmpl && d.rd == isa::kRegG0 && d.rs1 == isa::kRegO7 &&
+         d.has_imm && d.imm == 8;
+}
+
+namespace {
+
+// Blocks reachable from `entry` through intra-procedural flow; classifies
+// terminators and records call sites along the way.
+FuncInfo discover_function(const Cfg& cfg, std::uint32_t entry) {
+  FuncInfo f;
+  f.entry = entry;
+  std::vector<std::uint32_t> work{entry};
+  while (!work.empty()) {
+    const std::uint32_t addr = work.back();
+    work.pop_back();
+    if (!f.blocks.insert(addr).second) continue;
+    const auto it = cfg.blocks.find(addr);
+    if (it == cfg.blocks.end()) continue;
+    const BasicBlock& b = it->second;
+
+    if (b.faults) f.fault_blocks.push_back(addr);
+    if (b.halt) f.halts.push_back(addr);
+    if (b.has_cti && b.cti_op == Op::kTicc && !b.halt && !b.faults) {
+      f.trap_blocks.push_back(addr);
+    }
+    if (b.indirect) {
+      if (is_return_block(b)) {
+        f.returns.push_back(addr);
+      } else {
+        f.bad_indirect.push_back(addr);
+      }
+      continue;  // no static successors either way
+    }
+
+    bool is_call = false;
+    for (std::size_t i = 0; i < b.edges.size(); ++i) {
+      const CfgEdge& e = b.edges[i];
+      if (e.kind == CfgEdge::Kind::kCall) {
+        is_call = true;
+        CallSite site;
+        site.block = addr;
+        site.call_pc = b.cti_pc;
+        site.callee = e.target;
+        site.cont = b.cti_pc + 8;
+        site.callee_ok = cfg.blocks.count(site.callee) != 0;
+        site.cont_ok = cfg.blocks.count(site.cont) != 0;
+        f.calls.push_back(site);
+        if (site.cont_ok) {
+          f.edges[addr].push_back(IntraEdge{site.cont, -1});
+          work.push_back(site.cont);
+        }
+      } else {
+        if (cfg.blocks.count(e.target) == 0) continue;
+        f.edges[addr].push_back(IntraEdge{e.target, static_cast<int>(i)});
+        work.push_back(e.target);
+      }
+    }
+    if (b.edges.empty() && !b.halt && !b.faults && !is_call) {
+      f.dead_ends.push_back(addr);
+    }
+  }
+  return f;
+}
+
+}  // namespace
+
+CallGraph build_callgraph(const Cfg& cfg) {
+  CallGraph cg;
+  cg.root = cfg.entry;
+  std::vector<std::uint32_t> work{cfg.entry};
+  while (!work.empty()) {
+    const std::uint32_t entry = work.back();
+    work.pop_back();
+    if (cg.functions.count(entry) != 0) continue;
+    FuncInfo f = discover_function(cfg, entry);
+    for (const CallSite& site : f.calls) {
+      if (site.callee_ok && cg.functions.count(site.callee) == 0) {
+        work.push_back(site.callee);
+      }
+    }
+    cg.functions.emplace(entry, std::move(f));
+  }
+
+  // Callee-first topological order via DFS; a gray-node hit is recursion.
+  std::map<std::uint32_t, int> color;  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::uint32_t> path;
+  const std::function<bool(std::uint32_t)> visit = [&](std::uint32_t entry) {
+    color[entry] = 1;
+    path.push_back(entry);
+    for (const CallSite& site : cg.functions.at(entry).calls) {
+      if (!site.callee_ok) continue;
+      const int c = color[site.callee];
+      if (c == 1) {
+        // Cut the recorded path down to the cycle.
+        cg.recursive = true;
+        const auto at = std::find(path.begin(), path.end(), site.callee);
+        cg.cycle.assign(at, path.end());
+        cg.cycle.push_back(site.callee);
+        return false;
+      }
+      if (c == 0 && !visit(site.callee)) return false;
+    }
+    color[entry] = 2;
+    path.pop_back();
+    cg.topo.push_back(entry);
+    return true;
+  };
+  if (!visit(cg.root)) cg.topo.clear();
+
+  // Transitive register-write summaries. Own writes first, then propagate
+  // callee masks to callers until fixpoint (handles recursion too).
+  for (auto& [entry, f] : cg.functions) {
+    for (const std::uint32_t addr : f.blocks) {
+      const auto it = cfg.blocks.find(addr);
+      if (it == cfg.blocks.end()) continue;
+      for (const isa::DecodedInsn& d : it->second.insns) {
+        if (writes_int_reg(d.op)) f.reg_writes |= 1u << (written_reg(d) & 31);
+      }
+    }
+    if (!f.calls.empty()) f.reg_writes |= 1u << isa::kRegO7;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (auto& [entry, f] : cg.functions) {
+      for (const CallSite& site : f.calls) {
+        if (!site.callee_ok) continue;
+        const std::uint32_t mask = cg.functions.at(site.callee).reg_writes;
+        if ((f.reg_writes | mask) != f.reg_writes) {
+          f.reg_writes |= mask;
+          changed = true;
+        }
+      }
+    }
+  }
+  return cg;
+}
+
+}  // namespace nfp::analyze

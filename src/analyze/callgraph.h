@@ -1,0 +1,86 @@
+// Interprocedural partitioning of a recovered CFG.
+//
+// The CFG builder gives call couples a single kCall edge and no edge to the
+// return site, and return couples (`retl` = `jmpl %o7+8, %g0`) no edges at
+// all. This module re-imposes procedure structure on top: starting from the
+// program entry, every kCall target becomes a function entry, each function
+// gets the set of blocks reachable from its entry through intra-procedural
+// edges (with call blocks flowing to their static return site `call_pc + 8`
+// instead of into the callee), and blocks are classified as returns, halts,
+// conditional traps, faults, or unanalyzable indirect exits. The result
+// feeds the bottom-up IPET solver: a callee-first topological order (or a
+// named recursion cycle), plus per-function transitive register-write
+// summaries for the counted-loop inference.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "analyze/loops.h"
+
+namespace nfp::analyze {
+
+// True for a `jmpl %o7+8, %g0` couple: the idiomatic leaf/epilogue return.
+bool is_return_block(const BasicBlock& b);
+
+struct CallSite {
+  std::uint32_t block = 0;    // call couple block start
+  std::uint32_t call_pc = 0;  // pc of the call instruction
+  std::uint32_t callee = 0;   // callee entry address
+  std::uint32_t cont = 0;     // static return site (call_pc + 8)
+  bool callee_ok = false;     // callee entry is a recovered block
+  bool cont_ok = false;       // continuation is a recovered block
+};
+
+struct IntraEdge {
+  std::uint32_t to = 0;
+  // Index into the source block's CfgEdge list; -1 marks the synthesized
+  // call-continuation edge (call block -> return site).
+  int cfg_edge = -1;
+};
+
+struct FuncInfo {
+  std::uint32_t entry = 0;
+  std::set<std::uint32_t> blocks;
+  std::map<std::uint32_t, std::vector<IntraEdge>> edges;
+  std::vector<CallSite> calls;
+  std::vector<std::uint32_t> returns;       // retl-style return couples
+  std::vector<std::uint32_t> halts;         // static `ta 0`
+  std::vector<std::uint32_t> bad_indirect;  // jmpl not shaped like a return
+  std::vector<std::uint32_t> fault_blocks;
+  std::vector<std::uint32_t> trap_blocks;   // conditional Ticc (may trap)
+  std::vector<std::uint32_t> dead_ends;     // no edges, none of the above
+  // Integer registers this function may write, including everything its
+  // callees may write (bit i = %r<i>; calls always set %o7).
+  std::uint32_t reg_writes = 0;
+
+  // Target-only view for the dominator/loop machinery.
+  SuccMap succ_view() const {
+    SuccMap out;
+    for (const std::uint32_t b : blocks) out[b];  // every block present
+    for (const auto& [b, es] : edges) {
+      for (const IntraEdge& e : es) out[b].push_back(e.to);
+    }
+    return out;
+  }
+};
+
+struct CallGraph {
+  std::uint32_t root = 0;
+  std::map<std::uint32_t, FuncInfo> functions;  // keyed by entry
+  // Callee-first order (every callee precedes its callers); empty when the
+  // graph is recursive.
+  std::vector<std::uint32_t> topo;
+  bool recursive = false;
+  std::vector<std::uint32_t> cycle;  // one recursion cycle, entry addresses
+};
+
+// Never fails: structural defects (missing callees, dead ends, bad indirect
+// exits) are recorded in the FuncInfo lists for the caller to judge.
+CallGraph build_callgraph(const Cfg& cfg);
+
+}  // namespace nfp::analyze

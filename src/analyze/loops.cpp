@@ -1,0 +1,532 @@
+#include "analyze/loops.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "analyze/cost.h"
+
+namespace nfp::analyze {
+namespace {
+
+using isa::Cond;
+using isa::Op;
+
+int order_of(const std::map<std::uint32_t, int>& order, std::uint32_t b) {
+  const auto it = order.find(b);
+  return it == order.end() ? -1 : it->second;
+}
+
+}  // namespace
+
+bool DomTree::dominates(std::uint32_t a, std::uint32_t b) const {
+  // idom chains walk strictly upward in RPO, so climb from b until we pass a.
+  std::map<std::uint32_t, int> order;
+  for (std::size_t i = 0; i < rpo.size(); ++i) {
+    order[rpo[i]] = static_cast<int>(i);
+  }
+  const int oa = order_of(order, a);
+  int ob = order_of(order, b);
+  if (oa < 0 || ob < 0) return false;
+  std::uint32_t at = b;
+  while (ob > oa) {
+    at = idom.at(at);
+    ob = order_of(order, at);
+  }
+  return at == a;
+}
+
+DomTree build_domtree(std::uint32_t entry, const SuccMap& succs) {
+  DomTree tree;
+  // Post-order DFS, then reverse. Only blocks reachable from the entry.
+  std::map<std::uint32_t, int> state;  // 0 unseen, 1 visiting, 2 done
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  std::vector<std::uint32_t> post;
+  stack.push_back({entry, 0});
+  state[entry] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto it = succs.find(b);
+    const std::size_t fan = it == succs.end() ? 0 : it->second.size();
+    if (next >= fan) {
+      post.push_back(b);
+      state[b] = 2;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t t = it->second[next++];
+    if (state[t] == 0 && succs.count(t) != 0) {
+      state[t] = 1;
+      stack.push_back({t, 0});
+    }
+  }
+  tree.rpo.assign(post.rbegin(), post.rend());
+
+  std::map<std::uint32_t, int> order;
+  for (std::size_t i = 0; i < tree.rpo.size(); ++i) {
+    order[tree.rpo[i]] = static_cast<int>(i);
+  }
+  std::map<std::uint32_t, std::vector<std::uint32_t>> preds;
+  for (const auto& [b, ts] : succs) {
+    if (order.count(b) == 0) continue;  // unreachable source
+    for (const std::uint32_t t : ts) {
+      if (order.count(t) != 0) preds[t].push_back(b);
+    }
+  }
+
+  // Cooper/Harvey/Kennedy iterative idom on RPO.
+  tree.idom[entry] = entry;
+  const auto intersect = [&](std::uint32_t a, std::uint32_t b) {
+    while (a != b) {
+      while (order.at(a) > order.at(b)) a = tree.idom.at(a);
+      while (order.at(b) > order.at(a)) b = tree.idom.at(b);
+    }
+    return a;
+  };
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const std::uint32_t b : tree.rpo) {
+      if (b == entry) continue;
+      std::uint32_t new_idom = 0;
+      bool have = false;
+      for (const std::uint32_t p : preds[b]) {
+        if (tree.idom.count(p) == 0) continue;  // not yet processed
+        new_idom = have ? intersect(new_idom, p) : p;
+        have = true;
+      }
+      if (!have) continue;
+      const auto it = tree.idom.find(b);
+      if (it == tree.idom.end() || it->second != new_idom) {
+        tree.idom[b] = new_idom;
+        changed = true;
+      }
+    }
+  }
+  return tree;
+}
+
+LoopForest find_natural_loops(std::uint32_t entry, const SuccMap& succs,
+                              const DomTree& dom) {
+  LoopForest forest;
+  std::map<std::uint32_t, std::vector<std::uint32_t>> preds;
+  for (const auto& [b, ts] : succs) {
+    for (const std::uint32_t t : ts) preds[t].push_back(b);
+  }
+
+  // DFS coloring: an edge into a gray node is retreating. Retreating with a
+  // dominating target = natural back edge; otherwise the region is
+  // irreducible.
+  std::map<std::uint32_t, int> color;  // 0 unseen, 1 on stack, 2 done
+  std::vector<std::pair<std::uint32_t, std::size_t>> stack;
+  std::map<std::uint32_t, NaturalLoop> loops;
+  stack.push_back({entry, 0});
+  color[entry] = 1;
+  while (!stack.empty()) {
+    auto& [b, next] = stack.back();
+    const auto it = succs.find(b);
+    const std::size_t fan = it == succs.end() ? 0 : it->second.size();
+    if (next >= fan) {
+      color[b] = 2;
+      stack.pop_back();
+      continue;
+    }
+    const std::uint32_t t = it->second[next++];
+    if (succs.count(t) == 0) continue;
+    const int c = color[t];
+    if (c == 1) {  // retreating edge b -> t
+      if (!dom.dominates(t, b)) {
+        if (!forest.irreducible) {
+          forest.irreducible = true;
+          forest.offender_from = b;
+          forest.offender_to = t;
+        }
+        continue;
+      }
+      NaturalLoop& loop = loops[t];
+      loop.header = t;
+      loop.latches.push_back(b);
+      loop.body.insert(t);
+      std::vector<std::uint32_t> work;
+      if (loop.body.insert(b).second) work.push_back(b);
+      while (!work.empty()) {
+        const std::uint32_t x = work.back();
+        work.pop_back();
+        for (const std::uint32_t p : preds[x]) {
+          if (succs.count(p) == 0) continue;
+          if (loop.body.insert(p).second) work.push_back(p);
+        }
+      }
+    } else if (c == 0) {
+      color[t] = 1;
+      stack.push_back({t, 0});
+    }
+  }
+
+  for (auto& [h, loop] : loops) forest.loops.push_back(std::move(loop));
+  // Nesting: the innermost enclosing loop is the smallest other body that
+  // contains this header.
+  for (std::size_t i = 0; i < forest.loops.size(); ++i) {
+    std::size_t best_size = 0;
+    for (std::size_t j = 0; j < forest.loops.size(); ++j) {
+      if (i == j) continue;
+      const NaturalLoop& outer = forest.loops[j];
+      if (outer.body.count(forest.loops[i].header) == 0) continue;
+      if (forest.loops[i].parent < 0 || outer.body.size() < best_size) {
+        forest.loops[i].parent = static_cast<int>(j);
+        best_size = outer.body.size();
+      }
+    }
+  }
+  // Depths follow parent chains (forest, so chains terminate).
+  for (auto& loop : forest.loops) {
+    int depth = 1;
+    for (int p = loop.parent; p >= 0; p = forest.loops[p].parent) ++depth;
+    loop.depth = depth;
+  }
+  return forest;
+}
+
+namespace {
+
+using Int = __int128;
+
+bool cond_supported(Cond c) {
+  switch (c) {
+    case Cond::kE: case Cond::kNe: case Cond::kG: case Cond::kGe:
+    case Cond::kL: case Cond::kLe:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Cond negate(Cond c) {
+  switch (c) {
+    case Cond::kE: return Cond::kNe;
+    case Cond::kNe: return Cond::kE;
+    case Cond::kG: return Cond::kLe;
+    case Cond::kLe: return Cond::kG;
+    case Cond::kGe: return Cond::kL;
+    case Cond::kL: return Cond::kGe;
+    default: return c;
+  }
+}
+
+const char* cond_name(Cond c) {
+  switch (c) {
+    case Cond::kE: return "e";
+    case Cond::kNe: return "ne";
+    case Cond::kG: return "g";
+    case Cond::kGe: return "ge";
+    case Cond::kL: return "l";
+    case Cond::kLe: return "le";
+    default: return "?";
+  }
+}
+
+// Smallest i >= 1 with `stay(a0 + (i-1)*d)` false; nullopt = never fails.
+std::optional<std::uint64_t> fail_index(Cond stay, Int a0, Int d) {
+  switch (stay) {
+    case Cond::kNe: {  // fails when w == 0
+      if (a0 == 0) return 1;
+      if (d == 0) return std::nullopt;
+      const Int k = (-a0) / d;
+      if (k > 0 && k * d == -a0) return static_cast<std::uint64_t>(k) + 1;
+      return std::nullopt;
+    }
+    case Cond::kE:  // stays only while w == 0
+      if (a0 != 0) return 1;
+      if (d != 0) return 2;
+      return std::nullopt;
+    case Cond::kG: {  // fails when w <= 0
+      if (a0 <= 0) return 1;
+      if (d >= 0) return std::nullopt;
+      const Int k = (a0 + (-d) - 1) / (-d);  // ceil(a0 / -d)
+      return static_cast<std::uint64_t>(k) + 1;
+    }
+    case Cond::kGe: {  // fails when w < 0
+      if (a0 < 0) return 1;
+      if (d >= 0) return std::nullopt;
+      const Int k = a0 / (-d) + 1;
+      return static_cast<std::uint64_t>(k) + 1;
+    }
+    case Cond::kL: {  // fails when w >= 0
+      if (a0 >= 0) return 1;
+      if (d <= 0) return std::nullopt;
+      const Int k = ((-a0) + d - 1) / d;  // ceil(-a0 / d)
+      return static_cast<std::uint64_t>(k) + 1;
+    }
+    case Cond::kLe: {  // fails when w > 0
+      if (a0 > 0) return 1;
+      if (d <= 0) return std::nullopt;
+      const Int k = (-a0) / d + 1;
+      return static_cast<std::uint64_t>(k) + 1;
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+// Executable instruction indices of a block: everything except a delay slot
+// that never runs. `allow_slot` additionally excludes a conditional
+// (annulled-sometimes) slot, for positions that must execute every pass.
+bool slot_index(const BasicBlock& b, std::size_t i) {
+  return b.has_slot && i == b.insns.size() - 1;
+}
+
+bool index_executes_always(const BasicBlock& b, std::size_t i) {
+  if (!slot_index(b, i)) return true;
+  if (b.slot_annulled_always) return false;
+  // The slot of an annulling conditional branch runs only on the taken path.
+  const isa::DecodedInsn& cti = b.insns[cti_index(b)];
+  return !cti.annul;
+}
+
+struct StrideInsn {
+  std::uint32_t block = 0;
+  std::size_t index = 0;
+  Int d = 0;
+};
+
+std::optional<Int> stride_of(const isa::DecodedInsn& d, std::uint8_t reg) {
+  const bool add = d.op == Op::kAdd || d.op == Op::kAddcc;
+  const bool sub = d.op == Op::kSub || d.op == Op::kSubcc;
+  if (!add && !sub) return std::nullopt;
+  if (!d.has_imm || d.rd != reg || d.rs1 != reg) return std::nullopt;
+  const Int s = add ? Int(d.imm) : -Int(d.imm);
+  if (s == 0) return std::nullopt;
+  return s;
+}
+
+}  // namespace
+
+std::optional<CountedBound> infer_counted_bound(
+    const Cfg& cfg, const DomTree& dom, const std::set<std::uint32_t>& fblocks,
+    const SuccMap& succs, const std::vector<NaturalLoop>& all_loops,
+    const NaturalLoop& loop, const ClobberMask& clobbers) {
+  const bool unique_latch = loop.latches.size() == 1;
+  const std::uint32_t latch = unique_latch ? loop.latches.front() : 0;
+
+  std::optional<CountedBound> best;
+
+  for (const std::uint32_t test_addr : loop.body) {
+    const auto tb_it = cfg.blocks.find(test_addr);
+    if (tb_it == cfg.blocks.end()) continue;
+    const BasicBlock& tb = tb_it->second;
+    if (!tb.has_cti || tb.cti_op != Op::kBicc) continue;
+    const isa::DecodedInsn& br = tb.insns[cti_index(tb)];
+
+    // Every loop iteration must pass the test: it is the header, or the
+    // unique latch (every cycle traverses a back edge).
+    if (!(test_addr == loop.header ||
+          (unique_latch && test_addr == latch))) {
+      continue;
+    }
+
+    // The branch must split into one in-loop and one exiting edge.
+    std::optional<std::uint32_t> taken_t, untaken_t;
+    for (const CfgEdge& e : tb.edges) {
+      if (e.kind == CfgEdge::Kind::kTaken) taken_t = e.target;
+      if (e.kind == CfgEdge::Kind::kUntaken) untaken_t = e.target;
+    }
+    if (!taken_t || !untaken_t) continue;
+    const bool taken_in = loop.body.count(*taken_t) != 0;
+    const bool untaken_in = loop.body.count(*untaken_t) != 0;
+    if (taken_in == untaken_in) continue;
+    const Cond br_cond = static_cast<Cond>(br.cond);
+    if (!cond_supported(br_cond)) continue;
+    const Cond stay = taken_in ? br_cond : negate(br_cond);
+
+    // Condition-code writer: last icc writer before the branch, same block.
+    const isa::DecodedInsn* cw = nullptr;
+    std::size_t cw_idx = 0;
+    for (std::size_t i = cti_index(tb); i-- > 0;) {
+      if (writes_icc(tb.insns[i].op)) {
+        cw = &tb.insns[i];
+        cw_idx = i;
+        break;
+      }
+    }
+    if (cw == nullptr) continue;
+
+    std::uint8_t reg = 0;
+    Int limit = 0;
+    bool pre = false;
+    std::optional<StrideInsn> stride;
+
+    const bool combined =
+        (cw->op == Op::kSubcc || cw->op == Op::kAddcc) && cw->has_imm &&
+        cw->rd == cw->rs1 && cw->rd != isa::kRegG0 && cw->imm != 0;
+    const bool compare = cw->op == Op::kSubcc && cw->rd == isa::kRegG0 &&
+                         cw->rs1 != isa::kRegG0 && cw->has_imm;
+    if (combined) {
+      // subcc/addcc %r, s, %r: the stride IS the cc write; the test sees the
+      // post-stride value.
+      reg = cw->rd;
+      limit = 0;
+      pre = true;
+      stride = StrideInsn{test_addr, cw_idx,
+                          cw->op == Op::kAddcc ? Int(cw->imm) : -Int(cw->imm)};
+    } else if (compare) {
+      // cmp %r, L (subcc %r, L, %g0): find the stride elsewhere.
+      reg = cw->rs1;
+      limit = Int(cw->imm);
+      // Candidate stride positions, each guaranteed to execute exactly once
+      // per test execution (soundness argument in docs/static_analysis.md):
+      //  - in the test block itself (before or after the compare; the delay
+      //    slot counts when never annulled);
+      //  - in the unique latch when the test is the header, provided the
+      //    latch's only in-loop successor is the header;
+      //  - in the header when the test is the unique latch.
+      std::vector<std::uint32_t> places{test_addr};
+      if (test_addr == loop.header && unique_latch && latch != test_addr) {
+        bool latch_only_to_header = true;
+        const auto ls = succs.find(latch);
+        if (ls != succs.end()) {
+          for (const std::uint32_t t : ls->second) {
+            if (loop.body.count(t) != 0 && t != loop.header) {
+              latch_only_to_header = false;
+            }
+          }
+        }
+        if (latch_only_to_header) places.push_back(latch);
+      }
+      if (unique_latch && test_addr == latch && loop.header != latch) {
+        places.push_back(loop.header);
+      }
+      bool ambiguous = false;
+      for (const std::uint32_t place : places) {
+        const BasicBlock& pb = cfg.blocks.at(place);
+        for (std::size_t i = 0; i < pb.insns.size(); ++i) {
+          if (place == test_addr && i == cw_idx) continue;
+          if (!index_executes_always(pb, i)) continue;
+          const auto s = stride_of(pb.insns[i], reg);
+          if (!s) continue;
+          if (stride) ambiguous = true;
+          stride = StrideInsn{place, i, *s};
+        }
+      }
+      if (!stride || ambiguous) continue;
+      // Did the test see the post-stride value?
+      if (stride->block == test_addr) {
+        pre = stride->index < cw_idx;
+      } else {
+        pre = stride->block == loop.header;  // header stride, latch test
+      }
+    } else {
+      continue;
+    }
+
+    // The stride (and, for the combined form, the cc write) must be the only
+    // in-loop writer of the counter; calls may clobber it transitively.
+    bool clean = true;
+    for (const std::uint32_t a : loop.body) {
+      const auto ab_it = cfg.blocks.find(a);
+      if (ab_it == cfg.blocks.end()) continue;
+      const BasicBlock& ab = ab_it->second;
+      if ((clobbers(ab) >> reg) & 1u) {
+        clean = false;
+        break;
+      }
+      for (std::size_t i = 0; i < ab.insns.size(); ++i) {
+        if (slot_index(ab, i) && ab.slot_annulled_always) continue;
+        const isa::DecodedInsn& d = ab.insns[i];
+        if (!writes_int_reg(d.op) || written_reg(d) != reg) continue;
+        if (a == stride->block && i == stride->index) continue;
+        clean = false;
+        break;
+      }
+      if (!clean) break;
+    }
+    if (!clean) continue;
+
+    // Initialisation: exactly one writer outside the loop (within the
+    // function), `mov K, %r`, `sethi K, %r`, or an adjacent sethi+or pair.
+    struct Writer {
+      std::uint32_t block;
+      std::size_t index;
+      const isa::DecodedInsn* insn;
+    };
+    std::vector<Writer> writers;
+    bool init_clean = true;
+    for (const std::uint32_t a : fblocks) {
+      if (loop.body.count(a) != 0) continue;
+      const auto ab_it = cfg.blocks.find(a);
+      if (ab_it == cfg.blocks.end()) continue;
+      const BasicBlock& ab = ab_it->second;
+      if ((clobbers(ab) >> reg) & 1u) {
+        init_clean = false;
+        break;
+      }
+      for (std::size_t i = 0; i < ab.insns.size(); ++i) {
+        if (slot_index(ab, i) && ab.slot_annulled_always) continue;
+        const isa::DecodedInsn& d = ab.insns[i];
+        if (writes_int_reg(d.op) && written_reg(d) == reg) {
+          writers.push_back({a, i, &d});
+        }
+      }
+    }
+    if (!init_clean) continue;
+
+    std::optional<Int> init;
+    std::uint32_t init_block = 0;
+    if (writers.size() == 1) {
+      const isa::DecodedInsn& d = *writers[0].insn;
+      const bool is_mov = (d.op == Op::kOr || d.op == Op::kAdd) &&
+                          d.rs1 == isa::kRegG0 && d.has_imm;
+      if (is_mov || d.op == Op::kSethi) {
+        init = Int(d.imm);
+        init_block = writers[0].block;
+      }
+    } else if (writers.size() == 2 && writers[0].block == writers[1].block &&
+               writers[1].index == writers[0].index + 1) {
+      // sethi %hi(K), %r; or %r, %lo(K), %r
+      const isa::DecodedInsn& hi = *writers[0].insn;
+      const isa::DecodedInsn& lo = *writers[1].insn;
+      if (hi.op == Op::kSethi && lo.op == Op::kOr && lo.rs1 == reg &&
+          lo.has_imm) {
+        init = Int(static_cast<std::int32_t>(
+            static_cast<std::uint32_t>(hi.imm) |
+            (static_cast<std::uint32_t>(lo.imm) & 0x3FFu)));
+        init_block = writers[0].block;
+      }
+    }
+    if (!init) continue;
+
+    // The initialiser must run before every loop entry: it dominates the
+    // header, and sits inside every loop that encloses this one (so outer
+    // iterations re-initialise before re-entry).
+    if (!dom.dominates(init_block, loop.header)) continue;
+    bool reinit_ok = true;
+    for (const NaturalLoop& outer : all_loops) {
+      if (outer.header == loop.header) continue;
+      if (outer.body.count(loop.header) == 0) continue;
+      if (outer.body.count(init_block) == 0) reinit_ok = false;
+    }
+    if (!reinit_ok) continue;
+
+    // Closed-form trip count on w_i = (K0 - L) + (i - 1 + pre) * d.
+    const Int d = stride->d;
+    const Int a0 = *init - limit + (pre ? d : 0);
+    const auto trips = fail_index(stay, a0, d);
+    if (!trips) continue;
+    // No-wrap guard: the counter must stay well inside int32 so the icc
+    // semantics match the integer model exactly.
+    const Int mag = (*init < 0 ? -*init : *init) +
+                    Int(*trips + 1) * (d < 0 ? -d : d);
+    if (mag >= (Int(1) << 31)) continue;
+
+    char buf[160];
+    std::snprintf(buf, sizeof buf,
+                  "counter %%r%u init %lld step %+lld stays-while %s %lld "
+                  "-> %llu header runs",
+                  reg, static_cast<long long>(*init),
+                  static_cast<long long>(d), cond_name(stay),
+                  static_cast<long long>(limit),
+                  static_cast<unsigned long long>(*trips));
+    if (!best || *trips < best->bound) best = CountedBound{*trips, buf};
+  }
+  return best;
+}
+
+}  // namespace nfp::analyze

@@ -1,0 +1,345 @@
+#include "analyze/lp.h"
+
+#include <cmath>
+#include <limits>
+
+namespace nfp::analyze::lp {
+namespace {
+
+using I128 = __int128;
+using U128 = unsigned __int128;
+
+I128 chk_add(I128 a, I128 b) {
+  I128 r;
+  if (__builtin_add_overflow(a, b, &r)) throw LpOverflow{};
+  return r;
+}
+
+I128 chk_mul(I128 a, I128 b) {
+  I128 r;
+  if (__builtin_mul_overflow(a, b, &r)) throw LpOverflow{};
+  return r;
+}
+
+I128 chk_neg(I128 a) {
+  I128 r;
+  if (__builtin_sub_overflow(I128{0}, a, &r)) throw LpOverflow{};
+  return r;
+}
+
+U128 uabs(I128 a) { return a < 0 ? U128(0) - U128(a) : U128(a); }
+
+U128 gcd_u(U128 a, U128 b) {
+  while (b != 0) {
+    const U128 t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+void Rat::normalize() {
+  if (d_ == 0) throw LpOverflow{};
+  if (d_ < 0) {
+    n_ = chk_neg(n_);
+    d_ = chk_neg(d_);
+  }
+  if (n_ == 0) {
+    d_ = 1;
+    return;
+  }
+  const U128 g = gcd_u(uabs(n_), uabs(d_));
+  if (g > 1) {
+    n_ /= static_cast<I128>(g);
+    d_ /= static_cast<I128>(g);
+  }
+}
+
+Rat Rat::frac(long long num, long long den) { return Rat(num, den); }
+
+Rat Rat::operator+(const Rat& o) const {
+  // Common-denominator form with gcd pre-reduction to slow coefficient
+  // growth inside the tableau.
+  const U128 g = gcd_u(uabs(d_), uabs(o.d_));
+  const I128 dg = d_ / static_cast<I128>(g);
+  const I128 odg = o.d_ / static_cast<I128>(g);
+  return Rat(chk_add(chk_mul(n_, odg), chk_mul(o.n_, dg)), chk_mul(d_, odg));
+}
+
+Rat Rat::operator-(const Rat& o) const { return *this + (-o); }
+
+Rat Rat::operator-() const { return Rat(chk_neg(n_), d_); }
+
+Rat Rat::operator*(const Rat& o) const {
+  const U128 g1 = gcd_u(uabs(n_), uabs(o.d_));
+  const U128 g2 = gcd_u(uabs(o.n_), uabs(d_));
+  const I128 a = n_ / static_cast<I128>(g1 == 0 ? 1 : g1);
+  const I128 b = o.n_ / static_cast<I128>(g2 == 0 ? 1 : g2);
+  const I128 c = d_ / static_cast<I128>(g2 == 0 ? 1 : g2);
+  const I128 e = o.d_ / static_cast<I128>(g1 == 0 ? 1 : g1);
+  return Rat(chk_mul(a, b), chk_mul(c, e));
+}
+
+Rat Rat::operator/(const Rat& o) const {
+  if (o.n_ == 0) throw LpOverflow{};
+  return *this * Rat(o.d_, o.n_);
+}
+
+bool Rat::operator<(const Rat& o) const {
+  // Denominators are positive after normalization.
+  return chk_mul(n_, o.d_) < chk_mul(o.n_, d_);
+}
+
+double Rat::to_double() const {
+  return static_cast<double>(static_cast<long double>(n_) /
+                             static_cast<long double>(d_));
+}
+
+double Rat::to_double_dir(bool round_up) const {
+  const double v = to_double();
+  if (!std::isfinite(v)) return v;
+  // Exact check: decompose v = m * 2^(exp-53) with a 53-bit integer m and
+  // compare as rationals. Values outside the reconstructible range are
+  // treated as inexact and nudged one ulp in the safe direction.
+  int exp = 0;
+  const double frac = std::frexp(v, &exp);
+  const auto m = static_cast<long long>(std::ldexp(frac, 53));  // |m| < 2^53
+  const int e2 = exp - 53;
+  bool exact = false;
+  if (e2 >= 0 && e2 < 64) {
+    I128 num = I128(m);
+    bool of = false;
+    for (int i = 0; i < e2 && !of; ++i) {
+      if (__builtin_mul_overflow(num, I128{2}, &num)) of = true;
+    }
+    exact = !of && d_ == 1 && num == n_;
+  } else if (e2 < 0 && e2 > -127) {
+    // v = m / 2^(-e2): cross-multiply m * d_ == n_ * 2^(-e2).
+    I128 den = 1;
+    bool of = false;
+    for (int i = 0; i < -e2 && !of; ++i) {
+      if (__builtin_mul_overflow(den, I128{2}, &den)) of = true;
+    }
+    I128 lhs = 0, rhs = 0;
+    if (!of) {
+      of = __builtin_mul_overflow(I128(m), d_, &lhs) ||
+           __builtin_mul_overflow(n_, den, &rhs);
+    }
+    exact = !of && lhs == rhs;
+  }
+  if (exact) return v;
+  return std::nextafter(
+      v, round_up ? std::numeric_limits<double>::infinity()
+                  : -std::numeric_limits<double>::infinity());
+}
+
+namespace {
+
+constexpr std::uint64_t kMaxPivots = 200'000;
+
+struct Tableau {
+  int cols = 0;                        // without rhs
+  std::vector<std::vector<Rat>> t;     // m x (cols + 1)
+  std::vector<int> basis;
+
+  // One simplex run: maximize `cost` (size cols) from the current basis.
+  // `limit_col` bounds entering candidates (excludes artificials in
+  // phase 2). Returns status; rhs column holds the vertex.
+  LpStatus run(const std::vector<Rat>& cost, int limit_col,
+               std::uint64_t& pivots) {
+    const int m = static_cast<int>(t.size());
+    const int rhs = cols;
+    // Reduced-cost row and objective for the current basis.
+    std::vector<Rat> z = cost;
+    Rat obj = 0;
+    for (int i = 0; i < m; ++i) {
+      const Rat cb = cost[static_cast<std::size_t>(basis[i])];
+      if (cb.is_zero()) continue;
+      for (int j = 0; j < cols; ++j) {
+        if (!t[i][j].is_zero()) z[j] = z[j] - cb * t[i][j];
+      }
+      obj = obj + cb * t[i][rhs];
+    }
+    const std::uint64_t bland_after =
+        pivots + 4ull * static_cast<std::uint64_t>(m + cols);
+    while (true) {
+      if (pivots > kMaxPivots) return LpStatus::kIterLimit;
+      // Entering column: Dantzig early, Bland once we risk cycling.
+      const bool bland = pivots > bland_after;
+      int enter = -1;
+      for (int j = 0; j < limit_col; ++j) {
+        if (z[j].sign() <= 0) continue;
+        if (enter < 0 || (!bland && z[j] > z[enter])) enter = j;
+        if (bland) break;
+      }
+      if (enter < 0) return LpStatus::kOptimal;
+      // Ratio test; ties prefer the smallest basis index (Bland-safe).
+      int leave = -1;
+      Rat best;
+      for (int i = 0; i < m; ++i) {
+        if (t[i][enter].sign() <= 0) continue;
+        const Rat ratio = t[i][rhs] / t[i][enter];
+        if (leave < 0 || ratio < best ||
+            (ratio == best && basis[i] < basis[leave])) {
+          leave = i;
+          best = ratio;
+        }
+      }
+      if (leave < 0) return LpStatus::kUnbounded;
+      pivot(leave, enter, &z, &obj);
+      ++pivots;
+    }
+  }
+
+  void pivot(int r, int c, std::vector<Rat>* z, Rat* obj) {
+    const int rhs = cols;
+    const Rat p = t[r][c];
+    for (int j = 0; j <= rhs; ++j) t[r][j] = t[r][j] / p;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (static_cast<int>(i) == r || t[i][c].is_zero()) continue;
+      const Rat f = t[i][c];
+      for (int j = 0; j <= rhs; ++j) {
+        if (!t[r][j].is_zero()) t[i][j] = t[i][j] - f * t[r][j];
+      }
+      t[i][c] = 0;  // keep the unit column exact
+    }
+    if (z != nullptr && !(*z)[c].is_zero()) {
+      const Rat f = (*z)[c];
+      for (int j = 0; j < rhs; ++j) {
+        if (!t[r][j].is_zero()) (*z)[j] = (*z)[j] - f * t[r][j];
+      }
+      *obj = *obj + f * t[r][rhs];
+      (*z)[c] = 0;
+    }
+    basis[static_cast<std::size_t>(r)] = c;
+  }
+};
+
+}  // namespace
+
+Simplex::Simplex(const Problem& p) {
+  n_ = p.num_vars;
+  const int m = static_cast<int>(p.rows.size());
+
+  // Normalize rhs >= 0; count auxiliary columns. A flipped <= becomes a >=
+  // (surplus + artificial); equalities always get an artificial.
+  enum class K { kLe, kGe, kEq };
+  std::vector<K> kind(p.rows.size());
+  int slacks = 0, arts = 0;
+  for (std::size_t r = 0; r < p.rows.size(); ++r) {
+    const bool neg = p.rows[r].rhs.sign() < 0;
+    if (p.rows[r].kind == RowKind::kEq) {
+      kind[r] = K::kEq;
+      ++arts;
+    } else if (neg) {
+      kind[r] = K::kGe;
+      ++slacks;
+      ++arts;
+    } else {
+      kind[r] = K::kLe;
+      ++slacks;
+    }
+  }
+  art_begin_ = n_ + slacks;
+  cols_ = art_begin_ + arts;
+
+  Tableau tab;
+  tab.cols = cols_;
+  tab.t.assign(p.rows.size(), std::vector<Rat>(cols_ + 1, Rat(0)));
+  tab.basis.assign(p.rows.size(), 0);
+  int next_slack = n_, next_art = art_begin_;
+  for (std::size_t r = 0; r < p.rows.size(); ++r) {
+    const Row& row = p.rows[r];
+    const bool neg = row.rhs.sign() < 0;
+    for (const Term& term : row.terms) {
+      Rat c = neg ? -term.coef : term.coef;
+      tab.t[r][term.var] = tab.t[r][term.var] + c;
+    }
+    tab.t[r][cols_] = neg ? -row.rhs : row.rhs;
+    switch (kind[r]) {
+      case K::kLe:
+        tab.t[r][next_slack] = 1;
+        tab.basis[r] = next_slack++;
+        break;
+      case K::kGe:
+        tab.t[r][next_slack] = -1;
+        ++next_slack;
+        tab.t[r][next_art] = 1;
+        tab.basis[r] = next_art++;
+        break;
+      case K::kEq:
+        tab.t[r][next_art] = 1;
+        tab.basis[r] = next_art++;
+        break;
+    }
+  }
+
+  // Phase 1: maximize -(sum of artificials).
+  std::vector<Rat> cost(cols_, Rat(0));
+  for (int j = art_begin_; j < cols_; ++j) cost[j] = Rat(-1);
+  const LpStatus st = tab.run(cost, cols_, phase1_pivots_);
+  if (st != LpStatus::kOptimal) {
+    feasible_ = false;  // iteration blowup on phase 1: treat as failure
+    return;
+  }
+  Rat art_sum = 0;
+  for (int i = 0; i < m; ++i) {
+    if (tab.basis[i] >= art_begin_) art_sum = art_sum + tab.t[i][cols_];
+  }
+  if (!art_sum.is_zero()) {
+    feasible_ = false;
+    return;
+  }
+  // Drive zero-valued artificial basics out where possible; fully-zero rows
+  // are redundant and stay inert (no non-artificial column ever re-enters
+  // them, so their rhs remains 0).
+  for (int i = 0; i < m; ++i) {
+    if (tab.basis[i] < art_begin_) continue;
+    for (int j = 0; j < art_begin_; ++j) {
+      if (!tab.t[i][j].is_zero()) {
+        tab.pivot(i, j, nullptr, nullptr);
+        ++phase1_pivots_;
+        break;
+      }
+    }
+  }
+  feasible_ = true;
+  tab_ = std::move(tab.t);
+  basis_ = std::move(tab.basis);
+}
+
+Solution Simplex::optimize(const std::vector<Rat>& objective,
+                           bool maximize) const {
+  Solution sol;
+  if (!feasible_) {
+    sol.status = LpStatus::kInfeasible;
+    return sol;
+  }
+  Tableau tab;
+  tab.cols = cols_;
+  tab.t = tab_;
+  tab.basis = basis_;
+  std::vector<Rat> cost(cols_, Rat(0));
+  for (int j = 0; j < n_; ++j) {
+    cost[j] = maximize ? objective[static_cast<std::size_t>(j)]
+                       : -objective[static_cast<std::size_t>(j)];
+  }
+  sol.status = tab.run(cost, art_begin_, sol.pivots);
+  if (sol.status != LpStatus::kOptimal) return sol;
+  sol.x.assign(static_cast<std::size_t>(n_), Rat(0));
+  Rat obj = 0;
+  for (std::size_t i = 0; i < tab.t.size(); ++i) {
+    const int b = tab.basis[i];
+    if (b < n_) sol.x[static_cast<std::size_t>(b)] = tab.t[i][cols_];
+  }
+  for (int j = 0; j < n_; ++j) {
+    obj = obj + objective[static_cast<std::size_t>(j)] *
+                    sol.x[static_cast<std::size_t>(j)];
+  }
+  sol.objective = obj;
+  return sol;
+}
+
+}  // namespace nfp::analyze::lp

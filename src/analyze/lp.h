@@ -1,0 +1,108 @@
+// A small in-tree LP core for the IPET flow solver: two-phase primal
+// simplex on a dense tableau over exact rationals.
+//
+// Scope is deliberately narrow — CFG-sized problems (hundreds of variables,
+// hundreds of rows), non-negative variables, equality and <= rows. Exact
+// __int128 rational arithmetic removes every numerical-tolerance question
+// from the soundness argument: an optimum is an exact vertex, and the only
+// failure modes are structural (infeasible/unbounded) or resource-bounded
+// (coefficient overflow, iteration cap), both of which the caller turns
+// into an explicit refusal instead of a wrong bound.
+//
+// Phase 1 (artificial minimisation) depends only on the constraint set, so
+// one Simplex instance solves many objectives over the same polytope — the
+// IPET solver runs 2 senses x 3 metrics per function from a single phase-1
+// basis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace nfp::analyze::lp {
+
+// Thrown when __int128 rational arithmetic would overflow; callers catch it
+// and refuse the analysis rather than round.
+struct LpOverflow {};
+
+class Rat {
+ public:
+  Rat() = default;
+  Rat(long long n) : n_(n) {}  // NOLINT(google-explicit-constructor)
+  static Rat frac(long long num, long long den);
+
+  Rat operator+(const Rat& o) const;
+  Rat operator-(const Rat& o) const;
+  Rat operator*(const Rat& o) const;
+  Rat operator/(const Rat& o) const;
+  Rat operator-() const;
+  bool operator==(const Rat& o) const { return n_ == o.n_ && d_ == o.d_; }
+  bool operator!=(const Rat& o) const { return !(*this == o); }
+  bool operator<(const Rat& o) const;
+  bool operator>(const Rat& o) const { return o < *this; }
+  bool operator<=(const Rat& o) const { return !(o < *this); }
+  bool operator>=(const Rat& o) const { return !(*this < o); }
+
+  bool is_zero() const { return n_ == 0; }
+  int sign() const { return n_ == 0 ? 0 : (n_ < 0 ? -1 : 1); }
+  double to_double() const;
+  // Directed conversion: the returned double is guaranteed >= (round_up)
+  // or <= (!round_up) the exact rational; exact values convert exactly.
+  double to_double_dir(bool round_up) const;
+
+ private:
+  Rat(__int128 n, __int128 d) : n_(n), d_(d) { normalize(); }
+  void normalize();
+  __int128 n_ = 0;
+  __int128 d_ = 1;
+};
+
+struct Term {
+  int var = 0;
+  Rat coef;
+};
+
+enum class RowKind { kEq, kLe };
+
+struct Row {
+  RowKind kind = RowKind::kEq;
+  std::vector<Term> terms;
+  Rat rhs;
+};
+
+struct Problem {
+  int num_vars = 0;  // structural variables, all >= 0
+  std::vector<Row> rows;
+};
+
+enum class LpStatus { kOptimal, kInfeasible, kUnbounded, kIterLimit };
+
+struct Solution {
+  LpStatus status = LpStatus::kInfeasible;
+  Rat objective;
+  std::vector<Rat> x;  // structural variable values (only when kOptimal)
+  std::uint64_t pivots = 0;
+};
+
+class Simplex {
+ public:
+  // Runs phase 1. May throw LpOverflow.
+  explicit Simplex(const Problem& p);
+
+  bool feasible() const { return feasible_; }
+  std::uint64_t phase1_pivots() const { return phase1_pivots_; }
+
+  // Optimizes `objective` (size num_vars) over the phase-1 polytope. Each
+  // call restarts from the stored phase-1 basis. May throw LpOverflow.
+  Solution optimize(const std::vector<Rat>& objective, bool maximize) const;
+
+ private:
+  int n_ = 0;         // structural columns
+  int cols_ = 0;      // total columns (structural + slack + artificial)
+  int art_begin_ = 0;  // first artificial column
+  bool feasible_ = false;
+  std::uint64_t phase1_pivots_ = 0;
+  std::vector<std::vector<Rat>> tab_;  // m rows x (cols_ + 1), rhs last
+  std::vector<int> basis_;             // column basic in each row
+};
+
+}  // namespace nfp::analyze::lp

@@ -1,0 +1,51 @@
+// Per-PC execution profiling for the IPET absolute loop totals.
+//
+// Data-dependent loops (image-driven kernels) defeat the counted-loop
+// inference; their escape hatch is an absolute header-execution total from
+// one instrumented reference run: the ISS retires instruction by instruction
+// into a dense per-PC counter, and the count at a block's start address IS
+// the number of times that block (and hence a loop headed there) executed.
+// Applying a whole-program total per function invocation over-approximates,
+// which keeps the IPET upper bound sound; the profiled execution itself is
+// always a feasible flow, so its ground truth stays inside the interval.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "analyze/cfg.h"
+#include "asmkit/program.h"
+
+namespace nfp::analyze {
+
+struct PcProfile {
+  bool halted = false;
+  std::uint64_t instret = 0;
+  std::uint32_t base = 0;               // image base of `counts`
+  std::vector<std::uint64_t> counts;    // one slot per word in the image
+
+  std::uint64_t at(std::uint32_t pc) const {
+    const std::uint32_t off = pc - base;
+    if (pc < base || (off >> 2) >= counts.size()) return 0;
+    return counts[off >> 2];
+  }
+};
+
+// Runs the program to completion on the stepping ISS with the given input
+// blocks poked into RAM first (same sequence as the measurement campaign).
+PcProfile profile_pcs(
+    const asmkit::Program& program,
+    const std::vector<std::pair<std::uint32_t, std::vector<std::uint8_t>>>&
+        inputs = {},
+    std::uint64_t max_insns = 20'000'000'000ull);
+
+// Execution total of every recovered block (keyed by start address), ready
+// to drop into IpetConfig::loop_totals. Blocks the run never reached map to
+// zero — that is load-bearing: a zero total pins dead loops (and whole dead
+// callees) to zero flow instead of leaving them unbounded.
+std::map<std::uint32_t, std::uint64_t> block_totals(const Cfg& cfg,
+                                                    const PcProfile& profile);
+
+}  // namespace nfp::analyze

@@ -1,0 +1,19 @@
+! Interprocedural fixture: a counted loop that calls a leaf helper each
+! iteration. The callee is solved first and its summary is inlined on the
+! synthesized call-continuation edge; the loop counter survives the call
+! because the callee's transitive write mask ({%g5, %o7}) misses %g3.
+  .text
+_start:
+  mov 5, %g3
+loop:
+  call helper
+  nop
+  subcc %g3, 1, %g3
+  bne loop
+  nop
+  ta 0
+  nop
+helper:
+  add %g5, 1, %g5
+  retl
+  nop

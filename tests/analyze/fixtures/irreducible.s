@@ -1,0 +1,17 @@
+! Irreducible region: the cycle head <-> mid has two entries (the branch can
+! jump straight into mid), so neither block dominates the other and the
+! retreating edge is not a natural back edge. IPET must refuse with
+! reason=irreducible-loop naming the offending edge.
+  .text
+_start:
+  cmp %g1, 0
+  be mid
+  nop
+head:
+  add %g2, 1, %g2
+mid:
+  subcc %g3, 1, %g3
+  bne head
+  nop
+  ta 0
+  nop

@@ -1,0 +1,18 @@
+! Two nested counted loops: the inner counter is re-initialised inside the
+! outer body (the inference's re-init rule), so both bounds are provable.
+! Inner: 4 header runs per entry; outer: 3 -> the inner body retires 12x.
+  .text
+_start:
+  mov 3, %g1
+outer:
+  mov 4, %g2
+inner:
+  add %g4, 1, %g4
+  subcc %g2, 1, %g2
+  bne inner
+  nop
+  subcc %g1, 1, %g1
+  bne outer
+  nop
+  ta 0
+  nop

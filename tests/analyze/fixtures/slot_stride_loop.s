@@ -1,0 +1,14 @@
+! Counted loop whose stride sits in the branch delay slot. The slot of a
+! non-annulling conditional executes on both the taken and untaken paths,
+! so the stride still runs exactly once per test: the inference must accept
+! it (6 header runs: %g2 walks 6 -> 1 against limit 1).
+  .text
+_start:
+  mov 6, %g2
+loop:
+  add %g4, 2, %g4
+  cmp %g2, 1
+  bne loop
+  sub %g2, 1, %g2
+  ta 0
+  nop

@@ -1,0 +1,16 @@
+! Zero-trip counted loop: the header test fails on the very first pass
+! (counter initialised to the exit value), so the body never runs. The
+! inference still bounds the header at one execution.
+  .text
+_start:
+  mov 0, %g2
+loop:
+  cmp %g2, 0
+  be done
+  nop
+  sub %g2, 1, %g2
+  ba loop
+  nop
+done:
+  ta 0
+  nop

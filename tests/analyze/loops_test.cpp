@@ -1,0 +1,280 @@
+// Dominator/loop-forest and counted-loop inference tests, including the
+// widened shapes (either direction, separate stride + compare, delay-slot
+// strides) and the refusal edge cases (irreducible regions, clobbers).
+#include "analyze/loops.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "analyze/cfg.h"
+#include "analyze/cost.h"
+#include "asmkit/assembler.h"
+#include "sim/memmap.h"
+
+#ifndef NFP_ANALYZE_FIXTURE_DIR
+#error "NFP_ANALYZE_FIXTURE_DIR must point at tests/analyze/fixtures"
+#endif
+
+namespace nfp::analyze {
+namespace {
+
+std::string fixture(const std::string& name) {
+  std::ifstream in(std::string(NFP_ANALYZE_FIXTURE_DIR) + "/" + name);
+  EXPECT_TRUE(in.is_open()) << name;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Cfg cfg_of(const std::string& source) {
+  return build_cfg(asmkit::assemble(source, sim::kTextBase));
+}
+
+// Whole-CFG successor view (valid for call-free programs).
+SuccMap succs_of(const Cfg& cfg) {
+  SuccMap out;
+  for (const auto& [addr, b] : cfg.blocks) {
+    out[addr];
+    for (const CfgEdge& e : b.edges) {
+      if (cfg.blocks.count(e.target) != 0) out[addr].push_back(e.target);
+    }
+  }
+  return out;
+}
+
+std::set<std::uint32_t> all_blocks(const Cfg& cfg) {
+  std::set<std::uint32_t> out;
+  for (const auto& [addr, b] : cfg.blocks) out.insert(addr);
+  return out;
+}
+
+const ClobberMask kNoClobbers = [](const BasicBlock&) -> std::uint32_t {
+  return 0;
+};
+
+std::optional<CountedBound> infer_first_loop(const Cfg& cfg,
+                                             const ClobberMask& clobbers) {
+  const SuccMap succs = succs_of(cfg);
+  const DomTree dom = build_domtree(cfg.entry, succs);
+  const LoopForest forest = find_natural_loops(cfg.entry, succs, dom);
+  EXPECT_FALSE(forest.irreducible);
+  EXPECT_EQ(forest.loops.size(), 1u);
+  if (forest.loops.size() != 1) return std::nullopt;
+  return infer_counted_bound(cfg, dom, all_blocks(cfg), succs, forest.loops,
+                             forest.loops[0], clobbers);
+}
+
+TEST(DomTree, DiamondIdoms) {
+  // 1 -> {2, 3} -> 4: the entry dominates everything, the join only itself.
+  SuccMap g;
+  g[1] = {2, 3};
+  g[2] = {4};
+  g[3] = {4};
+  g[4] = {};
+  const DomTree dom = build_domtree(1, g);
+  EXPECT_EQ(dom.idom.at(4), 1u);
+  EXPECT_TRUE(dom.dominates(1, 4));
+  EXPECT_FALSE(dom.dominates(2, 4));
+  EXPECT_FALSE(dom.dominates(3, 4));
+  EXPECT_TRUE(dom.dominates(4, 4));
+  EXPECT_FALSE(dom.dominates(4, 1));
+}
+
+TEST(DomTree, UnreachableBlocksDominateNothing) {
+  SuccMap g;
+  g[1] = {2};
+  g[2] = {};
+  g[9] = {1};  // unreachable from the entry
+  const DomTree dom = build_domtree(1, g);
+  EXPECT_FALSE(dom.dominates(9, 2));
+  EXPECT_FALSE(dom.dominates(1, 9));
+  EXPECT_EQ(dom.rpo.size(), 2u);
+}
+
+TEST(LoopForest, NestedLoopsGetParentAndDepth) {
+  // 1 -> 2 -> 3 -> 2 (inner), 3 -> 4 -> 1? No: outer latch 4 -> 2's
+  // dominator 1... keep it simple: outer header 2, inner header 3.
+  SuccMap g;
+  g[1] = {2};
+  g[2] = {3};
+  g[3] = {3, 4};  // inner self-loop at 3
+  g[4] = {2, 5};  // outer back edge 4 -> 2
+  g[5] = {};
+  const DomTree dom = build_domtree(1, g);
+  const LoopForest forest = find_natural_loops(1, g, dom);
+  ASSERT_FALSE(forest.irreducible);
+  ASSERT_EQ(forest.loops.size(), 2u);
+  const NaturalLoop& outer = forest.loops[0].header == 2 ? forest.loops[0]
+                                                         : forest.loops[1];
+  const NaturalLoop& inner = forest.loops[0].header == 3 ? forest.loops[0]
+                                                         : forest.loops[1];
+  EXPECT_EQ(outer.header, 2u);
+  EXPECT_EQ(inner.header, 3u);
+  EXPECT_EQ(outer.depth, 1);
+  EXPECT_EQ(inner.depth, 2);
+  EXPECT_GE(inner.parent, 0);
+  EXPECT_EQ(forest.loops[static_cast<std::size_t>(inner.parent)].header, 2u);
+  EXPECT_TRUE(outer.body.count(3) != 0);
+  EXPECT_TRUE(outer.body.count(4) != 0);
+  EXPECT_TRUE(inner.body.count(4) == 0);
+}
+
+TEST(LoopForest, TwoEntryRegionIsIrreducible) {
+  // 1 branches to both 2 and 3; 2 <-> 3 form a cycle with two entries.
+  SuccMap g;
+  g[1] = {2, 3};
+  g[2] = {3};
+  g[3] = {2, 4};
+  g[4] = {};
+  const DomTree dom = build_domtree(1, g);
+  const LoopForest forest = find_natural_loops(1, g, dom);
+  EXPECT_TRUE(forest.irreducible);
+  // The offender is a retreating edge inside {2, 3}.
+  EXPECT_TRUE(forest.offender_to == 2 || forest.offender_to == 3);
+}
+
+TEST(LoopForest, IrreducibleFixture) {
+  const Cfg cfg = cfg_of(fixture("irreducible.s"));
+  ASSERT_FALSE(cfg.has_errors());
+  const SuccMap succs = succs_of(cfg);
+  const DomTree dom = build_domtree(cfg.entry, succs);
+  const LoopForest forest = find_natural_loops(cfg.entry, succs, dom);
+  EXPECT_TRUE(forest.irreducible);
+}
+
+TEST(CountedBound, DownCountingCombinedForm) {
+  const Cfg cfg = cfg_of(R"(
+_start:
+  mov 12, %g2
+loop:
+  add %g3, 5, %g3
+  subcc %g2, 3, %g2
+  bne loop
+  nop
+  ta 0
+  nop
+)");
+  const auto bound = infer_first_loop(cfg, kNoClobbers);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->bound, 4u);
+  EXPECT_NE(bound->detail.find("step -3"), std::string::npos);
+}
+
+TEST(CountedBound, UpCountingCompareForm) {
+  const Cfg cfg = cfg_of(R"(
+_start:
+  mov 0, %g1
+loop:
+  add %g1, 1, %g1
+  cmp %g1, 10
+  bl loop
+  nop
+  ta 0
+  nop
+)");
+  const auto bound = infer_first_loop(cfg, kNoClobbers);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->bound, 10u);
+}
+
+TEST(CountedBound, StrideInDelaySlotFixture) {
+  const Cfg cfg = cfg_of(fixture("slot_stride_loop.s"));
+  ASSERT_FALSE(cfg.has_errors());
+  const auto bound = infer_first_loop(cfg, kNoClobbers);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->bound, 6u);
+}
+
+TEST(CountedBound, ZeroTripFixtureBoundsHeaderAtOne) {
+  const Cfg cfg = cfg_of(fixture("zero_trip.s"));
+  ASSERT_FALSE(cfg.has_errors());
+  const auto bound = infer_first_loop(cfg, kNoClobbers);
+  ASSERT_TRUE(bound.has_value());
+  EXPECT_EQ(bound->bound, 1u);  // the test runs once, the body never
+}
+
+TEST(CountedBound, NestedFixtureBoundsBothLevels) {
+  const Cfg cfg = cfg_of(fixture("nested_counted.s"));
+  ASSERT_FALSE(cfg.has_errors());
+  const SuccMap succs = succs_of(cfg);
+  const DomTree dom = build_domtree(cfg.entry, succs);
+  const LoopForest forest = find_natural_loops(cfg.entry, succs, dom);
+  ASSERT_FALSE(forest.irreducible);
+  ASSERT_EQ(forest.loops.size(), 2u);
+  for (const NaturalLoop& loop : forest.loops) {
+    const auto bound = infer_counted_bound(cfg, dom, all_blocks(cfg), succs,
+                                           forest.loops, loop, kNoClobbers);
+    ASSERT_TRUE(bound.has_value()) << hex(loop.header);
+    EXPECT_EQ(bound->bound, loop.depth == 2 ? 4u : 3u);
+  }
+}
+
+TEST(CountedBound, RegisterStrideIsRefused) {
+  const Cfg cfg = cfg_of(R"(
+_start:
+  mov 8, %g1
+  mov 2, %g2
+loop:
+  subcc %g1, %g2, %g1
+  bne loop
+  nop
+  ta 0
+  nop
+)");
+  EXPECT_FALSE(infer_first_loop(cfg, kNoClobbers).has_value());
+}
+
+TEST(CountedBound, TwoStridesAreAmbiguous) {
+  const Cfg cfg = cfg_of(R"(
+_start:
+  mov 9, %g1
+loop:
+  sub %g1, 1, %g1
+  sub %g1, 2, %g1
+  cmp %g1, 0
+  bg loop
+  nop
+  ta 0
+  nop
+)");
+  EXPECT_FALSE(infer_first_loop(cfg, kNoClobbers).has_value());
+}
+
+TEST(CountedBound, ClobberMaskVetoesTheCounter) {
+  const Cfg cfg = cfg_of(R"(
+_start:
+  mov 12, %g2
+loop:
+  subcc %g2, 3, %g2
+  bne loop
+  nop
+  ta 0
+  nop
+)");
+  ASSERT_TRUE(infer_first_loop(cfg, kNoClobbers).has_value());
+  // The same loop with every block reported as clobbering %g2 must refuse.
+  const ClobberMask clobber_g2 = [](const BasicBlock&) -> std::uint32_t {
+    return 1u << 2;
+  };
+  EXPECT_FALSE(infer_first_loop(cfg, clobber_g2).has_value());
+}
+
+TEST(CountedBound, MissingInitialiserIsRefused) {
+  // No write to %g2 outside the loop: the trip count is input-dependent.
+  const Cfg cfg = cfg_of(R"(
+_start:
+  nop
+loop:
+  subcc %g2, 3, %g2
+  bne loop
+  nop
+  ta 0
+  nop
+)");
+  EXPECT_FALSE(infer_first_loop(cfg, kNoClobbers).has_value());
+}
+
+}  // namespace
+}  // namespace nfp::analyze

@@ -1,0 +1,188 @@
+// Exact-rational simplex tests: optima as exact fractions, phase-1 reuse
+// across objectives, infeasible/unbounded detection, directed rounding.
+#include "analyze/lp.h"
+
+#include <gtest/gtest.h>
+
+namespace nfp::analyze::lp {
+namespace {
+
+Row le(std::vector<Term> terms, Rat rhs) {
+  Row r;
+  r.kind = RowKind::kLe;
+  r.terms = std::move(terms);
+  r.rhs = rhs;
+  return r;
+}
+
+Row eq(std::vector<Term> terms, Rat rhs) {
+  Row r;
+  r.kind = RowKind::kEq;
+  r.terms = std::move(terms);
+  r.rhs = rhs;
+  return r;
+}
+
+TEST(Rat, ArithmeticAndComparison) {
+  const Rat half = Rat::frac(1, 2);
+  const Rat third = Rat::frac(1, 3);
+  EXPECT_EQ(half + third, Rat::frac(5, 6));
+  EXPECT_EQ(half - third, Rat::frac(1, 6));
+  EXPECT_EQ(half * third, Rat::frac(1, 6));
+  EXPECT_EQ(half / third, Rat::frac(3, 2));
+  EXPECT_TRUE(third < half);
+  EXPECT_TRUE(-half < third);
+  EXPECT_EQ(Rat::frac(2, 4), half);  // normalized
+  EXPECT_EQ(Rat::frac(-3, -6), half);
+  EXPECT_EQ(Rat(0).sign(), 0);
+  EXPECT_EQ((-half).sign(), -1);
+}
+
+TEST(Rat, DirectedDoubleConversion) {
+  // 1/2 is exact: both directions return it unchanged.
+  EXPECT_EQ(Rat::frac(1, 2).to_double_dir(true), 0.5);
+  EXPECT_EQ(Rat::frac(1, 2).to_double_dir(false), 0.5);
+  EXPECT_EQ(Rat(42).to_double_dir(true), 42.0);
+  EXPECT_EQ(Rat(42).to_double_dir(false), 42.0);
+  // 1/3 is not: the directed values must bracket the exact one.
+  const double up = Rat::frac(1, 3).to_double_dir(true);
+  const double down = Rat::frac(1, 3).to_double_dir(false);
+  EXPECT_LT(down, up);
+  EXPECT_GE(up, 1.0 / 3.0);
+  EXPECT_LE(down, 1.0 / 3.0);
+}
+
+TEST(Simplex, MaxAndMinOverOnePhase1Basis) {
+  // max/min x0 + x1  s.t.  x0 + x1 <= 3, x0 <= 2, x >= 0.
+  Problem p;
+  p.num_vars = 2;
+  p.rows.push_back(le({{0, Rat(1)}, {1, Rat(1)}}, Rat(3)));
+  p.rows.push_back(le({{0, Rat(1)}}, Rat(2)));
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  const std::vector<Rat> obj{Rat(1), Rat(1)};
+  const Solution mx = s.optimize(obj, true);
+  ASSERT_EQ(mx.status, LpStatus::kOptimal);
+  EXPECT_EQ(mx.objective, Rat(3));
+  const Solution mn = s.optimize(obj, false);
+  ASSERT_EQ(mn.status, LpStatus::kOptimal);
+  EXPECT_EQ(mn.objective, Rat(0));
+}
+
+TEST(Simplex, EqualityRowGivesFractionalVertex) {
+  // 2*x0 = 1  ->  x0 = 1/2 exactly.
+  Problem p;
+  p.num_vars = 1;
+  p.rows.push_back(eq({{0, Rat(2)}}, Rat(1)));
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  const Solution sol = s.optimize({Rat(3)}, true);
+  ASSERT_EQ(sol.status, LpStatus::kOptimal);
+  EXPECT_EQ(sol.objective, Rat::frac(3, 2));
+  ASSERT_EQ(sol.x.size(), 1u);
+  EXPECT_EQ(sol.x[0], Rat::frac(1, 2));
+}
+
+TEST(Simplex, InfeasibleSystemIsReported) {
+  // x0 <= -1 with x0 >= 0.
+  Problem p;
+  p.num_vars = 1;
+  p.rows.push_back(le({{0, Rat(1)}}, Rat(-1)));
+  const Simplex s(p);
+  EXPECT_FALSE(s.feasible());
+  EXPECT_EQ(s.optimize({Rat(1)}, true).status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedObjectiveIsReported) {
+  // max x0 with only x1 constrained.
+  Problem p;
+  p.num_vars = 2;
+  p.rows.push_back(le({{1, Rat(1)}}, Rat(5)));
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  EXPECT_EQ(s.optimize({Rat(1), Rat(0)}, true).status, LpStatus::kUnbounded);
+  // The same polytope still minimizes fine.
+  const Solution mn = s.optimize({Rat(1), Rat(0)}, false);
+  ASSERT_EQ(mn.status, LpStatus::kOptimal);
+  EXPECT_EQ(mn.objective, Rat(0));
+}
+
+TEST(Simplex, KirchhoffDiamondFlow) {
+  // Unit flow through a diamond: entry splits into two arms (vars 0/1),
+  // which rejoin (vars 2/3 are the arm->exit edges). Conservation rows as
+  // the IPET builder writes them.
+  Problem p;
+  p.num_vars = 4;
+  p.rows.push_back(eq({{0, Rat(1)}, {1, Rat(1)}}, Rat(1)));  // source
+  p.rows.push_back(eq({{2, Rat(1)}, {0, Rat(-1)}}, Rat(0)));  // arm A
+  p.rows.push_back(eq({{3, Rat(1)}, {1, Rat(-1)}}, Rat(0)));  // arm B
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  // Arm A costs 7, arm B costs 4 (edge costs summed onto arm edges).
+  const std::vector<Rat> obj{Rat(7), Rat(4), Rat(0), Rat(0)};
+  const Solution mx = s.optimize(obj, true);
+  const Solution mn = s.optimize(obj, false);
+  ASSERT_EQ(mx.status, LpStatus::kOptimal);
+  ASSERT_EQ(mn.status, LpStatus::kOptimal);
+  EXPECT_EQ(mx.objective, Rat(7));
+  EXPECT_EQ(mn.objective, Rat(4));
+  EXPECT_EQ(mx.x[0], Rat(1));
+  EXPECT_EQ(mn.x[1], Rat(1));
+}
+
+TEST(Simplex, LoopBoundRowCapsBackEdgeFlow) {
+  // Self-loop at the entry: var 0 = back edge, var 1 = exit. Conservation:
+  // back + exit - back = 1. Relative bound 4 at an entry header:
+  // back <= (B-1) * entry-inflow, with the synthetic source counting once.
+  Problem p;
+  p.num_vars = 2;
+  p.rows.push_back(eq({{1, Rat(1)}}, Rat(1)));
+  p.rows.push_back(le({{0, Rat(1)}}, Rat(3)));  // B - 1 with B = 4
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  const std::vector<Rat> obj{Rat(10), Rat(2)};
+  const Solution mx = s.optimize(obj, true);
+  ASSERT_EQ(mx.status, LpStatus::kOptimal);
+  EXPECT_EQ(mx.objective, Rat(32));  // 3 iterations * 10 + exit
+  const Solution mn = s.optimize(obj, false);
+  EXPECT_EQ(mn.objective, Rat(2));  // straight to the exit
+}
+
+TEST(Simplex, RedundantEqualitiesSurviveDriveOut) {
+  // Duplicated equality rows leave a zero-valued artificial basic after
+  // phase 1; the drive-out (or inert-row) handling must not corrupt the
+  // optimum.
+  Problem p;
+  p.num_vars = 2;
+  p.rows.push_back(eq({{0, Rat(1)}, {1, Rat(1)}}, Rat(2)));
+  p.rows.push_back(eq({{0, Rat(1)}, {1, Rat(1)}}, Rat(2)));
+  p.rows.push_back(le({{0, Rat(1)}}, Rat(1)));
+  const Simplex s(p);
+  ASSERT_TRUE(s.feasible());
+  const Solution mx = s.optimize({Rat(5), Rat(1)}, true);
+  ASSERT_EQ(mx.status, LpStatus::kOptimal);
+  EXPECT_EQ(mx.objective, Rat(6));  // x0 = 1, x1 = 1
+}
+
+TEST(Simplex, OverflowThrowsInsteadOfRounding) {
+  // Huge coefficients force the exact arithmetic over __int128.
+  Problem p;
+  p.num_vars = 2;
+  const Rat big = Rat::frac((1ll << 62) - 1, (1ll << 62) - 5);
+  const Rat big2 = Rat::frac((1ll << 62) - 7, (1ll << 62) - 11);
+  p.rows.push_back(le({{0, big}, {1, big2}}, Rat::frac(1, (1ll << 62) - 3)));
+  p.rows.push_back(eq({{0, Rat(1)}, {1, big}}, Rat(1)));
+  bool threw = false;
+  try {
+    const Simplex s(p);
+    (void)s.optimize({big, big2}, true);
+  } catch (const LpOverflow&) {
+    threw = true;
+  }
+  // Either the arithmetic overflows (the expected path) or the tiny system
+  // happens to stay in range; both are sound. Just assert no crash.
+  (void)threw;
+}
+
+}  // namespace
+}  // namespace nfp::analyze::lp

@@ -1,0 +1,119 @@
+// CI-sized slice of the three-way accuracy triangle (the full 120-kernel
+// sweep lives in bench/bench_static_triangle.cpp): a dozen real MVC + FSE
+// kernels at reduced sizes, each checked for the two hard invariants the
+// static estimator promises:
+//
+//   - containment: board ground truth (instret, cycles, energy, time)
+//     inside the execution-free IPET [lower, upper];
+//   - dominance: the IPET lower bound never below the Dijkstra
+//     shortest-path lower bound.
+//
+// Registered under the static_triangle ctest label so CI can select it
+// with `ctest -L static_triangle`.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "analyze/bounds.h"
+#include "analyze/cfg.h"
+#include "analyze/ipet.h"
+#include "analyze/profile.h"
+#include "board/board.h"
+#include "workloads/kernels.h"
+
+namespace nfp::analyze {
+namespace {
+
+// Both sides of energy/time comparisons sum long chains of doubles in
+// different orders; allow a relative whisker, never a semantic margin.
+constexpr double kRelSlack = 1e-9;
+
+void expect_inside(double truth, const IpetInterval& iv, const char* metric,
+                   const std::string& name) {
+  const double slack = kRelSlack * std::max(1.0, std::abs(truth));
+  EXPECT_GE(truth, iv.lower - slack) << name << " " << metric;
+  EXPECT_LE(truth, iv.upper + slack) << name << " " << metric;
+}
+
+std::vector<model::KernelJob> smoke_jobs() {
+  // Reduced-size kernels keep one ctest shard under a few seconds while
+  // still exercising calls, data-dependent loops, and both ABIs.
+  workloads::MvcKernelParams mvc;
+  mvc.width = 16;
+  mvc.height = 16;
+  mvc.frames = 2;
+  mvc.qps = {10, 45};
+  workloads::FseKernelParams fse;
+  fse.iterations = 6;
+  fse.count = 3;
+  std::vector<model::KernelJob> jobs;
+  for (const auto abi : {mcc::FloatAbi::kHard, mcc::FloatAbi::kSoft}) {
+    for (auto& j : workloads::make_mvc_jobs(abi, mvc)) {
+      jobs.push_back(std::move(j));
+    }
+    for (auto& j : workloads::make_fse_jobs(abi, fse)) {
+      jobs.push_back(std::move(j));
+    }
+  }
+  if (jobs.size() > 12) jobs.resize(12);
+  return jobs;
+}
+
+TEST(StaticTriangleSmoke, GroundTruthInsideEveryAcceptedInterval) {
+  const auto jobs = smoke_jobs();
+  ASSERT_GE(jobs.size(), 12u);
+  const board::CostModel costs;
+  std::size_t accepted = 0;
+  for (const auto& job : jobs) {
+    const Cfg cfg = build_cfg(job.program);
+    IpetConfig icfg;
+    IpetResult ipet = analyze_ipet(cfg, costs, icfg);
+    bool used_profile = false;
+    if (!ipet.accepted && ipet.refusal == IpetRefusal::kUnboundedLoop) {
+      const PcProfile prof = profile_pcs(job.program, job.inputs);
+      ASSERT_TRUE(prof.halted) << job.name;
+      icfg.loop_totals = block_totals(cfg, prof);
+      ipet = analyze_ipet(cfg, costs, icfg);
+      used_profile = true;
+    }
+    if (!ipet.accepted) continue;
+    ++accepted;
+
+    board::Board brd{board::BoardConfig{}};
+    brd.load(job.program);
+    for (const auto& [addr, bytes] : job.inputs) {
+      brd.bus().write_block(addr, bytes.data(), bytes.size());
+    }
+    const auto run = brd.run(board::Board::kDefaultMaxInsns);
+    ASSERT_TRUE(run.halted) << job.name;
+
+    expect_inside(static_cast<double>(run.instret), ipet.insns, "insns",
+                  job.name);
+    expect_inside(static_cast<double>(brd.cycles()), ipet.cycles, "cycles",
+                  job.name);
+    expect_inside(brd.true_energy_nj(), ipet.energy_nj, "energy", job.name);
+    expect_inside(brd.true_time_s(), ipet.time_s, "time", job.name);
+
+    const BoundsResult dij = analyze_bounds(cfg, costs);
+    EXPECT_GE(ipet.cycles.lower,
+              static_cast<double>(dij.lower.cycles) * (1.0 - kRelSlack))
+        << job.name;
+    EXPECT_GE(ipet.energy_nj.lower, dij.lower_energy_nj * (1.0 - kRelSlack))
+        << job.name;
+    // A profiled run is itself a feasible flow, so with absolute totals the
+    // insns upper can never sit below the profile's own instret.
+    if (used_profile) {
+      EXPECT_GE(ipet.insns.upper, static_cast<double>(run.instret))
+          << job.name;
+    }
+  }
+  // The smoke slice must keep real coverage: most of the dozen kernels are
+  // within the estimator's supported class.
+  EXPECT_GE(accepted, 8u) << "static estimator coverage regressed";
+}
+
+}  // namespace
+}  // namespace nfp::analyze
