@@ -45,6 +45,13 @@ EvalResult evaluate(const std::vector<model::KernelJob>& jobs,
                     const model::CategoryScheme& scheme,
                     const model::CategoryCosts& costs);
 
+// Applies one estimation scheme (nfp/estimator.h) to already-run campaign
+// records — so one campaign can be scored under several schemes — and
+// computes the same Eq. 3 statistics.
+EvalResult evaluate_records(const std::vector<model::KernelRunRecord>& records,
+                            const model::Estimator& estimator,
+                            const model::CategoryCosts& costs);
+
 // Convenience: mean estimate over kernels (used by the Table IV bench).
 model::Estimate mean_estimate(const std::vector<KernelEval>& kernels);
 

@@ -76,11 +76,13 @@ void Board::save_state(std::ostream& out) const {
   for (const std::uint64_t c : s.counts) w.put_u64(c);
   w.put_f64(s.residual_energy);
   w.put_u64(s.stats.loads);
+  w.put_u64(s.stats.stores);
   w.put_u64(s.stats.row_misses);
   w.put_u64(s.stats.cache_hits);
   w.put_u64(s.stats.cache_misses);
   w.put_u64(s.stats.branches_taken);
   w.put_u64(s.stats.branches_untaken);
+  w.put_u64(s.stats.stall_cycles);
   w.put_u32(s.prev_a);
   w.put_u32(s.prev_b);
   w.put_u32(s.prev_addr);
@@ -143,11 +145,13 @@ void Board::restore_state(std::istream& in) {
     for (std::uint64_t& count : s.counts) count = c.get_u64();
     s.residual_energy = c.get_f64();
     s.stats.loads = c.get_u64();
+    s.stats.stores = c.get_u64();
     s.stats.row_misses = c.get_u64();
     s.stats.cache_hits = c.get_u64();
     s.stats.cache_misses = c.get_u64();
     s.stats.branches_taken = c.get_u64();
     s.stats.branches_untaken = c.get_u64();
+    s.stats.stall_cycles = c.get_u64();
     s.prev_a = c.get_u32();
     s.prev_b = c.get_u32();
     s.prev_addr = c.get_u32();

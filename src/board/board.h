@@ -49,6 +49,13 @@ class Board {
   }
   double true_energy_nj() const { return hooks_->energy_nj(); }
   const BoardStats& stats() const { return hooks_->stats(); }
+  // The versioned PMU-style counter export (board/events.h): bit-identical
+  // across dispatch modes and preserved by snapshot/restore.
+  EventCounters events() const { return hooks_->events(); }
+  // Per-op retire counts from the board run (estimation-scheme features).
+  const std::array<std::uint64_t, isa::kOpCount>& op_counts() const {
+    return hooks_->op_counts();
+  }
   std::uint64_t switching_activity() const {
     return hooks_->switching_activity();
   }

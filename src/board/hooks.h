@@ -29,6 +29,7 @@
 
 #include "board/config.h"
 #include "board/cost_model.h"
+#include "board/events.h"
 #include "isa/insn.h"
 #include "sim/block_cache.h"
 #include "sim/bus.h"
@@ -39,11 +40,15 @@ namespace nfp::board {
 
 struct BoardStats {
   std::uint64_t loads = 0;
+  std::uint64_t stores = 0;
   std::uint64_t row_misses = 0;
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
   std::uint64_t branches_taken = 0;
   std::uint64_t branches_untaken = 0;
+  // Extra cycles spent on SDRAM row opens (row_misses * row_miss_cycles,
+  // tracked as a real accumulator so snapshots carry it verbatim).
+  std::uint64_t stall_cycles = 0;
 
   friend bool operator==(const BoardStats&, const BoardStats&) = default;
 };
@@ -192,6 +197,39 @@ class BoardHooks {
 
   const BoardStats& stats() const { return stats_; }
   std::uint64_t switching_activity() const { return activity_; }
+
+  // Per-op retire counts (the static-base accumulator). Exposed so
+  // calibration can derive estimation-scheme feature vectors from the board
+  // run itself — the streams are proven identical to the ISS counters.
+  const std::array<std::uint64_t, isa::kOpCount>& op_counts() const {
+    return counts_;
+  }
+
+  // The PMU-style counter export (board/events.h): every value is derived
+  // from accumulators the shared residual kernel maintains, so the whole
+  // vector is bit-identical across dispatch modes and across
+  // snapshot/restore boundaries.
+  EventCounters events() const {
+    EventCounters ev;
+    std::uint64_t retired = 0, fpu = 0, muldiv = 0;
+    for (std::size_t op = 0; op < isa::kOpCount; ++op) {
+      retired += counts_[op];
+      if (isa::is_fpu(static_cast<isa::Op>(op))) fpu += counts_[op];
+      if (isa::is_muldiv(static_cast<isa::Op>(op))) muldiv += counts_[op];
+    }
+    ev[Event::kRetired] = retired;
+    ev[Event::kFpuOps] = fpu;
+    ev[Event::kMulDivOps] = muldiv;
+    ev[Event::kLoads] = stats_.loads;
+    ev[Event::kStores] = stats_.stores;
+    ev[Event::kRowMisses] = stats_.row_misses;
+    ev[Event::kCacheHits] = stats_.cache_hits;
+    ev[Event::kCacheMisses] = stats_.cache_misses;
+    ev[Event::kBranchesTaken] = stats_.branches_taken;
+    ev[Event::kBranchesUntaken] = stats_.branches_untaken;
+    ev[Event::kStallCycles] = stats_.stall_cycles;
+    return ev;
+  }
 
   // ---- JIT cost-tier interface (Dispatch::kJit; see docs/jit.md) ----------
   // Emitted code retires the static share natively: per-op counts into
@@ -347,7 +385,11 @@ class BoardHooks {
 
   std::uint32_t memory_cycles(isa::Op op, std::uint32_t ea, const OpCost& oc,
                               double& e) {
-    if (isa::is_load(op)) ++stats_.loads;
+    if (isa::is_load(op)) {
+      ++stats_.loads;
+    } else {
+      ++stats_.stores;
+    }
     if (cfg_.enable_cache && isa::is_load(op)) {
       const std::uint32_t line = ea / cfg_.cache_line_bytes;
       const std::uint32_t index = line % cfg_.cache_lines;
@@ -363,6 +405,7 @@ class BoardHooks {
     if (row != open_row_) {
       open_row_ = row;
       ++stats_.row_misses;
+      stats_.stall_cycles += cost_.row_miss_cycles();
       e += cost_.row_miss_energy_nj();
       return oc.cycles + cost_.row_miss_cycles();
     }

@@ -263,12 +263,14 @@ std::string describe_board_diff(const BoardSnapshot& ref,
   field("energy-bits", ref.energy_bits, got.energy_bits);
   field("activity", ref.activity, got.activity);
   field("loads", ref.stats.loads, got.stats.loads);
+  field("stores", ref.stats.stores, got.stats.stores);
   field("row-misses", ref.stats.row_misses, got.stats.row_misses);
   field("cache-hits", ref.stats.cache_hits, got.stats.cache_hits);
   field("cache-misses", ref.stats.cache_misses, got.stats.cache_misses);
   field("branches-taken", ref.stats.branches_taken, got.stats.branches_taken);
   field("branches-untaken", ref.stats.branches_untaken,
         got.stats.branches_untaken);
+  field("stall-cycles", ref.stats.stall_cycles, got.stats.stall_cycles);
   field("cpu-digest", ref.digest.cpu, got.digest.cpu);
   field("ram-digest", ref.digest.ram, got.digest.ram);
   field("uart", ref.uart_digest, got.uart_digest);

@@ -112,6 +112,16 @@ constexpr bool is_fpu(Op op) {
   return op >= Op::kFadds && op <= Op::kFcmpd;
 }
 
+constexpr bool is_muldiv(Op op) {
+  switch (op) {
+    case Op::kUmul: case Op::kUmulcc: case Op::kSmul: case Op::kSmulcc:
+    case Op::kUdiv: case Op::kUdivcc: case Op::kSdiv: case Op::kSdivcc:
+      return true;
+    default:
+      return false;
+  }
+}
+
 // Default mapping of ops to the paper's nine Table-I categories.
 constexpr Category default_category(Op op) {
   switch (op) {

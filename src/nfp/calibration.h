@@ -47,6 +47,19 @@ struct CalibrationResult {
   std::vector<CategoryCalibration> details;
 };
 
+// Calibrated coefficient vector for one estimation scheme (nfp/estimator.h).
+// For "eq1" this wraps the classic Eq. 2 differencing result (details
+// included, costs bit-identical to Calibrator::run); other schemes carry a
+// least-squares fit over the same Table-II calibration runs.
+struct SchemeCalibration {
+  std::string scheme;
+  CategoryCosts costs;                  // one coefficient per model term
+  std::vector<std::string> term_names;  // parallel to costs
+  std::size_t samples = 0;              // calibration runs behind the fit
+  // Raw per-category bench readings (eq1 only; empty for fitted schemes).
+  std::vector<CategoryCalibration> details;
+};
+
 // Post-calibration manual adaptation (paper: "the values are checked for
 // consistency and manually adapted, if necessary").
 struct Adaptation {
@@ -66,6 +79,14 @@ class Calibrator {
   // FPU categories are skipped (zero cost) when the board has no FPU.
   CalibrationResult run(const board::BoardConfig& cfg,
                         const std::optional<Adaptation>& adapt = {}) const;
+
+  // Calibrates any registered scheme's coefficient vector. "eq1" goes
+  // through the Eq. 2 differencing path above (bit-identical costs); every
+  // other scheme is fitted by ridge-regularized least squares over the same
+  // Table-II ref/test kernel runs, with the feature vectors the scheme
+  // extracts from each board run (per-op counts, PMU events, bench time).
+  SchemeCalibration fit(const Estimator& estimator,
+                        const board::BoardConfig& cfg) const;
 
  private:
   const CategoryScheme& scheme_;

@@ -61,6 +61,7 @@ KernelRunRecord Campaign::run_one(const KernelJob& job,
       throw std::runtime_error("ISS/board instruction streams diverged");
     }
     rec.measured = brd.measure(job.name);
+    rec.events = brd.events();
     rec.cycles = brd.cycles();
     rec.true_energy_nj = brd.true_energy_nj();
     rec.true_time_s = brd.true_time_s();

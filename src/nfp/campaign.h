@@ -10,6 +10,7 @@
 
 #include "asmkit/program.h"
 #include "board/board.h"
+#include "nfp/estimator.h"
 #include "nfp/scheme.h"
 #include "sim/iss.h"
 
@@ -34,11 +35,25 @@ struct KernelRunRecord {
 
   // From the board (what the experimenter measures).
   board::Measurement measured;
+  // PMU-style counter export from the board run (board/events.h) — the
+  // feature source for the event-based estimation schemes.
+  board::EventCounters events;
   // Ground truth, for diagnostics only.
   std::uint64_t cycles = 0;
   double true_energy_nj = 0.0;
   double true_time_s = 0.0;
 };
+
+// Everything an estimation scheme may draw features from, extracted from a
+// finished record (nfp/estimator.h).
+inline RunSample run_sample(const KernelRunRecord& rec) {
+  RunSample s;
+  s.counts = rec.counts;
+  s.instret = rec.instret;
+  s.events = rec.events;
+  s.measured_time_s = rec.measured.time_s;
+  return s;
+}
 
 class Campaign {
  public:

@@ -1,17 +1,31 @@
 // Estimation error metrics (paper Eq. 3 and Table III):
 //   ε_m = (X̂_m − X_meas,m) / X_meas,m
 //   ε̄  = mean_m |ε_m|        ε_max = max_m |ε_m|
+//
+// Degenerate inputs produce a structured refusal (ok == false with a
+// machine-parseable slug) instead of throwing, so one broken kernel can
+// never abort a whole campaign report. Kernels whose measurement is exactly
+// zero are excluded from the statistics and counted in skipped_zero —
+// a relative error against zero is undefined, not infinite.
 #pragma once
 
 #include <cmath>
 #include <cstddef>
-#include <stdexcept>
+#include <string>
 #include <vector>
 
 namespace nfp::model {
 
 struct ErrorStats {
-  std::vector<double> per_kernel;  // signed relative errors ε_m
+  // False when the stats could not be computed; `refusal` then carries one
+  // of the stable slugs "size-mismatch", "empty-input",
+  // "all-measurements-zero", and every metric below is zero.
+  bool ok = false;
+  std::string refusal;
+  // Kernels excluded because their measurement was exactly zero.
+  std::size_t skipped_zero = 0;
+
+  std::vector<double> per_kernel;  // signed relative errors ε_m (included set)
   double mean_abs = 0.0;           // ε̄   (fraction, not percent)
   double max_abs = 0.0;            // ε_max
   double mean_abs_percent() const { return mean_abs * 100.0; }
@@ -20,22 +34,34 @@ struct ErrorStats {
 
 inline ErrorStats error_stats(const std::vector<double>& estimated,
                               const std::vector<double>& measured) {
-  if (estimated.size() != measured.size() || estimated.empty()) {
-    throw std::invalid_argument("error_stats: mismatched or empty inputs");
-  }
   ErrorStats stats;
+  if (estimated.size() != measured.size()) {
+    stats.refusal = "size-mismatch";
+    return stats;
+  }
+  if (estimated.empty()) {
+    stats.refusal = "empty-input";
+    return stats;
+  }
   stats.per_kernel.reserve(estimated.size());
   double sum = 0.0;
   for (std::size_t m = 0; m < estimated.size(); ++m) {
     if (measured[m] == 0.0) {
-      throw std::invalid_argument("error_stats: zero measurement");
+      ++stats.skipped_zero;
+      continue;
     }
     const double eps = (estimated[m] - measured[m]) / measured[m];
     stats.per_kernel.push_back(eps);
     sum += std::abs(eps);
     stats.max_abs = std::max(stats.max_abs, std::abs(eps));
   }
-  stats.mean_abs = sum / static_cast<double>(estimated.size());
+  if (stats.per_kernel.empty()) {
+    stats.refusal = "all-measurements-zero";
+    stats.max_abs = 0.0;
+    return stats;
+  }
+  stats.ok = true;
+  stats.mean_abs = sum / static_cast<double>(stats.per_kernel.size());
   return stats;
 }
 

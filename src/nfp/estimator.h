@@ -1,16 +1,40 @@
-// The mechanistic NFP estimator (paper Eq. 1):
+// Estimation schemes: how NFPs are predicted from a run.
+//
+// The paper's mechanistic model (Eq. 1)
 //   Ê = Σ_c e_c · n_c      T̂ = Σ_c t_c · n_c
+// is one point in a family; the same group later showed that PMU event
+// counters (2023) and a pure processing-time proxy (2015) estimate energy
+// with comparable accuracy and fewer terms. Every scheme here is a linear
+// model over a scheme-specific feature vector extracted from a RunSample;
+// the shared Estimator::estimate() does the Σ_t w_t · x_t accumulation with
+// the exact arithmetic the original estimate() helpers used, so the "eq1"
+// scheme reproduces the legacy pipeline bit for bit.
+//
+// Registered schemes (find_estimator / all_estimators):
+//   eq1        — the paper's per-category linear model over ISS op counts.
+//   events     — a linear model over the exported PMU-style hardware
+//                counters alone (board/events.h): what a deployment could
+//                estimate from on silicon without any disassembly. Needs a
+//                board run for the counters.
+//   time-proxy — energy proportional to the measured run time (E ≈ P̄·T).
+//                Needs a board run for the time measurement.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <stdexcept>
+#include <string>
+#include <string_view>
 #include <vector>
 
+#include "board/events.h"
 #include "nfp/scheme.h"
 
 namespace nfp::model {
 
-// Instruction-specific costs per category (Table I): e_c in nJ, t_c in ns.
+// Instruction-specific costs per model term (Table I for eq1): e in nJ,
+// t in ns. Alternative schemes reuse the container for their fitted
+// coefficient vectors, in the same units.
 struct CategoryCosts {
   std::vector<double> energy_nj;
   std::vector<double> time_ns;
@@ -44,5 +68,64 @@ inline Estimate estimate(const OpCounts& op_counts,
                          const CategoryCosts& costs) {
   return estimate(scheme.aggregate(op_counts), costs);
 }
+
+// Everything a scheme may draw features from. eq1 needs only the ISS op
+// counts; events and time-proxy additionally need the board-side PMU export
+// and the bench time measurement (zeros when no board run happened — the
+// schemes that need them must be fed a board run).
+struct RunSample {
+  OpCounts counts{};
+  std::uint64_t instret = 0;
+  board::EventCounters events{};
+  double measured_time_s = 0.0;
+};
+
+class Estimator {
+ public:
+  virtual ~Estimator() = default;
+
+  // Stable registry key ("eq1", "events", "time-proxy").
+  virtual std::string_view name() const = 0;
+  // Number of model terms (coefficient vector length).
+  virtual std::size_t terms() const = 0;
+  virtual std::string term_name(std::size_t t) const = 0;
+  // The feature vector x for the linear model X̂ = Σ_t w_t · x_t.
+  virtual std::vector<double> features(const RunSample& run) const = 0;
+  // Whether features depend on a board run (events / measured time). The
+  // ISS alone cannot feed such a scheme.
+  virtual bool needs_board_run() const = 0;
+
+  // Shared linear accumulation. Term order and arithmetic match the
+  // original estimate() loop exactly, so eq1 is bit-identical to
+  // estimate(counts, CategoryScheme::paper(), costs).
+  Estimate estimate(const RunSample& run, const CategoryCosts& costs) const {
+    const std::vector<double> x = features(run);
+    if (x.size() != costs.size()) {
+      throw std::invalid_argument("Estimator: features/costs size mismatch");
+    }
+    Estimate e;
+    double time_ns = 0.0;
+    for (std::size_t t = 0; t < x.size(); ++t) {
+      e.energy_nj += costs.energy_nj[t] * x[t];
+      time_ns += costs.time_ns[t] * x[t];
+    }
+    e.time_s = time_ns * 1e-9;
+    return e;
+  }
+};
+
+// Registered scheme singletons.
+const Estimator& eq1_estimator();
+const Estimator& events_estimator();
+const Estimator& time_proxy_estimator();
+
+// All registered schemes, in a stable order (eq1 first).
+std::vector<const Estimator*> all_estimators();
+
+// Lookup by registry key; nullptr when unknown.
+const Estimator* find_estimator(std::string_view name);
+
+// The valid "--scheme" values, comma-separated (CLI error messages).
+std::string estimator_names();
 
 }  // namespace nfp::model

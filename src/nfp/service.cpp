@@ -11,9 +11,15 @@ namespace nfp::model {
 
 CampaignService::CampaignService(ServiceConfig cfg)
     : cfg_(std::move(cfg)),
+      estimator_(find_estimator(cfg_.scheme)),
       dispatch_(cfg_.dispatch.value_or(sim::jit_available()
                                            ? sim::Dispatch::kJit
                                            : sim::Dispatch::kBlock)) {
+  if (estimator_ == nullptr) {
+    throw std::invalid_argument("CampaignService: unknown scheme '" +
+                                cfg_.scheme + "' (known: " +
+                                estimator_names() + ")");
+  }
   unsigned workers = cfg_.workers;
   if (workers == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
@@ -102,8 +108,11 @@ std::vector<ServiceResult> CampaignService::run_jobs(
 
 void CampaignService::ensure_calibrated() {
   std::call_once(calib_once_, [&] {
+    // fit() routes "eq1" through the classic Eq. 2 differencing run, so the
+    // default scheme's table is bit-identical to Calibrator::run().
     calibration_ =
-        Calibrator(CategoryScheme::paper(), cfg_.plan).run(cfg_.board);
+        Calibrator(CategoryScheme::paper(), cfg_.plan).fit(*estimator_,
+                                                           cfg_.board);
   });
 }
 
@@ -228,13 +237,14 @@ bool CampaignService::run_slice(PendingJob& pj, Campaign::WorkerArena& arena,
     throw std::runtime_error("ISS/board instruction streams diverged");
   }
   pj.rec.measured = brd.measure(job.name);
+  pj.rec.events = brd.events();
   pj.rec.cycles = brd.cycles();
   pj.rec.true_energy_nj = brd.true_energy_nj();
   pj.rec.true_time_s = brd.true_time_s();
   if (cfg_.calibrate) {
     ensure_calibrated();
-    pj.estimate = estimate(pj.rec.counts, CategoryScheme::paper(),
-                           calibration_->costs);
+    pj.estimate = estimator_->estimate(run_sample(pj.rec),
+                                       calibration_->costs);
   }
   pj.rec.ok = true;
   return true;
@@ -271,6 +281,7 @@ void CampaignService::worker_main(unsigned self) {
       res.id = pj.id;
       res.record = std::move(pj.rec);
       res.estimate = pj.estimate;
+      if (cfg_.calibrate) res.scheme = cfg_.scheme;
       res.slices = pj.slices;
       res.checkpoints = pj.checkpoints;
       res.static_bounds = std::move(pj.static_bounds);
@@ -380,6 +391,26 @@ std::string result_json_line(const ServiceResult& r) {
   append_kv(out, "true_time_s", r.record.true_time_s);
   append_kv(out, "est_energy_nj", r.estimate.energy_nj);
   append_kv(out, "est_time_s", r.estimate.time_s);
+  if (!r.scheme.empty()) {
+    out += "\"scheme\":\"";
+    append_escaped(out, r.scheme);
+    out += "\",";
+  }
+  // The board's PMU-style counter export rides on every record that ran on
+  // the board (retired > 0), so event-based schemes can be re-fit offline
+  // from the JSONL stream alone.
+  if (r.record.events[board::Event::kRetired] != 0) {
+    out += "\"events\":{";
+    append_kv(out, "version",
+              static_cast<std::uint64_t>(board::kEventCountersVersion));
+    for (std::size_t i = 0; i < board::kEventCount; ++i) {
+      const auto e = static_cast<board::Event>(i);
+      append_kv(out, std::string(board::event_name(e)).c_str(),
+                r.record.events[e]);
+    }
+    out.back() = '}';  // replace the trailing comma
+    out += ',';
+  }
   append_kv(out, "slices", r.slices);
   append_kv(out, "checkpoints", r.checkpoints);
   if (r.static_bounds) {

@@ -74,9 +74,12 @@ struct StaticBounds {
 struct ServiceResult {
   std::uint64_t id = 0;  // submit order, dense from 0
   KernelRunRecord record;
-  // Eq. 1 estimate from the shared calibration table (zeros when the
-  // service was configured with calibrate = false).
+  // Estimate from the shared calibration table under the configured scheme
+  // (zeros when the service was configured with calibrate = false).
   Estimate estimate;
+  // The estimation scheme behind `estimate` (ServiceConfig::scheme); empty
+  // when the service did not estimate.
+  std::string scheme;
   std::uint64_t slices = 0;       // run segments across both phases (>= 2)
   std::uint64_t checkpoints = 0;  // serialize/restore round trips
   // Set when the service ran a static estimator over this job's program.
@@ -104,10 +107,14 @@ struct ServiceConfig {
   // code can run, chained kBlock elsewhere). Board accounting is
   // bit-identical across modes, so this is purely a speed knob.
   std::optional<sim::Dispatch> dispatch;
-  // Compute Eq. 1 estimates via a warm calibration table (calibrated once,
+  // Compute estimates via a warm calibration table (calibrated once,
   // lazily, with `plan` against the service's board config).
   bool calibrate = true;
   CalibrationPlan plan{};
+  // Estimation scheme (nfp/estimator.h registry: "eq1", "events",
+  // "time-proxy"). The default keeps the paper's Eq. 1 pipeline
+  // bit-identical; the constructor throws on unknown names.
+  std::string scheme = "eq1";
   // Execution-free fast path. When set, a job's first slice runs this
   // estimator over the program before any execution; the interval streams
   // immediately through the static sink and rides on the final result.
@@ -155,9 +162,12 @@ class CampaignService {
                                           const std::string& name,
                                           const StaticBounds&)> sink);
 
-  // The shared calibration table (calibrates on first use; throws if the
-  // service was configured with calibrate = false).
+  // The shared calibration table for the configured scheme (calibrates on
+  // first use; throws if the service was configured with calibrate = false).
   const CategoryCosts& costs();
+  // The scheme the service estimates with (resolved from
+  // ServiceConfig::scheme at construction).
+  const Estimator& estimator() const { return *estimator_; }
 
   // Convenience: submit everything, drain, return submit-order results.
   std::vector<ServiceResult> run_jobs(std::vector<ServiceJob> jobs);
@@ -190,6 +200,7 @@ class CampaignService {
   void ensure_calibrated();
 
   ServiceConfig cfg_;
+  const Estimator* estimator_;  // resolved from cfg_.scheme (never null)
   sim::Dispatch dispatch_;
 
   mutable std::mutex mu_;
@@ -211,7 +222,7 @@ class CampaignService {
       static_sink_;
 
   std::once_flag calib_once_;
-  std::optional<CalibrationResult> calibration_;
+  std::optional<SchemeCalibration> calibration_;
 
   std::vector<std::thread> pool_;
 };

@@ -33,7 +33,8 @@ class Platform;
 // Current snapshot format version. Bumped on any incompatible layout change;
 // readers reject every version but their own (no silent best-effort decode
 // of foreign state — see docs/snapshots.md for the policy).
-inline constexpr std::uint32_t kStateVersion = 1;
+// v2: the board-hooks chunk grew the store and stall-cycle event counters.
+inline constexpr std::uint32_t kStateVersion = 2;
 
 constexpr std::uint32_t chunk_tag(char a, char b, char c, char d) {
   return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |

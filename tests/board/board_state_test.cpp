@@ -15,6 +15,8 @@
 #include <string>
 
 #include "asmkit/assembler.h"
+#include "board/cost_model.h"
+#include "board/events.h"
 #include "sim/digest.h"
 #include "sim/iss.h"
 #include "sim/jit.h"
@@ -150,6 +152,41 @@ TEST(BoardState, MeasurementAfterResumeMatches) {
             std::bit_cast<std::uint64_t>(want.energy_nj));
   EXPECT_EQ(std::bit_cast<std::uint64_t>(got.time_s),
             std::bit_cast<std::uint64_t>(want.time_s));
+}
+
+TEST(BoardState, EventCountersSurviveSnapshotAndResume) {
+  // The PMU export (board/events.h) is derived entirely from snapshot state,
+  // so a restored board's counter vector is bit-identical at the checkpoint
+  // and stays identical to the uninterrupted run after resuming — in every
+  // dispatch mode.
+  const auto prog = board_program(120);
+  for (const sim::Dispatch d : board_modes()) {
+    Board straight;
+    straight.load(prog);
+    straight.run(1'000'000, d);
+    const EventCounters want = straight.events();
+    // The battery program must actually exercise the counters it guards.
+    EXPECT_NE(want[Event::kRetired], 0u);
+    EXPECT_NE(want[Event::kLoads], 0u);
+    EXPECT_NE(want[Event::kStores], 0u);
+    EXPECT_NE(want[Event::kRowMisses], 0u);
+    EXPECT_NE(want[Event::kBranchesTaken], 0u);
+    EXPECT_NE(want[Event::kBranchesUntaken], 0u);
+    EXPECT_EQ(want[Event::kStallCycles],
+              want[Event::kRowMisses] * CostModel{}.row_miss_cycles());
+
+    Board a, b;
+    a.load(prog);
+    a.run(37, d);
+    std::stringstream buf;
+    a.save_state(buf);
+    b.restore_state(buf);
+    EXPECT_EQ(b.events(), a.events())
+        << "mode " << static_cast<int>(d) << " at checkpoint";
+    b.run(1'000'000, d);
+    EXPECT_EQ(b.events(), want)
+        << "mode " << static_cast<int>(d) << " after resume";
+  }
 }
 
 TEST(BoardState, ConfigMismatchRejected) {

@@ -89,10 +89,36 @@ TEST(ErrorStats, MatchesEquationThree) {
   EXPECT_NEAR(stats.max_abs_percent(), 5.0, 1e-9);
 }
 
-TEST(ErrorStats, RejectsDegenerateInput) {
-  EXPECT_THROW(error_stats({}, {}), std::invalid_argument);
-  EXPECT_THROW(error_stats({1.0}, {0.0}), std::invalid_argument);
-  EXPECT_THROW(error_stats({1.0, 2.0}, {1.0}), std::invalid_argument);
+TEST(ErrorStats, RefusesDegenerateInputWithoutThrowing) {
+  // One broken kernel must never abort a whole campaign report: degenerate
+  // inputs come back as a structured refusal, not an exception.
+  const auto empty = error_stats({}, {});
+  EXPECT_FALSE(empty.ok);
+  EXPECT_EQ(empty.refusal, "empty-input");
+
+  const auto mismatch = error_stats({1.0, 2.0}, {1.0});
+  EXPECT_FALSE(mismatch.ok);
+  EXPECT_EQ(mismatch.refusal, "size-mismatch");
+
+  const auto zeros = error_stats({1.0}, {0.0});
+  EXPECT_FALSE(zeros.ok);
+  EXPECT_EQ(zeros.refusal, "all-measurements-zero");
+  EXPECT_EQ(zeros.skipped_zero, 1u);
+  EXPECT_EQ(zeros.mean_abs, 0.0);
+  EXPECT_EQ(zeros.max_abs, 0.0);
+}
+
+TEST(ErrorStats, SkipsZeroMeasurementsButKeepsTheRest) {
+  // A relative error against zero is undefined, not infinite: the kernel is
+  // excluded and counted, the remaining set still produces Eq. 3 stats.
+  const auto stats = error_stats({2.0, 1.1}, {0.0, 1.0});
+  EXPECT_TRUE(stats.ok);
+  EXPECT_TRUE(stats.refusal.empty());
+  EXPECT_EQ(stats.skipped_zero, 1u);
+  ASSERT_EQ(stats.per_kernel.size(), 1u);
+  EXPECT_NEAR(stats.per_kernel[0], 0.1, 1e-12);
+  EXPECT_NEAR(stats.mean_abs, 0.1, 1e-12);
+  EXPECT_NEAR(stats.max_abs, 0.1, 1e-12);
 }
 
 TEST(Dse, FpuImpactMeansPerKernelChanges) {

@@ -8,6 +8,11 @@
 //     --trace[=N]       print the first N executed instructions (default 64)
 //     --estimate        calibrate the NFP model and print Ê / T̂ (Eq. 1)
 //     --board           also run on the measurement board and compare
+//     --scheme=NAME     estimation scheme (nfp/estimator.h registry): eq1
+//                       (paper Eq. 1, default), events (PMU event-counter
+//                       model), or time-proxy (energy from measured time).
+//                       events and time-proxy read board-side counters, so
+//                       they require --board
 //     --counts          print per-category instruction counts
 //     --dispatch=MODE   simulator dispatch: block (superblock morph cache
 //                       with chaining, default), block-unchained (morph
@@ -22,7 +27,8 @@
 //                       replayed in batch)
 //     --sim-stats       print the full BlockCache::Stats after the run
 //                       (morphs, flushes, chain/BTC counters); with
-//                       --board, also the board's cache and jit stats
+//                       --board, also the board's cache and jit stats and
+//                       its PMU-style event-counter export (board/events.h)
 //     --seed N          board/calibration noise seed for --estimate and
 //                       --board campaigns (also --seed=N)
 //     --max-insns N     ISS retirement budget (default 200M); with
@@ -97,6 +103,16 @@ void print_sim_stats(const nfp::sim::BlockCache* cache) {
               static_cast<unsigned long long>(s.lookup_fallbacks));
 }
 
+void print_event_counters(const nfp::board::EventCounters& ev) {
+  std::printf("board events (v%u):\n", nfp::board::kEventCountersVersion);
+  for (std::size_t i = 0; i < nfp::board::kEventCount; ++i) {
+    const auto e = static_cast<nfp::board::Event>(i);
+    std::printf("  %-16s %llu\n",
+                std::string(nfp::board::event_name(e)).c_str(),
+                static_cast<unsigned long long>(ev[e]));
+  }
+}
+
 void print_jit_stats(nfp::sim::BlockCache* cache) {
   if (cache == nullptr) return;
   const nfp::sim::JitRuntime* jr = cache->jit();
@@ -129,6 +145,7 @@ int main(int argc, char** argv) {
   bool have_seed = false;
   std::uint32_t seed = 0;
   std::uint64_t max_insns = nfp::sim::Iss::kDefaultMaxInsns;
+  std::string scheme_name = "eq1";
   std::string save_state_path;
   std::string load_state_path;
   std::vector<std::string> sources;
@@ -157,6 +174,9 @@ int main(int argc, char** argv) {
                    nfp::cli::flag_value("--dispatch", argc, argv, i, "nfpc")) {
       dispatch = nfp::cli::effective_dispatch(
           nfp::cli::parse_dispatch(v, "nfpc"), "nfpc");
+    } else if (const char* v =
+                   nfp::cli::flag_value("--scheme", argc, argv, i, "nfpc")) {
+      scheme_name = v;
     } else if (arg == "--sim-stats") {
       want_sim_stats = true;
     } else if (const char* v =
@@ -180,6 +200,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::printf("usage: nfpc [--soft-float] [--asm] [--trace[=N]] "
                   "[--estimate] [--board] [--counts] [--sim-stats] "
+                  "[--scheme=eq1|events|time-proxy] "
                   "[--static-bounds] [--loop-bound ADDR=N]... "
                   "[--seed N] [--max-insns N] [--save-state FILE] "
                   "[--load-state FILE] "
@@ -188,6 +209,21 @@ int main(int argc, char** argv) {
     } else {
       sources.push_back(read_file(arg));
     }
+  }
+  const nfp::model::Estimator* est_scheme =
+      nfp::model::find_estimator(scheme_name);
+  if (est_scheme == nullptr) {
+    std::fprintf(stderr, "nfpc: unknown --scheme '%s' (known: %s)\n",
+                 scheme_name.c_str(),
+                 nfp::model::estimator_names().c_str());
+    return 2;
+  }
+  if (est_scheme->needs_board_run() && !want_board) {
+    std::fprintf(stderr,
+                 "nfpc: --scheme=%s reads board-side counters; it requires "
+                 "--board\n",
+                 scheme_name.c_str());
+    return 2;
   }
   if (!load_state_path.empty()) {
     if (!sources.empty() || want_asm || want_board || want_static ||
@@ -321,12 +357,17 @@ int main(int argc, char** argv) {
     if (want_estimate || want_board) {
       nfp::board::BoardConfig cfg;
       if (have_seed) cfg.seed = seed;
-      std::printf("calibrating NFP model...\n");
-      const auto calibration = nfp::model::Calibrator().run(cfg);
-      const auto est = nfp::model::estimate(iss.counters().counts, scheme,
-                                            calibration.costs);
-      std::printf("estimated: %.4f ms, %.3f uJ\n", est.time_s * 1e3,
-                  est.energy_nj * 1e-3);
+      std::printf("calibrating NFP model (scheme %s)...\n",
+                  scheme_name.c_str());
+      // fit() routes eq1 through the classic Eq. 2 differencing run, so the
+      // default scheme prints exactly the numbers it always did.
+      const auto calibration = nfp::model::Calibrator().fit(*est_scheme, cfg);
+      nfp::model::RunSample sample;
+      sample.counts = iss.counters().counts;
+      sample.instret = run.instret;
+      // The board runs before the estimate is printed: the event-based and
+      // time-proxy schemes read their features off the board.
+      std::optional<nfp::board::Measurement> meas;
       if (want_board) {
         nfp::board::Board board(cfg);
         board.load(*program);
@@ -347,13 +388,22 @@ int main(int argc, char** argv) {
         }
         if (want_sim_stats) {
           print_sim_stats(board.platform().block_cache());
+          print_event_counters(board.events());
         }
-        const auto meas = board.measure("nfpc");
+        sample.events = board.events();
+        meas = board.measure("nfpc");
+        sample.measured_time_s = meas->time_s;
+      }
+      const auto est = est_scheme->estimate(sample, calibration.costs);
+      std::printf("estimated: %.4f ms, %.3f uJ\n", est.time_s * 1e3,
+                  est.energy_nj * 1e-3);
+      if (meas) {
         std::printf("measured:  %.4f ms, %.3f uJ  (error: time %+.2f%%, "
                     "energy %+.2f%%)\n",
-                    meas.time_s * 1e3, meas.energy_nj * 1e-3,
-                    (est.time_s - meas.time_s) / meas.time_s * 100.0,
-                    (est.energy_nj - meas.energy_nj) / meas.energy_nj * 100.0);
+                    meas->time_s * 1e3, meas->energy_nj * 1e-3,
+                    (est.time_s - meas->time_s) / meas->time_s * 100.0,
+                    (est.energy_nj - meas->energy_nj) / meas->energy_nj *
+                        100.0);
       }
     }
   } catch (const std::exception& e) {

@@ -22,8 +22,14 @@
 //                       accounting is bit-identical across modes)
 //     --seed N          board noise seed (BoardConfig::seed)
 //     --estimate / --no-estimate
-//                       calibrate once and add Eq. 1 estimates to every
-//                       record (default on)
+//                       calibrate once and add estimates to every record
+//                       (default on)
+//     --scheme NAME     estimation scheme behind the estimates: eq1 (paper
+//                       Eq. 1, default; bit-identical to the classic
+//                       pipeline), events (PMU event-counter model), or
+//                       time-proxy (energy from measured time); the record
+//                       carries the scheme name and the board's event
+//                       counters
 //     --static-first    execution-free fast path: run the IPET static
 //                       estimator (analyze/ipet) over each job before its
 //                       first slice and stream the guaranteed interval
@@ -58,6 +64,7 @@ void usage() {
   std::printf(
       "usage: nfpd [--campaign] [--workers N] [--slice N] [--max-insns N]\n"
       "            [--dispatch MODE] [--seed N] [--estimate|--no-estimate]\n"
+      "            [--scheme eq1|events|time-proxy]\n"
       "            [--static-first|--static-only] [kernel.s ...]\n");
 }
 
@@ -116,6 +123,14 @@ int main(int argc, char** argv) {
     } else if (const char* v =
                    nfp::cli::flag_value("--seed", argc, argv, i, "nfpd")) {
       cfg.board.seed = static_cast<std::uint32_t>(std::strtoul(v, nullptr, 0));
+    } else if (const char* v =
+                   nfp::cli::flag_value("--scheme", argc, argv, i, "nfpd")) {
+      if (nfp::model::find_estimator(v) == nullptr) {
+        std::fprintf(stderr, "nfpd: unknown --scheme '%s' (known: %s)\n", v,
+                     nfp::model::estimator_names().c_str());
+        return 2;
+      }
+      cfg.scheme = v;
     } else if (nfp::cli::bool_flag(arg, "--estimate", cfg.calibrate)) {
       // handled by bool_flag
     } else if (arg == "--static-first") {
